@@ -1,0 +1,57 @@
+"""Experiment A1 — §5 allocator ablation, both planes.
+
+Also benchmarks the real Python allocators directly: pytest-benchmark's
+per-op timing is exactly the right tool for the native arm.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import publish
+from repro.bench.alloc import run_alloc
+from repro.i2o.frame import HEADER_SIZE
+from repro.mem.pool import OriginalAllocator, TableAllocator
+
+
+@pytest.fixture(scope="module")
+def alloc_result():
+    result = run_alloc(payload=1024, rounds=200)
+    publish("alloc", result.report())
+    return result
+
+
+def test_sim_plane_saving_matches_paper(alloc_result):
+    """Paper: 8.9 -> 4.9 µs, a ~4 µs saving."""
+    saving = alloc_result.sim_original_us - alloc_result.sim_optimised_us
+    assert 3.0 <= saving <= 6.0
+
+
+def test_native_table_beats_scan(alloc_result):
+    assert alloc_result.native_table_ns < alloc_result.native_original_ns
+
+
+def _occupied(allocator, count=300):
+    sizes = [HEADER_SIZE + s for s in (64, 256, 1024, 512, 128, 2048)]
+    return [allocator.alloc(sizes[i % len(sizes)]) for i in range(count)]
+
+
+def bench_pair(allocator):
+    block = allocator.alloc(HEADER_SIZE + 512)
+    block.release()
+
+
+def test_bench_original_allocator(benchmark):
+    allocator = OriginalAllocator(block_size=4096, block_count=512)
+    held = _occupied(allocator)
+    benchmark(bench_pair, allocator)
+    for b in held:
+        b.release()
+
+
+def test_bench_table_allocator(benchmark):
+    allocator = TableAllocator()
+    held = _occupied(allocator)
+    benchmark(bench_pair, allocator)
+    for b in held:
+        b.release()

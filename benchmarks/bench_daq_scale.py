@@ -1,0 +1,45 @@
+"""Experiment X5 — the event builder at cluster scale (sim plane)."""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import publish
+from repro.bench.daqscale import run_config, run_daqscale
+
+
+@pytest.fixture(scope="module")
+def scale_result():
+    result = run_daqscale(events=200)
+    publish("daqscale", result.report())
+    return result
+
+
+def test_assembled_bandwidth_scales_with_cluster(scale_result, benchmark):
+    """The reason to distribute the processing task at all (paper §1):
+    aggregate assembled bandwidth grows with RUxBU configuration."""
+    benchmark.pedantic(
+        lambda: run_config(2, 2, events=40),
+        rounds=2, iterations=1,
+    )
+    by_config = dict(zip(scale_result.configs, scale_result.assembled_mb_s))
+    assert by_config[(2, 2)] > 1.5 * by_config[(1, 1)]
+    assert by_config[(4, 4)] > 2.5 * by_config[(1, 1)]
+
+
+def test_every_event_built_at_every_scale(scale_result):
+    # run_config raises if any event is lost; reaching here with all
+    # four configurations is the assertion.
+    assert len(scale_result.configs) == 4
+
+
+def test_crossing_traffic_message_count(scale_result):
+    """n x m crossing traffic: per event the wire carries n readout +
+    1 allocate + n request + n fragment + 1 done + n clear = 4n+2
+    messages (minus purely local hops on shared nodes)."""
+    per_event = [
+        msgs / 200 for msgs in scale_result.wire_messages
+    ]
+    for (n_ru, _n_bu), count in zip(scale_result.configs, per_event):
+        assert count <= 4 * n_ru + 2
+        assert count >= 3 * n_ru  # the bulk of the fan-out is remote

@@ -1,0 +1,40 @@
+"""Experiment X2 — event dispatch scalability (paper §3.2/§6)."""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import publish
+from repro.bench.dispatch import run_dispatch
+from repro.core.device import Listener
+from repro.core.executive import Executive
+
+
+@pytest.fixture(scope="module")
+def dispatch_result():
+    result = run_dispatch(device_counts=(1, 10, 100, 1000), messages=20_000)
+    publish("dispatch", result.report())
+    return result
+
+
+def test_dispatch_near_flat_in_device_count(dispatch_result, benchmark):
+    """No central parsing: per-message cost must not scan devices."""
+
+    class Sink(Listener):
+        def on_plugin(self):
+            self.hits = 0
+            self.bind(0x1, self._h)
+
+        def _h(self, frame):
+            self.hits += 1
+
+    exe = Executive(node=0, max_dispatch_per_step=64)
+    tid = exe.install(Sink())
+
+    def one_message():
+        frame = exe.frame_alloc(8, target=tid, initiator=tid, xfunction=0x1)
+        exe.post_inbound(frame)
+        exe.step()
+
+    benchmark(one_message)
+    assert dispatch_result.worst_ratio < 3.0

@@ -1,0 +1,43 @@
+"""Experiment F6 — regenerates figure 6 (blackbox ping-pong latency).
+
+Paper series reproduced: XDAQ-over-Myrinet/GM, raw Myrinet/GM, and
+their difference (the framework overhead), one-way µs over payloads
+1..4096 B, with linear fits.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import publish
+from repro.bench.fig6 import DEFAULT_PAYLOADS, run_fig6
+from repro.bench.pingpong import run_xdaq_gm_pingpong
+
+
+@pytest.fixture(scope="module")
+def fig6_result():
+    result = run_fig6(payloads=DEFAULT_PAYLOADS, rounds=200)
+    publish("fig6", result.report())
+    return result
+
+
+def test_fig6_regenerates_paper_shape(fig6_result, benchmark):
+    """Overhead constant in payload; all series linear (paper's fit:
+    y = -7e-05x + 9.105 for the overhead)."""
+    benchmark.pedantic(
+        lambda: run_xdaq_gm_pingpong(1024, rounds=20),
+        rounds=3,
+        iterations=1,
+    )
+    assert fig6_result.xdaq_fit.r_squared > 0.9999
+    assert fig6_result.gm_fit.r_squared > 0.9999
+    assert abs(fig6_result.overhead_fit.slope) < 1e-3
+    assert 7.0 <= fig6_result.mean_overhead_us <= 13.0
+
+
+def test_fig6_crossover_free_ordering(fig6_result):
+    """XDAQ sits a constant amount above GM at every payload — no
+    crossover anywhere in the sweep."""
+    assert all(
+        x > g for x, g in zip(fig6_result.xdaq_us, fig6_result.gm_us)
+    )

@@ -1,0 +1,25 @@
+"""Experiment X4 — §4: multiple peer transports send/receive in parallel."""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import publish
+from repro.bench.multirail import run_multirail
+
+
+@pytest.fixture(scope="module")
+def rail_result():
+    result = run_multirail(messages=400, payload=4096)
+    publish("multirail", result.report())
+    return result
+
+
+def test_two_rails_approach_double_bandwidth(rail_result, benchmark):
+    """The paper's multi-rail claim ('a vital functionality that is
+    not covered by other comparable middleware products yet')."""
+    benchmark.pedantic(
+        lambda: run_multirail(messages=80, payload=4096),
+        rounds=2, iterations=1,
+    )
+    assert rail_result.speedup > 1.5

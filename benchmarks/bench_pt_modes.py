@@ -1,0 +1,29 @@
+"""Experiment X1 — §4 polling vs task-mode peer transports."""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import publish
+from repro.bench.ptmodes import run_ptmodes
+
+
+@pytest.fixture(scope="module")
+def ptmodes_result():
+    result = run_ptmodes(rounds=60, slow_delay_s=0.0005)
+    publish("ptmodes", result.report())
+    return result
+
+
+def test_slow_polled_pt_negates_fast_pt(ptmodes_result, benchmark):
+    """The paper's §4 warning, measured: a slow PT polled in line with
+    a fast one inflates the fast PT's latency by orders of magnitude;
+    suspension or task mode restores it."""
+    benchmark.pedantic(
+        lambda: run_ptmodes(rounds=15, slow_delay_s=0.0005),
+        rounds=2, iterations=1,
+    )
+    r = ptmodes_result
+    assert r.with_slow_polling_us > 3 * r.fast_only_us
+    assert r.with_slow_suspended_us < r.with_slow_polling_us / 3
+    assert r.with_slow_task_us < r.with_slow_polling_us / 3

@@ -1,0 +1,34 @@
+"""Experiment T1 — regenerates table 1 (whitebox stage breakdown)."""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import publish
+from repro.bench.tab1 import PAPER_TABLE1_US, run_tab1
+
+
+@pytest.fixture(scope="module")
+def tab1_result():
+    result = run_tab1(payload=64, rounds=2000)
+    publish("tab1", result.report())
+    return result
+
+
+def test_tab1_stage_medians(tab1_result, benchmark):
+    benchmark.pedantic(lambda: run_tab1(payload=64, rounds=50),
+                       rounds=3, iterations=1)
+    for stage, paper_us in PAPER_TABLE1_US.items():
+        assert tab1_result.stage_medians_us[stage] == pytest.approx(
+            paper_us, abs=0.01
+        ), stage
+
+
+def test_tab1_sum_cross_check(tab1_result):
+    """Paper: the stage sum (9.53 as printed / 9.70 as the rows add)
+    cross-checks the blackbox overhead (8.9) to within ~1 µs plus the
+    header wire time."""
+    assert tab1_result.stage_sum_us == pytest.approx(9.70, abs=0.05)
+    assert tab1_result.blackbox_overhead_us == pytest.approx(
+        tab1_result.stage_sum_us, abs=1.5
+    )

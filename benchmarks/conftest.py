@@ -1,0 +1,22 @@
+"""Shared benchmark helpers.
+
+Each ``bench_*.py`` regenerates one experiment from DESIGN.md's
+per-experiment index: it runs the same harness as
+``python -m repro.bench <id>``, prints the paper-shaped report (visible
+with ``-s``; always written to ``benchmarks/results/``), asserts the
+paper's qualitative finding, and feeds a representative operation to
+pytest-benchmark for wall-clock tracking.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def publish(name: str, report: str) -> None:
+    """Print the report and persist it for EXPERIMENTS.md."""
+    print(f"\n{report}\n")
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(report + "\n", encoding="utf-8")

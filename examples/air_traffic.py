@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""Air-traffic monitoring: the paper's real-time-path domain (§1, [3]).
+
+Two radar heads on their own nodes sweep a shared sector and report to
+a track correlator, which fuses the picture and pushes updates to a
+controller console.  Two of the aircraft are on a head-on collision
+course: when their separation drops below minima, the correlator emits
+a conflict alert at **priority 0** — and the seven-level I2O scheduler
+guarantees it is dispatched ahead of every queued routine update, which
+is precisely the paper's case for priority-scheduled message dispatch
+in mission-critical systems.
+
+Run: ``python examples/air_traffic.py``
+"""
+
+from repro import Executive, PeerTransportAgent
+from repro.atc import (
+    AlertConsole,
+    RadarSource,
+    SyntheticTraffic,
+    TrackCorrelator,
+)
+from repro.transports import LoopbackNetwork, LoopbackTransport
+
+N_RADARS = 2
+
+
+def main() -> None:
+    network = LoopbackNetwork()
+    cluster = {}
+    for node in range(2 + N_RADARS):
+        exe = Executive(node=node)
+        PeerTransportAgent.attach(exe).register(
+            LoopbackTransport(network), default=True
+        )
+        cluster[node] = exe
+
+    def pump() -> None:
+        while any(exe.step() for exe in cluster.values()):
+            pass
+
+    traffic = SyntheticTraffic(n_aircraft=6, conflict_pair=True)
+    correlator = TrackCorrelator()
+    correlator_tid = cluster[0].install(correlator)
+    console = AlertConsole()
+    console_tid = cluster[3].install(console)
+    correlator.connect(cluster[0].create_proxy(3, console_tid))
+    radars = []
+    for r in range(N_RADARS):
+        radar = RadarSource(radar_id=r, traffic=traffic, seed=r)
+        cluster[1 + r].install(radar)
+        radar.connect(cluster[1 + r].create_proxy(0, correlator_tid))
+        radars.append(radar)
+
+    print(f"sector with {len(traffic.aircraft_ids())} aircraft, "
+          f"{N_RADARS} radars; aircraft 0 and 1 converging head-on")
+    alerted_at = None
+    for step in range(40):
+        traffic.advance(20.0)  # 20 s per sweep cycle
+        for radar in radars:
+            radar.sweep()
+        pump()
+        if console.alerts and alerted_at is None:
+            alerted_at = step
+            a, b, horizontal, vertical = console.alerts[0]
+            print(f"t={traffic.t_s:5.0f}s  CONFLICT ALERT {a}<->{b}: "
+                  f"{horizontal:.1f} km / {vertical:.0f} FL separation")
+            break
+
+    assert alerted_at is not None, "the conflict was never detected"
+    print(f"alert raised after {alerted_at + 1} sweep cycles")
+    print(f"correlator: {correlator.export_counters()}")
+    print(f"console   : {console.export_counters()}")
+    print("tracks on the console picture:",
+          {k: tuple(round(v, 1) for v in xyz)
+           for k, xyz in sorted(console.picture.items())})
+    for exe in cluster.values():
+        exe.pool.check_conservation()
+    print("all pools conserved")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,46 @@
+#!/usr/bin/env python
+"""The simulation plane: the paper's testbed, recreated.
+
+Builds the exact figure-6 setup — two Pentium-class nodes with
+Myrinet/GM NICs on one switch — on the discrete-event kernel, runs the
+blackbox round-trip test for a few payload sizes, and prints the
+XDAQ-vs-raw-GM comparison with the framework overhead isolated, plus
+the whitebox stage breakdown of table 1.
+
+This is what ``python -m repro.bench fig6`` does at full scale; run
+this for a quick interactive look.
+
+Run: ``python examples/sim_cluster.py``
+"""
+
+from repro.baselines.rawgm import GmPingPong
+from repro.bench.pingpong import run_xdaq_gm_pingpong
+from repro.hw.myrinet import Fabric, MyrinetParams
+from repro.sim.kernel import Simulator
+
+
+def main() -> None:
+    params = MyrinetParams()
+    print("modelled fabric: 33 MHz/32-bit PCI DMA at "
+          f"{1000 / params.pci_dma_ns_per_byte:.0f} MB/s (bottleneck), "
+          f"link at {1000 / params.link_ns_per_byte:.0f} MB/s")
+    print(f"{'payload':>8} {'XDAQ us':>9} {'raw GM us':>10} {'overhead':>9}")
+    for payload in (1, 512, 1024, 2048, 4096):
+        xdaq = run_xdaq_gm_pingpong(payload, rounds=100, params=params)
+        sim = Simulator()
+        gm = GmPingPong(sim, Fabric(sim, params),
+                        payload_size=payload, rounds=100)
+        gm.start()
+        sim.run()
+        overhead = xdaq.one_way_us_mean - gm.one_way_us()
+        print(f"{payload:>8} {xdaq.one_way_us_mean:>9.2f} "
+              f"{gm.one_way_us():>10.2f} {overhead:>9.2f}")
+
+    print("\nwhitebox stages (table 1), from the echo node's probes:")
+    result = run_xdaq_gm_pingpong(64, rounds=200)
+    for stage, median in sorted(result.stage_medians_us.items()):
+        print(f"  {stage:<14} {median:6.2f} us")
+
+
+if __name__ == "__main__":
+    main()

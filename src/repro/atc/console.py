@@ -1,0 +1,56 @@
+"""The controller's console: the end of the real-time path.
+
+Records track updates and conflict alerts *in dispatch order*, which
+is how the tests prove the priority claim: an alert injected behind a
+queue of routine updates is nevertheless dispatched first.
+"""
+
+from __future__ import annotations
+
+from repro.atc.protocol import (
+    XF_CONFLICT_ALERT,
+    XF_TRACK_UPDATE,
+    unpack_alert,
+    unpack_position,
+)
+from repro.core.device import Listener
+from repro.i2o.frame import Frame
+
+
+class AlertConsole(Listener):
+    """Receives the correlator's output."""
+
+    device_class = "atc_console"
+
+    def __init__(self, name: str = "console") -> None:
+        super().__init__(name)
+        #: dispatch-ordered log of ("update", aircraft) / ("alert", (a, b))
+        self.log: list[tuple[str, object]] = []
+        self.alerts: list[tuple[int, int, float, float]] = []
+        #: latest fused state per aircraft
+        self.picture: dict[int, tuple[float, float, float]] = {}
+
+    def on_plugin(self) -> None:
+        self.bind(XF_TRACK_UPDATE, self._on_update)
+        self.bind(XF_CONFLICT_ALERT, self._on_alert)
+
+    def _on_update(self, frame: Frame) -> None:
+        if frame.is_reply:
+            return
+        aircraft, _radar, x, y, fl, _t = unpack_position(frame.payload)
+        self.picture[aircraft] = (x, y, fl)
+        self.log.append(("update", aircraft))
+
+    def _on_alert(self, frame: Frame) -> None:
+        if frame.is_reply:
+            return
+        a, b, horizontal, vertical = unpack_alert(frame.payload)
+        self.alerts.append((a, b, horizontal, vertical))
+        self.log.append(("alert", (a, b)))
+
+    def export_counters(self) -> dict[str, object]:
+        return {
+            "updates": sum(1 for kind, _ in self.log if kind == "update"),
+            "alerts": len(self.alerts),
+            "tracked": len(self.picture),
+        }

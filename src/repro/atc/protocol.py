@@ -1,0 +1,55 @@
+"""The private message vocabulary of the ATC application class.
+
+All positions are in a flat kilometre grid (good enough for a sector);
+altitudes in flight levels (hundreds of feet).  One wire format for
+position reports, one for alerts — fixed layouts, zero-copy friendly.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.i2o.errors import I2OError
+
+ATC_ORG = 0xA7C0
+
+# radar -> correlator: one position report
+XF_POSITION = 0x0301
+# correlator -> console: routine track update
+XF_TRACK_UPDATE = 0x0302
+# correlator -> console: separation-violation alert (priority 0!)
+XF_CONFLICT_ALERT = 0x0303
+
+#: aircraft id u32, radar id u16, x km f32, y km f32, fl f32, t_ns u64
+_POSITION = struct.Struct("<IHfffQ")
+#: aircraft a u32, aircraft b u32, horizontal km f32, vertical FL f32
+_ALERT = struct.Struct("<IIff")
+
+#: ICAO-ish separation minima: 5 NM ~ 9.3 km horizontal, 10 FL vertical.
+MIN_HORIZONTAL_KM = 9.3
+MIN_VERTICAL_FL = 10.0
+
+#: Alerts pre-empt everything; track updates are routine traffic.
+ALERT_PRIORITY = 0
+UPDATE_PRIORITY = 4
+
+
+def pack_position(aircraft: int, radar: int, x_km: float, y_km: float,
+                  fl: float, t_ns: int) -> bytes:
+    return _POSITION.pack(aircraft, radar, x_km, y_km, fl, t_ns)
+
+
+def unpack_position(payload) -> tuple[int, int, float, float, float, int]:
+    if len(payload) != _POSITION.size:
+        raise I2OError(f"bad position report of {len(payload)} bytes")
+    return _POSITION.unpack_from(payload, 0)
+
+
+def pack_alert(a: int, b: int, horizontal_km: float, vertical_fl: float) -> bytes:
+    return _ALERT.pack(a, b, horizontal_km, vertical_fl)
+
+
+def unpack_alert(payload) -> tuple[int, int, float, float]:
+    if len(payload) != _ALERT.size:
+        raise I2OError(f"bad alert of {len(payload)} bytes")
+    return _ALERT.unpack_from(payload, 0)

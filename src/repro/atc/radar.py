@@ -1,0 +1,99 @@
+"""Radar sources: sensor heads emitting position reports.
+
+A radar sweeps its share of the traffic picture and sends one
+``XF_POSITION`` frame per aircraft per sweep.  Sweeps are driven
+either manually (``sweep()``) or by the I2O timer facility when the
+device is enabled with a ``sweep_interval_ns`` parameter — the same
+timer-as-message machinery as the DAQ trigger, in the domain the
+paper's reference [3] comes from.
+
+Measurement noise is seeded per radar, so two radars disagree slightly
+about the same aircraft — which is what gives the correlator a fusion
+job.
+"""
+
+from __future__ import annotations
+
+from repro.atc.aircraft import SyntheticTraffic
+from repro.atc.protocol import ATC_ORG, UPDATE_PRIORITY, XF_POSITION, pack_position
+from repro.config.schema import ParamSchema, ParamSpec, SchemaListenerMixin
+from repro.core.device import Listener
+from repro.i2o.errors import I2OError
+from repro.i2o.frame import Frame
+from repro.i2o.tid import Tid
+from repro.sim.rng import RngStreams
+
+
+class RadarSource(SchemaListenerMixin, Listener):
+    """One radar head watching a shared traffic picture."""
+
+    device_class = "atc_radar"
+
+    schema = ParamSchema([
+        ParamSpec("sweep_interval_ns", int, default=0, minimum=0,
+                  description="0 = manual sweeps only"),
+        ParamSpec("noise_km", float, default=0.1, minimum=0.0,
+                  description="1-sigma position noise"),
+    ])
+
+    def __init__(self, name: str = "", radar_id: int = 0,
+                 traffic: SyntheticTraffic | None = None, *,
+                 seed: int = 0) -> None:
+        super().__init__(name or f"radar{radar_id}")
+        self.radar_id = radar_id
+        self.traffic = traffic
+        self.correlator_tid: Tid | None = None
+        self._rng = RngStreams(seed).stream(f"radar{radar_id}-noise")
+        self.sweeps = 0
+        self.reports_sent = 0
+        self._timer_id: int | None = None
+
+    def connect(self, correlator_tid: Tid) -> None:
+        self.correlator_tid = correlator_tid
+
+    # -- sweeping ------------------------------------------------------------
+    def sweep(self) -> int:
+        """Report every aircraft once; returns the report count."""
+        if self.correlator_tid is None:
+            raise I2OError(f"radar {self.name} is not connected")
+        if self.traffic is None:
+            raise I2OError(f"radar {self.name} has no traffic picture")
+        noise = self.typed_param("noise_km")
+        now_ns = self._require_live().clock.now_ns()
+        count = 0
+        for state in self.traffic.positions():
+            nx, ny = self._rng.normal(0.0, noise or 1e-9, size=2)
+            self.send(
+                self.correlator_tid,
+                pack_position(
+                    state.aircraft_id, self.radar_id,
+                    state.x_km + float(nx), state.y_km + float(ny),
+                    state.fl, now_ns,
+                ),
+                xfunction=XF_POSITION,
+                priority=UPDATE_PRIORITY,
+                organization=ATC_ORG,
+            )
+            count += 1
+        self.sweeps += 1
+        self.reports_sent += count
+        return count
+
+    # -- timer drive ------------------------------------------------------------
+    def on_enable(self) -> None:
+        interval = self.typed_param("sweep_interval_ns")
+        if interval > 0:
+            self._timer_id = self.start_timer(interval, context=interval)
+
+    def on_quiesce(self) -> None:
+        if self._timer_id is not None:
+            self.cancel_timer(self._timer_id)
+            self._timer_id = None
+
+    def on_timer(self, context: int, frame: Frame) -> None:
+        self.sweep()
+        if context > 0:
+            self._timer_id = self.start_timer(context, context=context)
+
+    def export_counters(self) -> dict[str, object]:
+        return {"sweeps": self.sweeps, "reports_sent": self.reports_sent}

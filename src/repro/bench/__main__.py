@@ -1,0 +1,114 @@
+"""CLI: regenerate any (or every) experiment from DESIGN.md.
+
+Usage::
+
+    python -m repro.bench fig6
+    python -m repro.bench all
+    xdaq-bench tab1          # console script, same thing
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable
+
+
+def _fig6() -> str:
+    from repro.bench.fig6 import run_fig6
+
+    return run_fig6().report()
+
+
+def _tab1() -> str:
+    from repro.bench.tab1 import run_tab1
+
+    return run_tab1().report()
+
+
+def _alloc() -> str:
+    from repro.bench.alloc import run_alloc
+
+    return run_alloc().report()
+
+
+def _orb() -> str:
+    from repro.bench.orb import run_orb
+
+    return run_orb().report()
+
+
+def _ptmodes() -> str:
+    from repro.bench.ptmodes import run_ptmodes
+
+    return run_ptmodes().report()
+
+
+def _dispatch() -> str:
+    from repro.bench.dispatch import run_dispatch
+
+    return run_dispatch().report()
+
+
+def _pcififo() -> str:
+    from repro.bench.pcififo import run_pcififo
+
+    return run_pcififo().report()
+
+
+def _multirail() -> str:
+    from repro.bench.multirail import run_multirail
+
+    return run_multirail().report()
+
+
+def _native() -> str:
+    from repro.bench.native import run_native
+
+    return run_native().report()
+
+
+def _daqscale() -> str:
+    from repro.bench.daqscale import run_daqscale
+
+    return run_daqscale().report()
+
+
+EXPERIMENTS: dict[str, tuple[str, Callable[[], str]]] = {
+    "fig6": ("Figure 6: blackbox ping-pong latencies", _fig6),
+    "tab1": ("Table 1: whitebox stage breakdown", _tab1),
+    "alloc": ("A1: optimised allocator ablation", _alloc),
+    "orb": ("B1: mini-ORB vs XDAQ overhead", _orb),
+    "ptmodes": ("X1: polling vs task-mode PTs", _ptmodes),
+    "dispatch": ("X2: dispatch scaling with device count", _dispatch),
+    "pcififo": ("X3: hardware FIFO support", _pcififo),
+    "multirail": ("X4: multi-rail transports", _multirail),
+    "native": ("N1: native-plane honesty check", _native),
+    "daqscale": ("X5: event-builder throughput at cluster scale", _daqscale),
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="xdaq-bench",
+        description="Regenerate the paper's tables, figures and claims.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(EXPERIMENTS) + ["all"],
+        help="experiment id from DESIGN.md (or 'all')",
+    )
+    args = parser.parse_args(argv)
+    names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        title, runner = EXPERIMENTS[name]
+        print(f"== {name}: {title} ==")
+        start = time.perf_counter()
+        print(runner())
+        print(f"[{name} done in {time.perf_counter() - start:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,134 @@
+"""Experiment X5 — the paper's workload at cluster scale.
+
+Paper §1/§4 (footnote): XDAQ exists for DAQ systems where *"n nodes
+talk to m other nodes in both directions, thus resulting in
+communication channels that cross over"*, at "hundreds kHz message
+rates".  This experiment runs the full event builder
+(:mod:`repro.daq`) on the simulation plane — every node an executive
+with the paper-calibrated cost model, every link the modelled
+Myrinet/GM fabric — and measures built-event rate and aggregate
+assembled bandwidth as the RU×BU configuration grows.
+
+Expected shape: throughput grows with builder count until the shared
+fabric (or the single event manager) saturates — the scaling argument
+for distributing the processing task in the first place.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.bench.report import format_table
+from repro.core.executive import Executive
+from repro.core.probes import CostModel
+from repro.core.simnode import SimNode
+from repro.daq import BuilderUnit, EventManager, ReadoutUnit, TriggerSource
+from repro.hw.myrinet import Fabric, MyrinetParams
+from repro.sim.kernel import Simulator
+from repro.transports.agent import PeerTransportAgent
+from repro.transports.simgm import SimGmTransport
+
+DEFAULT_CONFIGS = ((1, 1), (2, 2), (4, 2), (4, 4))
+
+
+@dataclass
+class DaqScaleResult:
+    configs: list[tuple[int, int]] = field(default_factory=list)
+    events_per_s: list[float] = field(default_factory=list)
+    assembled_mb_s: list[float] = field(default_factory=list)
+    wire_messages: list[int] = field(default_factory=list)
+
+    def report(self) -> str:
+        rows = [
+            (f"{n_ru}x{n_bu}", f"{eps:,.0f}", f"{mbs:.1f}", msgs)
+            for (n_ru, n_bu), eps, mbs, msgs in zip(
+                self.configs, self.events_per_s, self.assembled_mb_s,
+                self.wire_messages,
+            )
+        ]
+        return format_table(
+            ["RUxBU", "events/s", "assembled MB/s", "wire msgs"],
+            rows,
+            title="X5: event-builder throughput at cluster scale "
+            "(sim plane, paper cost model)",
+        )
+
+
+def run_config(
+    n_ru: int,
+    n_bu: int,
+    *,
+    events: int = 200,
+    mean_fragment: int = 2048,
+    params: MyrinetParams | None = None,
+) -> tuple[float, float, int]:
+    """One configuration; returns (events/s, assembled MB/s, wire msgs)."""
+    sim = Simulator()
+    n_nodes = 1 + n_ru + n_bu
+    fabric = Fabric(sim, params, ports=max(16, n_nodes))
+    exes: dict[int, Executive] = {}
+    nodes: dict[int, SimNode] = {}
+    for node in range(n_nodes):
+        exe = Executive(node=node)
+        sim_node = SimNode(sim, exe, cost_model=CostModel.paper_table1())
+        PeerTransportAgent.attach(exe).register(
+            SimGmTransport(fabric, send_tokens=64, recv_tokens=256),
+            default=True,
+        )
+        sim_node.attach_transport_hooks()
+        exes[node], nodes[node] = exe, sim_node
+
+    evm, trigger = EventManager(), TriggerSource()
+    evm_tid = exes[0].install(evm)
+    exes[0].install(trigger)
+    trigger.connect(evm_tid)
+    rus = {i: ReadoutUnit(ru_id=i, mean_fragment=mean_fragment)
+           for i in range(n_ru)}
+    ru_tids = {i: exes[1 + i].install(ru) for i, ru in rus.items()}
+    bus = {i: BuilderUnit(bu_id=i) for i in range(n_bu)}
+    bu_tids = {i: exes[1 + n_ru + i].install(bu) for i, bu in bus.items()}
+    evm.connect(
+        {i: exes[0].create_proxy(1 + i, t) for i, t in ru_tids.items()},
+        {i: exes[0].create_proxy(1 + n_ru + i, t)
+         for i, t in bu_tids.items()},
+    )
+    for i, bu in bus.items():
+        node = 1 + n_ru + i
+        bu.connect(
+            exes[node].create_proxy(0, evm_tid),
+            {j: exes[node].create_proxy(1 + j, t)
+             for j, t in ru_tids.items()},
+        )
+
+    # Burst-drive: all triggers at t=0; batch completion time = last
+    # event's completion, so rate = events / makespan.
+    sim.at(0, lambda: trigger.fire_burst(events))
+    sim.run(max_events=50_000_000)
+    if evm.completed != events:
+        raise RuntimeError(
+            f"{n_ru}x{n_bu}: only {evm.completed}/{events} events built"
+        )
+    makespan_s = sim.now / 1e9
+    assembled_bytes = sum(bu.bytes_built for bu in bus.values())
+    return (
+        events / makespan_s,
+        assembled_bytes / makespan_s / 1e6,
+        fabric.stats.messages,
+    )
+
+
+def run_daqscale(
+    configs: tuple[tuple[int, int], ...] = DEFAULT_CONFIGS,
+    events: int = 200,
+    mean_fragment: int = 2048,
+) -> DaqScaleResult:
+    result = DaqScaleResult()
+    for n_ru, n_bu in configs:
+        eps, mbs, msgs = run_config(
+            n_ru, n_bu, events=events, mean_fragment=mean_fragment
+        )
+        result.configs.append((n_ru, n_bu))
+        result.events_per_s.append(eps)
+        result.assembled_mb_s.append(mbs)
+        result.wire_messages.append(msgs)
+    return result

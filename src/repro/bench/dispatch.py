@@ -1,0 +1,93 @@
+"""Experiment X2 — §3.2/§6: event dispatch scales with device count.
+
+The paper's scalability argument: *"There is no need for a central
+place in which incoming messages have to be parsed.  It is the sole
+responsibility of each device to know what it shall do with the
+incoming message."*  If that holds, per-message dispatch cost must be
+(near-)independent of how many devices are registered: demultiplexing
+is one dict hop to the device plus one dict hop in its table, never a
+scan over devices or handlers.
+
+Native measurement: preload M messages round-robin across N local
+sink devices; time draining the executive; report ns/message for
+N in 1..1000.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.bench.report import format_table
+from repro.core.device import Listener
+from repro.core.executive import Executive
+from repro.i2o.frame import Frame
+
+DEFAULT_DEVICE_COUNTS = (1, 10, 100, 1000)
+
+
+class _Sink(Listener):
+    device_class = "bench_sink"
+
+    def __init__(self, name: str = "") -> None:
+        super().__init__(name)
+        self.hits = 0
+
+    def on_plugin(self) -> None:
+        self.bind(0x0001, self._on_hit)
+        # Register many extra handlers so table size is also exercised.
+        for xfunc in range(0x0100, 0x0110):
+            self.bind(xfunc, self._on_hit)
+
+    def _on_hit(self, frame: Frame) -> None:
+        self.hits += 1
+
+
+@dataclass
+class DispatchResult:
+    device_counts: list[int] = field(default_factory=list)
+    ns_per_message: list[float] = field(default_factory=list)
+
+    @property
+    def worst_ratio(self) -> float:
+        """Largest slowdown vs the single-device case."""
+        base = self.ns_per_message[0]
+        return max(v / base for v in self.ns_per_message)
+
+    def report(self) -> str:
+        rows = [
+            (n, f"{ns:.0f}", f"{ns / self.ns_per_message[0]:.2f}x")
+            for n, ns in zip(self.device_counts, self.ns_per_message)
+        ]
+        return format_table(
+            ["devices", "ns/message", "vs 1 device"],
+            rows,
+            title="X2: dispatch cost vs number of registered devices "
+            "(scalable = flat)",
+        )
+
+
+def run_dispatch(
+    device_counts: tuple[int, ...] = DEFAULT_DEVICE_COUNTS,
+    messages: int = 20_000,
+) -> DispatchResult:
+    result = DispatchResult()
+    for count in device_counts:
+        exe = Executive(node=0, max_dispatch_per_step=1024)
+        sinks = [_Sink(name=f"sink{i}") for i in range(count)]
+        tids = [exe.install(s) for s in sinks]
+        for i in range(messages):
+            frame = exe.frame_alloc(
+                8, target=tids[i % count], initiator=tids[i % count],
+                xfunction=0x0001,
+            )
+            exe.post_inbound(frame)
+        t0 = time.perf_counter_ns()
+        exe.run_until_idle()
+        elapsed = time.perf_counter_ns() - t0
+        delivered = sum(s.hits for s in sinks)
+        if delivered != messages:
+            raise RuntimeError(f"lost messages: {delivered}/{messages}")
+        result.device_counts.append(count)
+        result.ns_per_message.append(elapsed / messages)
+    return result

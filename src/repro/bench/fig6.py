@@ -1,0 +1,103 @@
+"""Experiment F6 — figure 6: blackbox ping-pong latencies.
+
+Three series over payload sizes 1..4096 B (one-way times in µs):
+
+1. XDAQ over Myrinet/GM (simulation plane, paper cost model);
+2. the test program using Myrinet/GM directly (no framework);
+3. their difference — the XDAQ framework software overhead.
+
+The paper's findings this must reproduce: all three are linear in the
+payload; the overhead series is *constant* (slope ~ -7e-05, i.e. zero)
+at 8.9 µs (σ=0.6) with the original allocator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.baselines.rawgm import GmPingPong
+from repro.bench.fits import LinearFit, linear_fit
+from repro.bench.pingpong import run_xdaq_gm_pingpong
+from repro.bench.report import format_table
+from repro.core.probes import CostModel
+from repro.hw.myrinet import Fabric, MyrinetParams
+from repro.sim.kernel import Simulator
+
+#: Paper: "payload from 1 to 4096 bytes".
+DEFAULT_PAYLOADS = (1, 64, 256, 512, 1024, 1536, 2048, 2560, 3072, 3584, 4096)
+
+PAPER_OVERHEAD_US = 8.9
+PAPER_OVERHEAD_SIGMA = 0.6
+PAPER_FIT = "y = -7e-05*x + 9.105"
+
+
+@dataclass
+class Fig6Result:
+    payloads: list[int] = field(default_factory=list)
+    xdaq_us: list[float] = field(default_factory=list)
+    gm_us: list[float] = field(default_factory=list)
+    overhead_us: list[float] = field(default_factory=list)
+    xdaq_fit: LinearFit | None = None
+    gm_fit: LinearFit | None = None
+    overhead_fit: LinearFit | None = None
+
+    @property
+    def mean_overhead_us(self) -> float:
+        return sum(self.overhead_us) / len(self.overhead_us)
+
+    def report(self) -> str:
+        rows = [
+            (p, f"{x:.2f}", f"{g:.2f}", f"{o:.2f}")
+            for p, x, g, o in zip(
+                self.payloads, self.xdaq_us, self.gm_us, self.overhead_us
+            )
+        ]
+        table = format_table(
+            ["payload B", "XDAQ/GM us", "GM us", "overhead us"],
+            rows,
+            title="Figure 6 - blackbox ping-pong one-way latency",
+        )
+        return "\n".join(
+            [
+                table,
+                "",
+                f"fit XDAQ/GM  : {self.xdaq_fit}",
+                f"fit GM       : {self.gm_fit}",
+                f"fit overhead : {self.overhead_fit}",
+                f"mean overhead: {self.mean_overhead_us:.2f} us  "
+                f"(paper: {PAPER_OVERHEAD_US} us, sigma "
+                f"{PAPER_OVERHEAD_SIGMA}; paper fit {PAPER_FIT})",
+            ]
+        )
+
+
+def run_fig6(
+    payloads: tuple[int, ...] = DEFAULT_PAYLOADS,
+    rounds: int = 300,
+    *,
+    cost_model: CostModel | None = None,
+    params: MyrinetParams | None = None,
+) -> Fig6Result:
+    result = Fig6Result()
+    model = cost_model or CostModel.paper_table1()
+    for payload in payloads:
+        xdaq = run_xdaq_gm_pingpong(
+            payload, rounds, cost_model=model, params=params
+        ).one_way_us_mean
+        # Raw GM with the identical wire size: the XDAQ message adds
+        # the 32 B I2O header + 12 B wire encapsulation, which the
+        # paper's GM baseline does not carry.
+        sim = Simulator()
+        fabric = Fabric(sim, params)
+        gm_bench = GmPingPong(sim, fabric, payload_size=payload, rounds=rounds)
+        gm_bench.start()
+        sim.run()
+        gm = gm_bench.one_way_us()
+        result.payloads.append(payload)
+        result.xdaq_us.append(xdaq)
+        result.gm_us.append(gm)
+        result.overhead_us.append(xdaq - gm)
+    result.xdaq_fit = linear_fit(result.payloads, result.xdaq_us)
+    result.gm_fit = linear_fit(result.payloads, result.gm_us)
+    result.overhead_fit = linear_fit(result.payloads, result.overhead_us)
+    return result

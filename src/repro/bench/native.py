@@ -1,0 +1,61 @@
+"""Experiment N1 — the native-plane honesty check.
+
+The simulation plane regenerates the paper's numbers from a calibrated
+cost model; this bench measures what the *same framework code* costs
+as real Python: per-call round-trip time over the in-process queue
+transport across payload sizes, plus real whitebox stage medians.
+EXPERIMENTS.md reports these side by side with the paper so nobody
+mistakes modelled microseconds for Python microseconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.bench.fits import LinearFit, linear_fit
+from repro.bench.pingpong import run_native_pingpong
+from repro.bench.report import format_table
+
+DEFAULT_PAYLOADS = (1, 256, 1024, 4096)
+
+
+@dataclass
+class NativeResult:
+    payloads: list[int] = field(default_factory=list)
+    rtt_us_median: list[float] = field(default_factory=list)
+    stage_medians_us: dict[str, float] = field(default_factory=dict)
+    fit: LinearFit | None = None
+
+    def report(self) -> str:
+        rows = [
+            (p, f"{us:.1f}")
+            for p, us in zip(self.payloads, self.rtt_us_median)
+        ]
+        table = format_table(
+            ["payload B", "RTT us (median)"],
+            rows,
+            title="N1: native-plane (real Python) ping-pong over the "
+            "queue transport",
+        )
+        stages = format_table(
+            ["stage", "us (median)"],
+            [(s, f"{v:.2f}") for s, v in sorted(self.stage_medians_us.items())],
+            title="N1: real whitebox stage costs (Python)",
+        )
+        return f"{table}\n\nfit: {self.fit}\n\n{stages}"
+
+
+def run_native(
+    payloads: tuple[int, ...] = DEFAULT_PAYLOADS, rounds: int = 300
+) -> NativeResult:
+    result = NativeResult()
+    for payload in payloads:
+        r = run_native_pingpong(payload, rounds)
+        result.payloads.append(payload)
+        result.rtt_us_median.append(float(np.median(r.rtts_ns)) / 1000.0)
+    probed = run_native_pingpong(payloads[-1], rounds, probes=True)
+    result.stage_medians_us = dict(probed.stage_medians_us)
+    result.fit = linear_fit(result.payloads, result.rtt_us_median)
+    return result

@@ -1,0 +1,179 @@
+"""Declarative cluster bootstrap.
+
+Paper §2: configuration must cover "all cluster components, whether
+the hardware, the framework or the applications, according to one
+common scheme".  This module is that scheme's front door: one
+declarative specification builds the executives, joins them with a
+transport, instantiates and installs the devices, applies their
+parameters and resolves named proxies — the boilerplate every example
+and test would otherwise repeat.
+
+Specification shape (plain dicts, JSON/Tcl-friendly)::
+
+    spec = {
+        "transport": "loopback",            # loopback | queue-mesh
+        "nodes": {
+            0: {"devices": [
+                {"class": "repro.daq.trigger.TriggerSource",
+                 "name": "trigger"},
+                {"class": "repro.daq.manager.EventManager",
+                 "name": "evm",
+                 "params": {"some_key": "value"}},
+            ]},
+            1: {"devices": [
+                {"class": "repro.daq.readout.ReadoutUnit",
+                 "name": "ru0",
+                 "kwargs": {"ru_id": 0}},
+            ]},
+        },
+    }
+    cluster = bootstrap(spec)
+    cluster.proxy(from_node=0, to="ru0")    # proxy TiD by device name
+
+Device classes are addressed by import path; instances by unique name.
+"""
+
+from __future__ import annotations
+
+import importlib
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.device import Listener
+from repro.core.executive import Executive
+from repro.i2o.errors import I2OError
+from repro.i2o.tid import Tid
+from repro.transports.agent import PeerTransportAgent
+from repro.transports.loopback import LoopbackNetwork, LoopbackTransport
+from repro.transports.queued import QueuePair, QueueTransport
+
+
+class BootstrapError(I2OError):
+    """Malformed specification or wiring failure."""
+
+
+@dataclass
+class Cluster:
+    """The built system: executives plus a name → (node, tid) index."""
+
+    executives: dict[int, Executive] = field(default_factory=dict)
+    devices: dict[str, tuple[int, Tid, Listener]] = field(default_factory=dict)
+
+    def executive(self, node: int) -> Executive:
+        exe = self.executives.get(node)
+        if exe is None:
+            raise BootstrapError(f"no node {node} in this cluster")
+        return exe
+
+    def device(self, name: str) -> Listener:
+        return self._entry(name)[2]
+
+    def tid(self, name: str) -> Tid:
+        return self._entry(name)[1]
+
+    def node_of(self, name: str) -> int:
+        return self._entry(name)[0]
+
+    def proxy(self, from_node: int, to: str,
+              transport: str | None = None) -> Tid:
+        """A proxy TiD on ``from_node`` for the device named ``to``."""
+        node, tid, _ = self._entry(to)
+        return self.executive(from_node).create_proxy(
+            node, tid, transport=transport
+        )
+
+    def _entry(self, name: str) -> tuple[int, Tid, Listener]:
+        entry = self.devices.get(name)
+        if entry is None:
+            raise BootstrapError(f"no device named {name!r}")
+        return entry
+
+    # -- operation -----------------------------------------------------------
+    def pump(self, max_rounds: int = 1_000_000) -> int:
+        """Step every executive until the cluster is idle."""
+        for rounds in range(max_rounds):
+            if not any(exe.step() for exe in self.executives.values()):
+                return rounds
+        raise BootstrapError("cluster did not go idle")
+
+    def start_all(self, poll_interval: float = 0.001) -> None:
+        for exe in self.executives.values():
+            exe.start(poll_interval=poll_interval)
+
+    def stop_all(self) -> None:
+        for exe in self.executives.values():
+            exe.stop()
+
+
+def _load_class(path: str) -> type[Listener]:
+    module_name, _, class_name = path.rpartition(".")
+    if not module_name:
+        raise BootstrapError(f"device class {path!r} must be a full path")
+    try:
+        module = importlib.import_module(module_name)
+    except ImportError as exc:
+        raise BootstrapError(f"cannot import {module_name!r}: {exc}") from exc
+    cls = getattr(module, class_name, None)
+    if cls is None:
+        raise BootstrapError(f"{module_name} has no class {class_name!r}")
+    if not (isinstance(cls, type) and issubclass(cls, Listener)):
+        raise BootstrapError(f"{path!r} is not a Listener subclass")
+    return cls
+
+
+def _join_transport(cluster: Cluster, kind: str) -> None:
+    nodes = sorted(cluster.executives)
+    if kind == "loopback":
+        network = LoopbackNetwork()
+        for node in nodes:
+            PeerTransportAgent.attach(cluster.executives[node]).register(
+                LoopbackTransport(network), default=True
+            )
+    elif kind == "queue-mesh":
+        ptas = {
+            node: PeerTransportAgent.attach(cluster.executives[node])
+            for node in nodes
+        }
+        for i, a in enumerate(nodes):
+            for b in nodes[i + 1:]:
+                pair = QueuePair(a, b)
+                ptas[a].register(
+                    QueueTransport(pair, name=f"q{a}-{b}"), nodes=[b]
+                )
+                ptas[b].register(
+                    QueueTransport(pair, name=f"q{b}-{a}"), nodes=[a]
+                )
+    else:
+        raise BootstrapError(f"unknown transport kind {kind!r}")
+
+
+def bootstrap(spec: dict[str, Any]) -> Cluster:
+    """Build a cluster from a declarative specification."""
+    nodes_spec = spec.get("nodes")
+    if not isinstance(nodes_spec, dict) or not nodes_spec:
+        raise BootstrapError("spec needs a non-empty 'nodes' mapping")
+    cluster = Cluster()
+    for node in sorted(nodes_spec):
+        cluster.executives[int(node)] = Executive(node=int(node))
+    _join_transport(cluster, spec.get("transport", "loopback"))
+    for node, node_spec in sorted(nodes_spec.items()):
+        exe = cluster.executives[int(node)]
+        for dev_spec in node_spec.get("devices", ()):  # type: ignore[union-attr]
+            cls = _load_class(dev_spec["class"])
+            kwargs = dict(dev_spec.get("kwargs", {}))
+            name = dev_spec.get("name")
+            if name:
+                kwargs.setdefault("name", name)
+            device = cls(**kwargs)
+            if name is None:
+                name = device.name
+            if name in cluster.devices:
+                raise BootstrapError(f"duplicate device name {name!r}")
+            params = dev_spec.get("params")
+            if params:
+                device.parameters.update(
+                    {k: str(v) for k, v in params.items()}
+                )
+            tid = exe.install(device)
+            cluster.devices[name] = (int(node), tid, device)
+    return cluster

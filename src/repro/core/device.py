@@ -1,0 +1,364 @@
+"""Device classes: the unit of application composition.
+
+Paper §3.3: *"In our view, an application is merely a new, private
+'device' class.  In addition to the standard messages it provides code
+for all the private messages that are defined for this application
+class by the programmer."*
+
+:class:`Listener` is the reproduction's ``i2oListener``: it carries a
+local dispatch table pre-bound with the standard **utility** and
+**executive** message handlers (so every device is configurable and
+controllable from day one, with fault-tolerant defaults), plus helpers
+to allocate, send and reply to frames through its executive.
+Subclasses bind private messages with :meth:`bind` and override the
+``on_*`` lifecycle hooks.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable
+
+from repro.core.dispatcher import DispatchTable, Handler
+from repro.core.states import DeviceState, check_transition
+from repro.i2o.errors import I2OError
+from repro.i2o.frame import DEFAULT_PRIORITY, FLAG_FAIL, FLAG_REPLY, Frame
+from repro.i2o.function_codes import (
+    EXEC_DDM_ENABLE,
+    EXEC_DDM_QUIESCE,
+    EXEC_DDM_RESET,
+    EXEC_INTERRUPT,
+    EXEC_TIMER_EXPIRED,
+    PRIVATE,
+    UTIL_ABORT,
+    UTIL_CLAIM,
+    UTIL_EVENT_ACKNOWLEDGE,
+    UTIL_EVENT_REGISTER,
+    UTIL_NOP,
+    UTIL_PARAMS_GET,
+    UTIL_PARAMS_SET,
+)
+from repro.i2o.tid import Tid
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.executive import Executive
+
+#: Sentinel a handler returns to take ownership of the frame's block
+#: (suppressing the executive's automatic post-dispatch frame release).
+RETAIN = object()
+
+
+def encode_params(params: dict[str, str]) -> bytes:
+    """Encode a parameter map for UtilParams{Get,Set} payloads."""
+    for key, value in params.items():
+        if "=" in key or "\n" in key or "\n" in str(value):
+            raise I2OError(f"illegal characters in parameter {key!r}")
+    return "\n".join(f"{k}={v}" for k, v in sorted(params.items())).encode("utf-8")
+
+
+def decode_params(payload: bytes | memoryview) -> dict[str, str]:
+    text = bytes(payload).decode("utf-8")
+    result: dict[str, str] = {}
+    for line in text.splitlines():
+        if not line:
+            continue
+        key, sep, value = line.partition("=")
+        if not sep:
+            raise I2OError(f"malformed parameter line {line!r}")
+        result[key] = value
+    return result
+
+
+class Listener:
+    """Base class for all device modules (applications, transports, ...).
+
+    The constructor only creates local structure; the device becomes
+    live when the executive calls :meth:`plugin` (paper §4: *"a plugin
+    method that is not defined by I2O is called by the executive, which
+    allows us to register the downloaded object.  At this point the
+    newly created class can obtain its TiD and retrieve parameter
+    settings from the executive."*).
+    """
+
+    #: Class-level device-class name (I2O device class analogue).
+    device_class = "private"
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name or type(self).__name__
+        self.table = DispatchTable(owner=self.name)
+        self.executive: "Executive | None" = None
+        self.tid: Tid | None = None
+        self.state = DeviceState.INITIALISED
+        self.parameters: dict[str, str] = {}
+        self._event_subscribers: list[Tid] = []
+        self._claimed_by: Tid | None = None
+        self._bind_standard()
+
+    # -- standard message sets ---------------------------------------------
+    def _bind_standard(self) -> None:
+        self.table.bind(UTIL_NOP, self._on_nop)
+        self.table.bind(UTIL_ABORT, self._on_abort)
+        self.table.bind(UTIL_PARAMS_GET, self._on_params_get)
+        self.table.bind(UTIL_PARAMS_SET, self._on_params_set)
+        self.table.bind(UTIL_CLAIM, self._on_claim)
+        self.table.bind(UTIL_EVENT_REGISTER, self._on_event_register)
+        self.table.bind(EXEC_DDM_ENABLE, self._on_ddm_enable)
+        self.table.bind(EXEC_DDM_QUIESCE, self._on_ddm_quiesce)
+        self.table.bind(EXEC_DDM_RESET, self._on_ddm_reset)
+        self.table.bind(EXEC_TIMER_EXPIRED, self._on_timer_frame)
+        self.table.bind(EXEC_INTERRUPT, self._on_interrupt_frame)
+        # The fault-tolerant default: unknown messages get a failure
+        # reply instead of crashing the device (paper §3.2).
+        self.table.bind_default(self._on_unhandled)
+
+    # -- lifecycle ------------------------------------------------------------
+    def plugin(self, executive: "Executive", tid: Tid) -> None:
+        """Called by the executive at registration time."""
+        self.executive = executive
+        self.tid = tid
+        self.on_plugin()
+
+    def unplug(self) -> None:
+        self.on_unplug()
+        self.executive = None
+        self.tid = None
+
+    def set_state(self, target: DeviceState) -> None:
+        self.state = check_transition(self.state, target)
+
+    # Subclass hooks --------------------------------------------------------
+    def on_plugin(self) -> None:
+        """Override: obtain parameters, create proxies, bind messages."""
+
+    def on_unplug(self) -> None:
+        """Override: release resources before removal."""
+
+    def on_enable(self) -> None:
+        """Override: transition into active data taking."""
+
+    def on_quiesce(self) -> None:
+        """Override: drain and pause."""
+
+    def on_reset(self) -> None:
+        """Override: return to post-plugin state."""
+
+    def on_timer(self, context: int, frame: Frame) -> None:
+        """Override: a timer registered with ``start_timer`` expired."""
+
+    def on_interrupt(self, irq: int, frame: Frame) -> None:
+        """Override: an interrupt this device registered for fired
+        (paper §3.2: interrupts arrive as messages)."""
+
+    # -- messaging helpers ----------------------------------------------------
+    def _require_live(self) -> "Executive":
+        if self.executive is None or self.tid is None:
+            raise I2OError(f"device {self.name!r} is not plugged in")
+        return self.executive
+
+    def alloc_frame(
+        self,
+        payload_size: int,
+        *,
+        target: Tid,
+        xfunction: int = 0,
+        function: int = PRIVATE,
+        priority: int = DEFAULT_PRIORITY,
+        flags: int = 0,
+    ) -> Frame:
+        """Allocate a pool-backed frame addressed from this device."""
+        exe = self._require_live()
+        return exe.frame_alloc(
+            payload_size,
+            target=target,
+            initiator=self.tid,
+            function=function,
+            xfunction=xfunction,
+            priority=priority,
+            flags=flags,
+        )
+
+    def send(
+        self,
+        target: Tid,
+        payload: bytes | bytearray | memoryview = b"",
+        *,
+        xfunction: int = 0,
+        function: int = PRIVATE,
+        priority: int = DEFAULT_PRIORITY,
+        transaction_context: int = 0,
+        initiator_context: int = 0,
+        organization: int = 0,
+    ) -> Frame:
+        """frameSend: build a pool frame carrying ``payload`` and post it."""
+        exe = self._require_live()
+        frame = exe.frame_alloc(
+            len(payload),
+            target=target,
+            initiator=self.tid,
+            function=function,
+            xfunction=xfunction,
+            priority=priority,
+            organization=organization,
+        )
+        if len(payload):
+            frame.payload[:] = payload
+        frame.transaction_context = transaction_context
+        frame.initiator_context = initiator_context
+        exe.frame_send(frame)
+        return frame
+
+    def reply(
+        self,
+        request: Frame,
+        payload: bytes | bytearray | memoryview = b"",
+        *,
+        fail: bool = False,
+    ) -> Frame:
+        """frameReply: answer ``request``, echoing its contexts."""
+        exe = self._require_live()
+        frame = exe.frame_alloc(
+            len(payload),
+            target=request.initiator,
+            initiator=self.tid,
+            function=request.function,
+            xfunction=request.xfunction,
+            priority=request.priority,
+            flags=FLAG_REPLY | (FLAG_FAIL if fail else 0),
+            organization=request.organization,
+        )
+        if len(payload):
+            frame.payload[:] = payload
+        frame.initiator_context = request.initiator_context
+        frame.transaction_context = request.transaction_context
+        exe.frame_send(frame)
+        return frame
+
+    def bind(self, xfunction: int, handler: Handler) -> None:
+        """Bind a private message of this application class."""
+        self.table.bind(PRIVATE, handler, xfunction=xfunction)
+
+    def start_timer(self, delay_ns: int, context: int = 0) -> int:
+        """Arm a timer; expiry arrives as an EXEC_TIMER_EXPIRED frame
+        routed through the ordinary queues (paper §3.2: even timer
+        expirations trigger messages)."""
+        exe = self._require_live()
+        return exe.timers.start(owner=self.tid, delay_ns=delay_ns, context=context)
+
+    def cancel_timer(self, timer_id: int) -> bool:
+        exe = self._require_live()
+        return exe.timers.cancel(timer_id)
+
+    def notify_event(self, payload: bytes = b"") -> int:
+        """Send UtilEventAcknowledge-style notifications to all TiDs
+        that registered with UtilEventRegister; returns count."""
+        for tid in self._event_subscribers:
+            self.send(tid, payload, function=UTIL_EVENT_ACKNOWLEDGE)
+        return len(self._event_subscribers)
+
+    # -- standard handlers -----------------------------------------------------
+    def _on_nop(self, frame: Frame) -> None:
+        if not frame.is_reply:
+            self.reply(frame)
+
+    def _on_abort(self, frame: Frame) -> None:
+        self.on_reset()
+        if not frame.is_reply:
+            self.reply(frame)
+
+    def export_counters(self) -> dict[str, object]:
+        """Override to publish live counters through UtilParamsGet —
+        the uniform observation scheme of paper §2 (system management)."""
+        return {}
+
+    def _on_params_get(self, frame: Frame) -> None:
+        if frame.is_reply:
+            return
+        self.parameters.update(
+            {key: str(value) for key, value in self.export_counters().items()}
+        )
+        if frame.payload_size:
+            keys = decode_params(frame.payload).keys()
+            subset = {k: self.parameters.get(k, "") for k in keys}
+        else:
+            subset = dict(self.parameters)
+        self.reply(frame, encode_params(subset))
+
+    def _on_params_set(self, frame: Frame) -> None:
+        if frame.is_reply:
+            return
+        try:
+            updates = decode_params(frame.payload)
+            self.on_parameters(updates)
+            self.parameters.update(updates)
+        except I2OError:
+            self.reply(frame, fail=True)
+        else:
+            self.reply(frame)
+
+    def on_parameters(self, updates: dict[str, str]) -> None:
+        """Override to validate/apply parameter updates (raise
+        :class:`I2OError` to refuse them)."""
+
+    def _on_claim(self, frame: Frame) -> None:
+        if frame.is_reply:
+            return
+        if self._claimed_by is not None and self._claimed_by != frame.initiator:
+            self.reply(frame, fail=True)
+        else:
+            self._claimed_by = frame.initiator
+            self.reply(frame)
+
+    def _on_event_register(self, frame: Frame) -> None:
+        if frame.is_reply:
+            return
+        if frame.initiator not in self._event_subscribers:
+            self._event_subscribers.append(frame.initiator)
+        self.reply(frame)
+
+    def _on_ddm_enable(self, frame: Frame) -> None:
+        if frame.is_reply:
+            return
+        self.set_state(DeviceState.ENABLED)
+        self.on_enable()
+        self.reply(frame)
+
+    def _on_ddm_quiesce(self, frame: Frame) -> None:
+        if frame.is_reply:
+            return
+        self.set_state(DeviceState.QUIESCED)
+        self.on_quiesce()
+        self.reply(frame)
+
+    def _on_ddm_reset(self, frame: Frame) -> None:
+        if frame.is_reply:
+            return
+        self.state = DeviceState.INITIALISED
+        self.on_reset()
+        self.reply(frame)
+
+    def _on_timer_frame(self, frame: Frame) -> None:
+        self.on_timer(frame.transaction_context, frame)
+
+    def _on_interrupt_frame(self, frame: Frame) -> None:
+        self.on_interrupt(frame.transaction_context, frame)
+
+    def _on_unhandled(self, frame: Frame) -> None:
+        """Default procedure for messages with no supplied code."""
+        if not frame.is_reply:
+            self.reply(frame, fail=True)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<{type(self).__name__} {self.name!r} tid={self.tid}>"
+
+
+class FunctionalListener(Listener):
+    """A listener assembled from plain callables, for quick tests and
+    scripts: ``FunctionalListener(handlers={0x01: fn})``."""
+
+    def __init__(
+        self,
+        name: str = "",
+        handlers: dict[int, Callable[[Frame], Any]] | None = None,
+    ) -> None:
+        super().__init__(name)
+        for xfunc, handler in (handlers or {}).items():
+            self.bind(xfunc, handler)

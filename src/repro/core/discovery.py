@@ -1,0 +1,128 @@
+"""Peer discovery: from device-class names to proxy TiDs.
+
+Paper §4, on what a freshly plugged-in class does: *"It will also
+request the availability of other device class instances on remote
+IOPs and triggers the creation of proxy TiDs."*
+
+:class:`DiscoveryService` implements that request with nothing but
+standard messages: it sends ``EXEC_LCT_NOTIFY`` to each known node's
+executive (TiD 0), parses the logical configuration table from the
+reply, and creates local proxies for every instance of the wanted
+device class.  No name server, no extra protocol — the executives'
+mandatory message set *is* the discovery protocol.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable
+
+from repro.core.device import Listener, decode_params
+from repro.i2o.errors import I2OError
+from repro.i2o.frame import Frame
+from repro.i2o.function_codes import EXEC_LCT_NOTIFY
+from repro.i2o.tid import EXECUTIVE_TID, Tid
+
+
+class DiscoveryError(I2OError):
+    """A node did not answer or discovery found nothing."""
+
+
+class DiscoveryService(Listener):
+    """Resolves device-class names to proxies across the cluster.
+
+    ``nodes`` is the set of reachable node ids (the cluster membership
+    a configuration system provides); ``pump`` drives the cluster while
+    waiting for LCT replies.
+    """
+
+    device_class = "discovery"
+
+    def __init__(
+        self,
+        name: str = "discovery",
+        *,
+        nodes: list[int] | None = None,
+        pump: Callable[[], None] | None = None,
+        max_pumps: int = 100_000,
+    ) -> None:
+        super().__init__(name)
+        self.nodes: list[int] = list(nodes or [])
+        self.pump = pump
+        self.max_pumps = max_pumps
+        self._contexts = itertools.count(1)
+        self._replies: dict[int, dict[str, str]] = {}
+        #: cache: node -> last seen LCT (tid string -> device class)
+        self.tables: dict[int, dict[str, str]] = {}
+
+    def on_plugin(self) -> None:
+        self.table.bind(EXEC_LCT_NOTIFY, self._on_lct_reply)
+
+    def add_node(self, node: int) -> None:
+        if node not in self.nodes:
+            self.nodes.append(node)
+
+    # -- the wire protocol ---------------------------------------------------
+    def _on_lct_reply(self, frame: Frame) -> None:
+        if not frame.is_reply or frame.is_failure:
+            if not frame.is_reply:
+                self.reply(frame, fail=True)
+            return
+        self._replies[frame.initiator_context] = decode_params(frame.payload)
+
+    def refresh(self, node: int) -> dict[str, str]:
+        """Fetch one node's logical configuration table."""
+        exe = self._require_live()
+        context = next(self._contexts)
+        proxy = exe.create_proxy(node, EXECUTIVE_TID)
+        self.send(proxy, function=EXEC_LCT_NOTIFY, initiator_context=context,
+                  priority=1)
+        for _ in range(self.max_pumps):
+            if context in self._replies:
+                table = self._replies.pop(context)
+                self.tables[node] = table
+                return table
+            if self.pump is not None:
+                self.pump()
+            exe.step()
+        raise DiscoveryError(f"node {node} did not answer LCT request")
+
+    # -- resolution -----------------------------------------------------------
+    def find_all(self, device_class: str, *, refresh: bool = True) -> dict[
+        tuple[int, Tid], Tid
+    ]:
+        """All instances of ``device_class`` cluster-wide.
+
+        Returns ``{(node, remote_tid): local_proxy_tid}``, including
+        local instances (whose 'proxy' is the real TiD).
+        """
+        exe = self._require_live()
+        found: dict[tuple[int, Tid], Tid] = {}
+        # Local devices first.
+        for tid, dev in exe.devices().items():
+            if dev.device_class == device_class:
+                found[(exe.node, tid)] = tid
+        for node in self.nodes:
+            if node == exe.node:
+                continue
+            table = self.refresh(node) if refresh else self.tables.get(node, {})
+            for tid_text, cls in table.items():
+                if cls == device_class:
+                    remote_tid = int(tid_text)
+                    found[(node, remote_tid)] = exe.create_proxy(
+                        node, remote_tid
+                    )
+        return found
+
+    def find_one(self, device_class: str) -> Tid:
+        """The proxy for exactly one instance; raises on zero or many."""
+        found = self.find_all(device_class)
+        if not found:
+            raise DiscoveryError(f"no instance of {device_class!r} found")
+        if len(found) > 1:
+            where = sorted(node for node, _ in found)
+            raise DiscoveryError(
+                f"{len(found)} instances of {device_class!r} found "
+                f"on nodes {where}; use find_all"
+            )
+        return next(iter(found.values()))

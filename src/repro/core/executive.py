@@ -1,0 +1,652 @@
+"""The XDAQ executive: routing, dispatching, memory and lifecycle.
+
+One executive runs per processing node.  It is deliberately *lean*
+(paper §4: "After all, the executive is very lean as it acts only as a
+delegate"): devices keep their own dispatch tables; the executive owns
+only the loop of control, the frame memory, the TiD space and the
+routes.
+
+Message flow (paper figure 4):
+
+1. a device calls :meth:`frame_send` → the frame is posted to the
+   **outbound** queue of the messaging instance;
+2. the executive routes it: a local target goes straight to the
+   priority scheduler, a proxy target goes to the Peer Transport Agent
+   (3) which hands it to the Peer Transport serving the route (4);
+3. on the receiving node the PT (5) gives the frame to the PTA (6),
+   which posts it to the **inbound** queue (7);
+4. the dispatch loop demultiplexes the frame through the target
+   device's dispatch table and upcalls the functor (8).
+"""
+
+from __future__ import annotations
+
+import logging
+import threading
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Iterable
+
+from repro.core.device import RETAIN, Listener
+from repro.core.interrupts import InterruptController
+from repro.core.probes import Probes
+from repro.core.queues import MessagingInstance
+from repro.core.registry import ModuleRegistry
+from repro.core.scheduler import PriorityScheduler
+from repro.core.states import DeviceState
+from repro.core.timer import TimerService
+from repro.core.watchdog import HandlerWatchdog, WatchdogTimeout
+from repro.hw.clock import Clock, WallClock
+from repro.i2o.errors import AddressingError, I2OError
+from repro.i2o.frame import (
+    DEFAULT_PRIORITY,
+    FLAG_FAIL,
+    FLAG_REPLY,
+    HEADER_SIZE,
+    Frame,
+)
+from repro.i2o.function_codes import (
+    EXEC_DDM_DESTROY,
+    EXEC_LCT_NOTIFY,
+    EXEC_PATH_CLAIM,
+    EXEC_STATUS_GET,
+    EXEC_SYS_ENABLE,
+    EXEC_SYS_HALT,
+    EXEC_SYS_QUIESCE,
+    PRIVATE,
+    function_name,
+)
+from repro.i2o.tid import (
+    EXECUTIVE_TID,
+    PTA_TID,
+    TID_BROADCAST,
+    Tid,
+    TidAllocator,
+    check_tid,
+)
+from repro.mem.pool import BufferPool
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.transports.agent import PeerTransportAgent
+
+logger = logging.getLogger(__name__)
+
+
+@dataclass(frozen=True)
+class Route:
+    """Where a proxy TiD leads: a device on another node.
+
+    ``transport`` optionally pins the route to a named peer transport
+    (paper §4: "As it is possible to configure each device instance
+    with a route, we can use multiple transports to send and receive in
+    parallel"); ``None`` lets the PTA pick its default for the node.
+    """
+
+    node: int
+    remote_tid: Tid
+    transport: str | None = None
+
+
+class _ExecutiveDevice(Listener):
+    """The executive's own device personality (TiD 0).
+
+    Paper §3.5: "All modules, user applications, the peer transports
+    and even the executive get such a TiD.  Thus, they are all valid
+    I2O devices."
+    """
+
+    device_class = "executive"
+
+    def __init__(self, executive: "Executive") -> None:
+        super().__init__(name=f"executive@{executive.node}")
+        self._exe = executive
+        self.table.bind(EXEC_STATUS_GET, self._on_status_get)
+        self.table.bind(EXEC_SYS_ENABLE, self._on_sys_enable)
+        self.table.bind(EXEC_SYS_QUIESCE, self._on_sys_quiesce)
+        self.table.bind(EXEC_SYS_HALT, self._on_sys_halt)
+        self.table.bind(EXEC_LCT_NOTIFY, self._on_lct_notify)
+        self.table.bind(EXEC_DDM_DESTROY, self._on_ddm_destroy)
+        self.table.bind(EXEC_PATH_CLAIM, self._on_path_claim)
+
+    def _on_status_get(self, frame: Frame) -> None:
+        if frame.is_reply:
+            return
+        from repro.core.device import encode_params
+
+        exe = self._exe
+        self.reply(
+            frame,
+            encode_params(
+                {
+                    "node": str(exe.node),
+                    "state": exe.state.value,
+                    "devices": str(len(exe.devices())),
+                    "dispatched": str(exe.dispatched),
+                    "dropped": str(exe.dropped),
+                }
+            ),
+        )
+
+    def _broadcast_state(self, frame: Frame, target: DeviceState) -> None:
+        if frame.is_reply:
+            return
+        failures = self._exe._set_all_states(target)
+        self.reply(frame, fail=bool(failures))
+
+    def _on_sys_enable(self, frame: Frame) -> None:
+        self._broadcast_state(frame, DeviceState.ENABLED)
+
+    def _on_sys_quiesce(self, frame: Frame) -> None:
+        self._broadcast_state(frame, DeviceState.QUIESCED)
+
+    def _on_sys_halt(self, frame: Frame) -> None:
+        if frame.is_reply:
+            return
+        self.reply(frame)
+        self._exe.request_halt()
+
+    def _on_lct_notify(self, frame: Frame) -> None:
+        """Reply with the logical configuration table: tid=class pairs."""
+        if frame.is_reply:
+            return
+        from repro.core.device import encode_params
+
+        table = {
+            str(tid): dev.device_class for tid, dev in self._exe._devices.items()
+        }
+        self.reply(frame, encode_params(table))
+
+    def _on_ddm_destroy(self, frame: Frame) -> None:
+        """Remove a device by TiD (ExecDdmDestroy over the wire).
+
+        Payload: decimal TiD.  Infrastructure TiDs (executive, PTA,
+        transports) are refused — a controller cannot saw off the
+        branch the control channel sits on.
+        """
+        if frame.is_reply:
+            return
+        from repro.core.device import decode_params
+
+        try:
+            tid = int(bytes(frame.payload).decode("utf-8"))
+            victim = self._exe.device(tid)
+            if victim.device_class in (
+                "executive", "peer_transport_agent", "peer_transport",
+            ) or tid in (EXECUTIVE_TID, PTA_TID):
+                raise I2OError(f"TiD {tid} is infrastructure")
+            self._exe.uninstall(tid)
+        except (ValueError, I2OError):
+            self.reply(frame, fail=True)
+        else:
+            self.reply(frame)
+
+    def _on_path_claim(self, frame: Frame) -> None:
+        """Create a proxy on this node by request (ExecPathClaim).
+
+        Payload: params map with ``node`` and ``tid`` (and optionally
+        ``transport``); reply carries the local proxy TiD.  This is how
+        a controller pre-builds routes for devices it is about to
+        configure (paper §4: plugged-in classes trigger proxy creation).
+        """
+        if frame.is_reply:
+            return
+        from repro.core.device import decode_params, encode_params
+
+        try:
+            request = decode_params(frame.payload)
+            proxy = self._exe.create_proxy(
+                int(request["node"]),
+                int(request["tid"]),
+                transport=request.get("transport") or None,
+            )
+        except (KeyError, ValueError, I2OError):
+            self.reply(frame, fail=True)
+        else:
+            self.reply(frame, encode_params({"proxy": str(proxy)}))
+
+
+class Executive:
+    """One processing node's executive program."""
+
+    def __init__(
+        self,
+        node: int = 0,
+        *,
+        pool: BufferPool | None = None,
+        clock: Clock | None = None,
+        probes: Probes | None = None,
+        watchdog: HandlerWatchdog | None = None,
+        max_dispatch_per_step: int = 16,
+    ) -> None:
+        self.node = node
+        self.pool = pool if pool is not None else BufferPool()
+        self.clock: Clock = clock if clock is not None else WallClock()
+        self.probes = probes if probes is not None else Probes("off")
+        self.watchdog = watchdog
+        self.max_dispatch_per_step = max_dispatch_per_step
+
+        self.tids = TidAllocator()
+        self.scheduler = PriorityScheduler()
+        self.msgi = MessagingInstance()
+        self.timers = TimerService(self)
+        self.interrupts = InterruptController(self)
+        self.registry = ModuleRegistry()
+        self.state = DeviceState.INITIALISED
+
+        self._devices: dict[Tid, Listener] = {}
+        self._routes: dict[Tid, Route] = {}
+        self._proxies: dict[tuple[int, Tid, str | None], Tid] = {}
+        self.pta: "PeerTransportAgent | None" = None
+        self._pollable: list[object] = []  # polling-mode PTs, set by the PTA
+
+        self.dispatched = 0
+        self.dropped = 0
+        self.handler_errors = 0
+        self._halt_requested = False
+        self._thread: threading.Thread | None = None
+        self._thread_stop = threading.Event()
+
+        # Install the executive's own device personality at TiD 0.
+        self.tids.reserve(EXECUTIVE_TID)
+        self._self_device = _ExecutiveDevice(self)
+        self._self_device.plugin(self, EXECUTIVE_TID)
+        self._devices[EXECUTIVE_TID] = self._self_device
+
+    # ------------------------------------------------------------------
+    # device management
+    # ------------------------------------------------------------------
+    def install(self, device: Listener, tid: Tid | None = None) -> Tid:
+        """Register a device module; returns its freshly assigned TiD."""
+        if device.executive is not None:
+            raise I2OError(f"device {device.name!r} is already installed")
+        if tid is None:
+            tid = self.tids.allocate()
+        else:
+            self.tids.reserve(tid)
+        self._devices[tid] = device
+        device.plugin(self, tid)
+        logger.debug("node %s: installed %s at TiD %d", self.node, device.name, tid)
+        return tid
+
+    def uninstall(self, tid: Tid) -> Listener:
+        """Remove a device (ExecDdmDestroy); drops its queued frames."""
+        device = self._devices.pop(tid, None)
+        if device is None:
+            raise AddressingError(f"no device at TiD {tid}")
+        for frame in self.scheduler.drop_device(tid):
+            self._release_frame(frame)
+        device.unplug()
+        self.tids.release(tid)
+        self.registry.forget(tid)
+        return device
+
+    def device(self, tid: Tid) -> Listener:
+        dev = self._devices.get(tid)
+        if dev is None:
+            raise AddressingError(f"no device at TiD {tid} on node {self.node}")
+        return dev
+
+    def devices(self) -> dict[Tid, Listener]:
+        return dict(self._devices)
+
+    def find_device(self, name: str) -> Listener:
+        for dev in self._devices.values():
+            if dev.name == name:
+                return dev
+        raise AddressingError(f"no device named {name!r} on node {self.node}")
+
+    def _set_all_states(self, target: DeviceState) -> list[Tid]:
+        """Drive every application device to ``target``; returns failures."""
+        failures: list[Tid] = []
+        for tid, dev in list(self._devices.items()):
+            if tid == EXECUTIVE_TID:
+                continue
+            try:
+                dev.set_state(target)
+                if target is DeviceState.ENABLED:
+                    dev.on_enable()
+                elif target is DeviceState.QUIESCED:
+                    dev.on_quiesce()
+            except I2OError:
+                failures.append(tid)
+        self.state = target
+        return failures
+
+    # ------------------------------------------------------------------
+    # proxies and routes
+    # ------------------------------------------------------------------
+    def create_proxy(
+        self, node: int, remote_tid: Tid, transport: str | None = None
+    ) -> Tid:
+        """Allocate a local TiD standing in for a device on ``node``.
+
+        Paper §3.4: "To communicate with a remote device, the executive
+        creates a local TiD for the target device along with information
+        how to reach this device ... compared to the Proxy pattern."
+        Idempotent per ``(node, remote_tid)``.
+        """
+        check_tid(remote_tid)
+        existing = self._proxies.get((node, remote_tid, transport))
+        if existing is not None:
+            return existing
+        if node == self.node:
+            # A proxy for a local device is just the device itself.
+            return remote_tid
+        tid = self.tids.allocate()
+        self._routes[tid] = Route(node=node, remote_tid=remote_tid, transport=transport)
+        self._proxies[(node, remote_tid, transport)] = tid
+        return tid
+
+    def route_for(self, tid: Tid) -> Route | None:
+        return self._routes.get(tid)
+
+    def is_local(self, tid: Tid) -> bool:
+        return tid in self._devices
+
+    # ------------------------------------------------------------------
+    # frame API (the narrow component interface of paper §1)
+    # ------------------------------------------------------------------
+    def frame_alloc(
+        self,
+        payload_size: int,
+        *,
+        target: Tid,
+        initiator: Tid = EXECUTIVE_TID,
+        function: int = PRIVATE,
+        xfunction: int = 0,
+        priority: int = DEFAULT_PRIORITY,
+        flags: int = 0,
+        organization: int = 0,
+    ) -> Frame:
+        """Loan a pool block and shape it into an addressed frame.
+
+        The payload size is declared in the header; content is written
+        by the caller directly into ``frame.payload`` (zero-copy
+        buffer loaning).
+        """
+        with self.probes.measure("frame_alloc"):
+            block = self.pool.alloc(HEADER_SIZE + payload_size)
+            frame = Frame(block.memory[: HEADER_SIZE + payload_size], block=block)
+            frame.set_header(
+                target=target,
+                initiator=initiator,
+                function=function,
+                payload_size=payload_size,
+                priority=priority,
+                flags=flags,
+                xfunction=xfunction,
+                organization=organization,
+            )
+        return frame
+
+    def frame_send(self, frame: Frame) -> None:
+        """Post a frame for routing (frameSend).
+
+        Pool-backed frames were header-validated at ``frame_alloc`` and
+        their payload views cannot overrun the header, so only foreign
+        buffers (hand-built bytearrays) are re-validated here; wire
+        input is always validated at ingest.
+        """
+        if frame.block is None:
+            frame.validate()
+        self.msgi.post_outbound(frame)
+
+    def frame_free(self, frame: Frame) -> None:
+        """Release a frame's block back to the pool (frameFree)."""
+        with self.probes.measure("frame_free"):
+            if frame.block is not None:
+                self.pool.free(frame.block)
+                frame.block = None
+
+    def post_inbound(self, frame: Frame) -> None:
+        """Entry point for peer transports and the timer service."""
+        self.msgi.post_inbound(frame)
+
+    # ------------------------------------------------------------------
+    # the loop of control
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """One scheduling quantum; returns True if any work was done."""
+        worked = False
+        if len(self.timers) and self.timers.poll(self.clock.now_ns()):
+            worked = True
+        for pt in self._pollable:
+            if pt.poll():  # type: ignore[attr-defined]
+                worked = True
+        if self._route_outbound():
+            worked = True
+        if self._intake_inbound():
+            worked = True
+        for _ in range(self.max_dispatch_per_step):
+            if not self._dispatch_one():
+                break
+            worked = True
+            # Dispatching may have generated sends: route them before
+            # the next dispatch so request/reply chains complete within
+            # one call in single-threaded use.
+            self._route_outbound()
+            self._intake_inbound()
+        return worked
+
+    def run_until_idle(self, max_steps: int = 1_000_000) -> int:
+        """Step until no work remains; returns steps executed.
+
+        Only meaningful in single-threaded use (tests, simulation);
+        raises if the budget is exhausted, which almost always means a
+        message loop.
+        """
+        for count in range(max_steps):
+            if not self.step():
+                return count
+        raise I2OError(f"run_until_idle exceeded {max_steps} steps")
+
+    @property
+    def idle(self) -> bool:
+        if not self.msgi.idle or not self.scheduler.empty:
+            return False
+        return not any(
+            getattr(pt, "has_pending", False) for pt in self._pollable
+        )
+
+    def request_halt(self) -> None:
+        self._halt_requested = True
+        self._thread_stop.set()
+
+    # -- native thread mode -------------------------------------------------
+    def start(self, poll_interval: float = 0.001) -> None:
+        """Run the loop of control in a dedicated thread (native plane)."""
+        if self._thread is not None:
+            raise I2OError("executive already started")
+        self._thread_stop.clear()
+        self._halt_requested = False
+
+        def loop() -> None:
+            while not self._thread_stop.is_set():
+                if not self.step():
+                    self.msgi.wait_for_work(timeout=poll_interval)
+                if self._halt_requested:
+                    break
+
+        self._thread = threading.Thread(
+            target=loop, name=f"executive-{self.node}", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self, timeout: float = 5.0) -> None:
+        if self._thread is None:
+            return
+        self._thread_stop.set()
+        self._thread.join(timeout)
+        if self._thread.is_alive():  # pragma: no cover - defensive
+            raise I2OError(f"executive thread on node {self.node} did not stop")
+        self._thread = None
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _route_outbound(self) -> bool:
+        routed = False
+        while True:
+            frame = self.msgi.take_outbound()
+            if frame is None:
+                return routed
+            routed = True
+            self._route(frame)
+
+    def _route(self, frame: Frame) -> None:
+        target = frame.target
+        if target == TID_BROADCAST:
+            self._broadcast(frame)
+        elif target in self._devices:
+            self.scheduler.push(frame)
+        elif target in self._routes:
+            if self.pta is None:
+                self._dead_letter(frame, "no peer transport agent installed")
+            else:
+                try:
+                    self.pta.forward(frame, self._routes[target])
+                except I2OError as exc:
+                    self._dead_letter(frame, f"transport failure: {exc}")
+        else:
+            self._dead_letter(frame, f"unroutable TiD {target}")
+
+    def _broadcast(self, frame: Frame) -> None:
+        """Deliver a copy to every local device except the initiator."""
+        for tid in list(self._devices):
+            if tid == frame.initiator:
+                continue
+            clone = self.frame_alloc(
+                frame.payload_size,
+                target=tid,
+                initiator=frame.initiator,
+                function=frame.function,
+                xfunction=frame.xfunction,
+                priority=frame.priority,
+                flags=frame.flags,
+            )
+            clone.payload[:] = frame.payload
+            clone.initiator_context = frame.initiator_context
+            clone.transaction_context = frame.transaction_context
+            self.scheduler.push(clone)
+        self._release_frame(frame)
+
+    def _dead_letter(self, frame: Frame, reason: str) -> None:
+        self.dropped += 1
+        logger.warning(
+            "node %s: dropping %s: %s", self.node, function_name(frame.function), reason
+        )
+        initiator = frame.initiator
+        # Tell the initiator its request went nowhere — whether it is a
+        # local device or a proxy for a remote one (an inbound frame's
+        # initiator was rewritten to a local proxy TiD at ingest, so the
+        # failure reply routes back across the wire).
+        if not frame.is_reply and (
+            initiator in self._devices or initiator in self._routes
+        ):
+            failure = self.frame_alloc(
+                0,
+                target=initiator,
+                initiator=EXECUTIVE_TID,
+                function=frame.function,
+                xfunction=frame.xfunction,
+                priority=frame.priority,
+                flags=FLAG_REPLY | FLAG_FAIL,
+            )
+            failure.initiator_context = frame.initiator_context
+            failure.transaction_context = frame.transaction_context
+            self._release_frame(frame)
+            self._route(failure)
+            return
+        self._release_frame(frame)
+
+    def _intake_inbound(self) -> bool:
+        took = False
+        while True:
+            frame = self.msgi.take_inbound()
+            if frame is None:
+                return took
+            took = True
+            if frame.target in self._devices:
+                self.scheduler.push(frame)
+            else:
+                self._dead_letter(frame, f"inbound for unknown TiD {frame.target}")
+
+    def _dispatch_one(self) -> bool:
+        frame = self.scheduler.pop()
+        if frame is None:
+            return False
+        try:
+            with self.probes.measure("demultiplex"):
+                device = self._devices.get(frame.target)
+                if device is None:
+                    # Device vanished between queueing and dispatch.
+                    self._release_frame(frame)
+                    self.dropped += 1
+                    return True
+                functor = device.table.lookup(frame)
+            with self.probes.measure("upcall"):
+                thunk = functor.prepare(frame)
+            accrued_before = self.probes.accrued_ns
+            with self.probes.measure("application"):
+                if self.watchdog is not None and self.probes.mode != "model":
+                    with self.watchdog.guard(label=device.name):
+                        result = thunk()
+                else:
+                    result = thunk()
+            if (
+                self.watchdog is not None
+                and self.probes.mode == "model"
+                and (self.probes.accrued_ns - accrued_before)
+                > self.watchdog.limit_ns
+            ):
+                # Simulation plane: the handler's *modelled* cost blew
+                # the budget — same quarantine as a wall-clock overrun.
+                self.watchdog.overruns += 1
+                raise WatchdogTimeout(
+                    f"handler {device.name} modelled cost exceeded "
+                    f"{self.watchdog.limit_ns} ns"
+                )
+        except WatchdogTimeout as exc:
+            self._quarantine(frame.target, str(exc))
+            result = None
+        except Exception as exc:  # fault tolerance: a bad handler must
+            # never take the executive down (paper §3.2)
+            self.handler_errors += 1
+            logger.error(
+                "node %s: handler error for %s at TiD %d: %s",
+                self.node,
+                function_name(frame.function),
+                frame.target,
+                exc,
+            )
+            if not frame.is_reply and frame.initiator != frame.target:
+                self._send_failure_reply(frame)
+            result = None
+        self.dispatched += 1
+        with self.probes.measure("postprocess"):
+            if result is not RETAIN:
+                self.frame_free(frame)
+        return True
+
+    def _send_failure_reply(self, request: Frame) -> None:
+        device = self._devices.get(request.target)
+        if device is None:
+            return
+        try:
+            device.reply(request, fail=True)
+        except I2OError:  # pragma: no cover - defensive
+            logger.exception("failure reply failed")
+
+    def _quarantine(self, tid: Tid, reason: str) -> None:
+        """Watchdog action: mark the device FAILED and drop its queue."""
+        device = self._devices.get(tid)
+        if device is None:
+            return
+        logger.error("node %s: quarantining TiD %d: %s", self.node, tid, reason)
+        device.state = DeviceState.FAILED
+        for frame in self.scheduler.drop_device(tid):
+            self._release_frame(frame)
+
+    def _release_frame(self, frame: Frame) -> None:
+        if frame.block is not None:
+            self.pool.free(frame.block)
+            frame.block = None

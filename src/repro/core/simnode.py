@@ -1,0 +1,86 @@
+"""Hosting an executive on the discrete-event kernel.
+
+A :class:`SimNode` models one processing node's CPU: it steps the
+executive whenever there is work, converts the virtual CPU cost the
+probes accrued (see :class:`~repro.core.probes.Probes` model mode)
+into simulated time, and sleeps on a wake event otherwise.  Because
+all of a node's costs serialise through its single process, the model
+naturally captures the paper's single-CPU executive ("the loop of
+control remains in the executive framework").
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from repro.core.executive import Executive
+from repro.core.probes import CostModel, Probes
+from repro.hw.clock import SimClock
+from repro.sim.kernel import Event, Simulator, delay
+
+
+class SimNode:
+    """One node = one executive driven by one simulation process."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        executive: Executive,
+        *,
+        cost_model: CostModel | None = None,
+    ) -> None:
+        self.sim = sim
+        self.executive = executive
+        executive.clock = SimClock(sim)
+        if executive.probes.mode != "model":
+            executive.probes = Probes(
+                "model", model=cost_model or CostModel.paper_table1()
+            )
+        executive.msgi.on_work = self.wake
+        self._wake_event: Event | None = None
+        self._halted = False
+        self.busy_ns = 0
+        self.process = sim.process(self._run(), name=f"node{executive.node}")
+
+    def attach_transport_hooks(self) -> None:
+        """Point every registered transport's wake hook at this node.
+
+        Call after the PTA and its transports are registered.
+        """
+        if self.executive.pta is not None:
+            for pt in self.executive.pta.transports():
+                if hasattr(pt, "wake_hook"):
+                    pt.wake_hook = self.wake
+
+    def wake(self) -> None:
+        ev = self._wake_event
+        if ev is not None and not ev.fired:
+            self._wake_event = None
+            ev.succeed()
+
+    def halt(self) -> None:
+        self._halted = True
+        self.wake()
+
+    def _run(self) -> Generator:
+        exe = self.executive
+        while not self._halted and not exe._halt_requested:
+            worked = exe.step()
+            cost = exe.probes.drain_accrued_ns()
+            if cost:
+                self.busy_ns += cost
+                yield delay(cost)
+                continue
+            if worked:
+                continue
+            # Idle: sleep until new work or the next timer deadline.
+            deadline = exe.timers.next_deadline_ns()
+            self._wake_event = self.sim.event(f"node{exe.node}.wake")
+            if deadline is not None:
+                remaining = max(0, deadline - self.sim.now)
+                yield self.sim.any_of(
+                    [self._wake_event, self.sim.timeout(remaining)]
+                )
+                self._wake_event = None
+            else:
+                yield self._wake_event

@@ -1,0 +1,59 @@
+"""Device and executive operational states.
+
+Paper §2 (system management requirement): configuration "has to include
+the configuration and operational modes of the system in its scope".
+The reproduction uses the XDAQ-style finite state machine; transitions
+are driven exclusively by I2O executive messages (paper §3.5: every
+device "has to implement the standard executive and utility message
+handlers to be configurable and controllable").
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.i2o.errors import I2OError
+
+
+class StateError(I2OError):
+    """Illegal state transition requested."""
+
+
+class DeviceState(enum.Enum):
+    """Operational states shared by devices and the executive."""
+
+    INITIALISED = "initialised"  # plugged in, not yet configured
+    CONFIGURED = "configured"  # parameters applied
+    ENABLED = "enabled"  # processing application messages
+    QUIESCED = "quiesced"  # drained, only control messages handled
+    FAILED = "failed"  # quarantined (e.g. by the watchdog)
+    HALTED = "halted"  # removed from service
+
+
+#: Legal transitions; anything else raises :class:`StateError`.
+_TRANSITIONS: dict[DeviceState, frozenset[DeviceState]] = {
+    DeviceState.INITIALISED: frozenset(
+        {DeviceState.CONFIGURED, DeviceState.ENABLED, DeviceState.HALTED,
+         DeviceState.FAILED}
+    ),
+    DeviceState.CONFIGURED: frozenset(
+        {DeviceState.CONFIGURED, DeviceState.ENABLED, DeviceState.HALTED,
+         DeviceState.FAILED}
+    ),
+    DeviceState.ENABLED: frozenset(
+        {DeviceState.QUIESCED, DeviceState.HALTED, DeviceState.FAILED}
+    ),
+    DeviceState.QUIESCED: frozenset(
+        {DeviceState.ENABLED, DeviceState.CONFIGURED, DeviceState.HALTED,
+         DeviceState.FAILED}
+    ),
+    DeviceState.FAILED: frozenset({DeviceState.HALTED}),
+    DeviceState.HALTED: frozenset(),
+}
+
+
+def check_transition(current: DeviceState, target: DeviceState) -> DeviceState:
+    """Validate ``current -> target``; returns ``target`` for chaining."""
+    if target not in _TRANSITIONS[current]:
+        raise StateError(f"illegal transition {current.value} -> {target.value}")
+    return target

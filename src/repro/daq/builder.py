@@ -1,0 +1,120 @@
+"""Builder units: assemble full events from distributed fragments.
+
+On ``XF_ALLOCATE`` the builder requests one fragment from every
+readout unit it knows (the n×m crossing traffic that gave XDAQ its
+name), verifies each fragment's CRC and identity, and reports
+``XF_EVENT_DONE`` to the event manager when the event is complete.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.core.device import Listener
+from repro.daq.events import parse_fragment
+from repro.daq.protocol import (
+    DAQ_ORG,
+    XF_ALLOCATE,
+    XF_EVENT_DONE,
+    XF_REQUEST_FRAGMENT,
+)
+from repro.i2o.errors import I2OError
+from repro.i2o.frame import Frame
+from repro.i2o.tid import Tid
+
+_EVENT_ID = struct.Struct("<Q")
+
+
+class BuilderUnit(Listener):
+    """Collects one fragment per readout unit into complete events."""
+
+    device_class = "daq_builder"
+
+    def __init__(self, name: str = "", bu_id: int = 0) -> None:
+        super().__init__(name or f"bu{bu_id}")
+        self.bu_id = bu_id
+        #: ru_id -> TiD (local or proxy); filled by ``connect``
+        self.ru_tids: dict[int, Tid] = {}
+        self.evm_tid: Tid | None = None
+        self._pending: dict[int, dict[int, bytes]] = {}
+        self.built = 0
+        self.bytes_built = 0
+        self.corrupt = 0
+        #: completed events kept for inspection (bounded)
+        self.completed: list[tuple[int, int]] = []  # (event_id, size)
+        self.keep_completed = 1024
+
+    def connect(self, evm_tid: Tid, ru_tids: dict[int, Tid]) -> None:
+        self.evm_tid = evm_tid
+        self.ru_tids = dict(ru_tids)
+
+    def on_plugin(self) -> None:
+        self.bind(XF_ALLOCATE, self._on_allocate)
+        self.bind(XF_REQUEST_FRAGMENT, self._on_fragment_reply)
+
+    def on_reset(self) -> None:
+        self._pending.clear()
+
+    # -- handlers ----------------------------------------------------------
+    def _on_allocate(self, frame: Frame) -> None:
+        if frame.is_reply:
+            return
+        if not self.ru_tids:
+            raise I2OError(f"builder {self.name} has no readout units")
+        (event_id,) = _EVENT_ID.unpack_from(frame.payload, 0)
+        self._pending[event_id] = {}
+        payload = _EVENT_ID.pack(event_id)
+        for ru_tid in self.ru_tids.values():
+            self.send(
+                ru_tid,
+                payload,
+                xfunction=XF_REQUEST_FRAGMENT,
+                organization=DAQ_ORG,
+            )
+
+    def _on_fragment_reply(self, frame: Frame) -> None:
+        if not frame.is_reply:
+            # Builders never serve fragments; refuse politely.
+            self.reply(frame, fail=True)
+            return
+        if frame.is_failure:
+            self.corrupt += 1
+            return
+        try:
+            header, data = parse_fragment(frame.payload)
+        except I2OError:
+            self.corrupt += 1
+            return
+        fragments = self._pending.get(header.event_id)
+        if fragments is None:
+            return  # duplicate or stale reply
+        fragments[header.ru_id] = data
+        if len(fragments) == len(self.ru_tids):
+            self._complete(header.event_id, fragments)
+
+    def _complete(self, event_id: int, fragments: dict[int, bytes]) -> None:
+        del self._pending[event_id]
+        size = sum(len(d) for d in fragments.values())
+        self.built += 1
+        self.bytes_built += size
+        if len(self.completed) < self.keep_completed:
+            self.completed.append((event_id, size))
+        if self.evm_tid is not None:
+            self.send(
+                self.evm_tid,
+                _EVENT_ID.pack(event_id),
+                xfunction=XF_EVENT_DONE,
+                organization=DAQ_ORG,
+            )
+
+    def export_counters(self) -> dict[str, object]:
+        return {
+            "built": self.built,
+            "bytes_built": self.bytes_built,
+            "corrupt": self.corrupt,
+            "in_flight": len(self._pending),
+        }
+
+    @property
+    def in_flight_events(self) -> int:
+        return len(self._pending)

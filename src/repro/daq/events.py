@@ -1,0 +1,103 @@
+"""Synthetic detector data: fragments and their wire format.
+
+A *fragment* is one readout unit's share of one physics event.  The
+paper's real source (CMS front-end electronics) is substituted by a
+deterministic generator: payload sizes are drawn per (event, ru) from
+a seeded stream, contents are a reproducible byte pattern, and a CRC32
+trailer lets builders verify end-to-end integrity through every
+transport — corruption anywhere in the zero-copy path would surface
+here.
+
+Fragment wire layout (little-endian)::
+
+    offset  size  field
+    ------  ----  -------------------
+       0      8   event id
+       8      4   readout unit id
+      12      4   payload length
+      16      ..  payload bytes
+      ..      4   CRC32 of payload
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.i2o.errors import I2OError
+
+_HDR = struct.Struct("<QII")
+_CRC = struct.Struct("<I")
+
+FRAGMENT_OVERHEAD = _HDR.size + _CRC.size  # 20 bytes
+
+
+class FragmentError(I2OError):
+    """Malformed or corrupt fragment."""
+
+
+@dataclass(frozen=True)
+class FragmentHeader:
+    event_id: int
+    ru_id: int
+    length: int
+
+
+def fragment_size(event_id: int, ru_id: int, mean: int = 2048, spread: float = 0.25,
+                  minimum: int = 64, maximum: int = 16384) -> int:
+    """Deterministic pseudo-random payload size for (event, ru).
+
+    Log-normal-ish around ``mean`` — detector occupancy fluctuates per
+    event and channel, which is what makes event-builder traffic
+    irregular.  Same (event, ru) always yields the same size, so any
+    node can predict any fragment without communication.
+    """
+    rng = np.random.default_rng((event_id * 0x9E3779B1 + ru_id) & 0xFFFFFFFF)
+    size = int(rng.lognormal(mean=np.log(mean), sigma=spread))
+    return max(minimum, min(maximum, size))
+
+
+def fragment_payload(event_id: int, ru_id: int, length: int) -> bytes:
+    """Reproducible payload contents for (event, ru)."""
+    seed = (event_id * 0x9E3779B1 + ru_id * 0x85EBCA77 + 1) & 0xFFFFFFFF
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, 256, size=length, dtype=np.uint8).tobytes()
+
+
+def make_fragment_payload(event_id: int, ru_id: int, data: bytes) -> bytes:
+    """Wrap ``data`` in the fragment wire format."""
+    return (
+        _HDR.pack(event_id, ru_id, len(data))
+        + data
+        + _CRC.pack(zlib.crc32(data))
+    )
+
+
+def parse_fragment(payload: bytes | memoryview) -> tuple[FragmentHeader, bytes]:
+    """Validate and split a fragment; raises on any corruption."""
+    view = memoryview(payload)
+    if len(view) < FRAGMENT_OVERHEAD:
+        raise FragmentError(f"fragment of {len(view)} bytes is too short")
+    event_id, ru_id, length = _HDR.unpack_from(view, 0)
+    if _HDR.size + length + _CRC.size != len(view):
+        raise FragmentError(
+            f"declared length {length} inconsistent with payload {len(view)}"
+        )
+    data = bytes(view[_HDR.size : _HDR.size + length])
+    (crc,) = _CRC.unpack_from(view, _HDR.size + length)
+    if zlib.crc32(data) != crc:
+        raise FragmentError(
+            f"CRC mismatch on fragment (event {event_id}, ru {ru_id})"
+        )
+    return FragmentHeader(event_id, ru_id, length), data
+
+
+def synthesize_fragment(event_id: int, ru_id: int, *, mean: int = 2048) -> bytes:
+    """Generate the full wire-format fragment for (event, ru)."""
+    size = fragment_size(event_id, ru_id, mean=mean)
+    return make_fragment_payload(
+        event_id, ru_id, fragment_payload(event_id, ru_id, size)
+    )

@@ -1,0 +1,200 @@
+"""The event manager: trigger intake, builder allocation, cleanup.
+
+Round-robins incoming events over its builder units, broadcasts the
+readout command to every readout unit, and on ``XF_EVENT_DONE``
+instructs the readout units to clear their buffers — the control flow
+of the CMS event builder the paper's group went on to construct with
+XDAQ.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.core.device import Listener
+from repro.daq.protocol import (
+    DAQ_ORG,
+    XF_ALLOCATE,
+    XF_CLEAR,
+    XF_EVENT_DONE,
+    XF_READOUT,
+    XF_TRIGGER,
+)
+from repro.i2o.errors import I2OError
+from repro.i2o.frame import Frame
+from repro.i2o.tid import Tid
+
+_EVENT_ID = struct.Struct("<Q")
+
+
+class EventManager(Listener):
+    """Coordinates triggers, readout, building and cleanup.
+
+    ``max_in_flight`` throttles the trigger: when that many events are
+    being built, further triggers queue inside the EVM and are released
+    as events complete — the back-pressure mechanism every real event
+    builder needs so a trigger burst cannot exhaust readout buffers.
+    ``None`` disables throttling.
+
+    ``event_timeout_ns`` arms a completion deadline per event (via the
+    I2O timer facility): an event whose builder never reports done —
+    crashed, quarantined, unplugged — is reassigned to the next builder
+    in the ring, up to ``max_reassignments`` times.  Readout buffers
+    are still intact (CLEAR is only sent on completion), so the new
+    builder can fetch every fragment.  0 disables recovery.
+    """
+
+    device_class = "daq_eventmanager"
+
+    def __init__(self, name: str = "evm",
+                 max_in_flight: int | None = None,
+                 event_timeout_ns: int = 0,
+                 max_reassignments: int = 3) -> None:
+        super().__init__(name)
+        if max_in_flight is not None and max_in_flight < 1:
+            raise I2OError(f"max_in_flight must be >= 1, got {max_in_flight}")
+        if event_timeout_ns < 0:
+            raise I2OError(f"negative event timeout {event_timeout_ns}")
+        self.max_in_flight = max_in_flight
+        self.event_timeout_ns = event_timeout_ns
+        self.max_reassignments = max_reassignments
+        self.ru_tids: dict[int, Tid] = {}
+        self.bu_tids: dict[int, Tid] = {}
+        self._rr: list[int] = []
+        self._rr_index = 0
+        self._assigned: dict[int, int] = {}  # event_id -> bu_id
+        self._throttled: list[int] = []  # event ids awaiting release
+        self._deadlines: dict[int, int] = {}  # event_id -> timer_id
+        self._attempts: dict[int, int] = {}  # event_id -> assignments so far
+        self.reassignments = 0
+        self.lost_events: list[int] = []
+        self.triggers = 0
+        self.completed = 0
+        self.completed_ids: list[int] = []
+        self.keep_completed = 4096
+
+    def connect(self, ru_tids: dict[int, Tid], bu_tids: dict[int, Tid]) -> None:
+        if not ru_tids or not bu_tids:
+            raise I2OError("event manager needs at least one RU and one BU")
+        self.ru_tids = dict(ru_tids)
+        self.bu_tids = dict(bu_tids)
+        self._rr = sorted(bu_tids)
+        self._rr_index = 0
+
+    def on_plugin(self) -> None:
+        self.bind(XF_TRIGGER, self._on_trigger)
+        self.bind(XF_EVENT_DONE, self._on_done)
+
+    def on_reset(self) -> None:
+        self._assigned.clear()
+        self._throttled.clear()
+        for timer_id in self._deadlines.values():
+            self.cancel_timer(timer_id)
+        self._deadlines.clear()
+        self._attempts.clear()
+
+    # -- handlers --------------------------------------------------------------
+    def _on_trigger(self, frame: Frame) -> None:
+        if frame.is_reply:
+            return
+        if not self._rr:
+            raise I2OError(f"event manager {self.name} is not connected")
+        (event_id,) = _EVENT_ID.unpack_from(frame.payload, 0)
+        self.triggers += 1
+        if (
+            self.max_in_flight is not None
+            and len(self._assigned) >= self.max_in_flight
+        ):
+            self._throttled.append(event_id)
+            return
+        self._launch(event_id)
+
+    def _launch(self, event_id: int, avoid: int | None = None) -> None:
+        payload = _EVENT_ID.pack(event_id)
+        # 1. tell every readout unit to capture its slice (idempotent:
+        #    an RU regenerates deterministically and keeps existing
+        #    buffers, so re-launching after a timeout is safe even when
+        #    the original command was the message that got lost);
+        for ru_tid in self.ru_tids.values():
+            self.send(ru_tid, payload, xfunction=XF_READOUT, organization=DAQ_ORG)
+        # 2. hand the event to the next builder in the ring.
+        self._assign(event_id, avoid=avoid)
+
+    def _assign(self, event_id: int, avoid: int | None = None) -> None:
+        bu_id = self._rr[self._rr_index]
+        self._rr_index = (self._rr_index + 1) % len(self._rr)
+        if bu_id == avoid and len(self._rr) > 1:
+            # Don't hand a timed-out event straight back to the builder
+            # that just failed it.
+            bu_id = self._rr[self._rr_index]
+            self._rr_index = (self._rr_index + 1) % len(self._rr)
+        self._assigned[event_id] = bu_id
+        self._attempts[event_id] = self._attempts.get(event_id, 0) + 1
+        if self.event_timeout_ns > 0:
+            self._deadlines[event_id] = self.start_timer(
+                self.event_timeout_ns, context=event_id
+            )
+        self.send(
+            self.bu_tids[bu_id], _EVENT_ID.pack(event_id),
+            xfunction=XF_ALLOCATE, organization=DAQ_ORG,
+        )
+
+    def on_timer(self, context: int, frame: Frame) -> None:
+        """Completion deadline passed: reassign or declare the event lost."""
+        event_id = context
+        if event_id not in self._assigned:
+            return  # completed while the expiry frame was in flight
+        self._deadlines.pop(event_id, None)
+        failed_bu = self._assigned.pop(event_id)
+        if self._attempts.get(event_id, 0) > self.max_reassignments:
+            self.lost_events.append(event_id)
+            self._attempts.pop(event_id, None)
+            # Free the readout buffers of the abandoned event.
+            payload = _EVENT_ID.pack(event_id)
+            for ru_tid in self.ru_tids.values():
+                self.send(ru_tid, payload, xfunction=XF_CLEAR,
+                          organization=DAQ_ORG)
+            self._release_throttled()
+            return
+        self.reassignments += 1
+        self._launch(event_id, avoid=failed_bu)
+
+    def _on_done(self, frame: Frame) -> None:
+        if frame.is_reply:
+            return
+        (event_id,) = _EVENT_ID.unpack_from(frame.payload, 0)
+        if self._assigned.pop(event_id, None) is None:
+            return  # duplicate completion
+        timer_id = self._deadlines.pop(event_id, None)
+        if timer_id is not None:
+            self.cancel_timer(timer_id)
+        self._attempts.pop(event_id, None)
+        self.completed += 1
+        if len(self.completed_ids) < self.keep_completed:
+            self.completed_ids.append(event_id)
+        payload = _EVENT_ID.pack(event_id)
+        for ru_tid in self.ru_tids.values():
+            self.send(ru_tid, payload, xfunction=XF_CLEAR, organization=DAQ_ORG)
+        self._release_throttled()
+
+    def _release_throttled(self) -> None:
+        """Back-pressure release: a freed slot admits a queued trigger."""
+        if self._throttled and (
+            self.max_in_flight is None
+            or len(self._assigned) < self.max_in_flight
+        ):
+            self._launch(self._throttled.pop(0))
+
+    def export_counters(self) -> dict[str, object]:
+        return {
+            "triggers": self.triggers,
+            "completed": self.completed,
+            "in_flight": len(self._assigned),
+            "throttled": len(self._throttled),
+            "reassignments": self.reassignments,
+            "lost": len(self.lost_events),
+        }
+
+    @property
+    def in_flight(self) -> int:
+        return len(self._assigned)

@@ -1,0 +1,69 @@
+"""DAQ monitoring through standard utility messages.
+
+The monitor never uses private verbs of the devices it watches: it
+pulls counters with ``UtilParamsGet`` — demonstrating the paper's
+claim that the standard executive/utility interfaces make every
+component observable "according to one common scheme" (§2, system
+management).  Devices expose counters by overriding
+``export_counters``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable
+
+from repro.core.device import Listener, decode_params
+from repro.i2o.frame import Frame
+from repro.i2o.function_codes import UTIL_PARAMS_GET
+from repro.i2o.tid import Tid
+
+
+class DaqMonitor(Listener):
+    """Collects parameter snapshots from a set of watched TiDs."""
+
+    device_class = "daq_monitor"
+
+    def __init__(self, name: str = "monitor") -> None:
+        super().__init__(name)
+        self.watched: list[Tid] = []
+        #: tid -> latest parameter snapshot
+        self.snapshots: dict[Tid, dict[str, str]] = {}
+        self._contexts = itertools.count(1)
+        self._context_tid: dict[int, Tid] = {}
+        self.sweeps = 0
+
+    def on_plugin(self) -> None:
+        self.table.bind(UTIL_PARAMS_GET, self._on_params_reply)
+
+    def watch(self, tid: Tid) -> None:
+        if tid not in self.watched:
+            self.watched.append(tid)
+
+    def sweep(self) -> int:
+        """Request a fresh snapshot from every watched device."""
+        for tid in self.watched:
+            context = next(self._contexts)
+            self._context_tid[context] = tid
+            self.send(
+                tid,
+                function=UTIL_PARAMS_GET,
+                initiator_context=context,
+            )
+        self.sweeps += 1
+        return len(self.watched)
+
+    def _on_params_reply(self, frame: Frame) -> None:
+        if not frame.is_reply:
+            # Someone asked the monitor for its own parameters.
+            from repro.core.device import encode_params
+
+            self.reply(frame, encode_params(self.parameters))
+            return
+        tid = self._context_tid.pop(frame.initiator_context, None)
+        if tid is None or frame.is_failure:
+            return
+        self.snapshots[tid] = decode_params(frame.payload)
+
+    def snapshot(self, tid: Tid) -> dict[str, str]:
+        return dict(self.snapshots.get(tid, {}))

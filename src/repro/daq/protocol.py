@@ -1,0 +1,25 @@
+"""The private message vocabulary of the DAQ application class.
+
+All codes live in the private XFunctionCode space (Function = 0xFF)
+under organisation id ``DAQ_ORG``.  One table, shared by every DAQ
+device, so the protocol is greppable in one place.
+"""
+
+from __future__ import annotations
+
+DAQ_ORG = 0xCE12  # 'CERN-ish' vendor id for the private class
+
+# trigger -> event manager
+XF_TRIGGER = 0x0101
+# event manager -> readout units: capture data for event N
+XF_READOUT = 0x0102
+# event manager -> builder unit: event N is yours
+XF_ALLOCATE = 0x0103
+# builder unit -> readout unit: send me your fragment of event N
+XF_REQUEST_FRAGMENT = 0x0104
+# builder unit -> event manager: event N fully built
+XF_EVENT_DONE = 0x0105
+# event manager -> readout units: discard buffers of event N
+XF_CLEAR = 0x0106
+# monitor pull: report counters
+XF_REPORT = 0x0107

@@ -1,0 +1,90 @@
+"""The trigger source: where events begin.
+
+Emits ``XF_TRIGGER`` messages carrying a monotonically increasing
+event id to the event manager.  Two drive modes:
+
+* **manual** — ``fire()`` / ``fire_burst(n)`` from test or bench code;
+* **timer** — when enabled with a positive ``interval_ns`` parameter,
+  uses the I2O timer facility to self-trigger periodically, showing
+  the paper's "even timer expirations trigger messages" machinery in
+  an application role.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.core.device import Listener
+from repro.daq.protocol import DAQ_ORG, XF_TRIGGER
+from repro.i2o.errors import I2OError
+from repro.i2o.frame import Frame
+from repro.i2o.tid import Tid
+
+_EVENT_ID = struct.Struct("<Q")
+
+
+class TriggerSource(Listener):
+    """Generates the event stream."""
+
+    device_class = "daq_trigger"
+
+    def __init__(self, name: str = "trigger") -> None:
+        super().__init__(name)
+        self.evm_tid: Tid | None = None
+        self.next_event_id = 1
+        self.fired = 0
+        self.max_events: int | None = None
+        self.parameters.setdefault("interval_ns", "0")
+        self._timer_id: int | None = None
+
+    def connect(self, evm_tid: Tid) -> None:
+        """Point the trigger at the event manager (local or proxy TiD)."""
+        self.evm_tid = evm_tid
+
+    def export_counters(self) -> dict[str, object]:
+        return {"fired": self.fired, "next_event_id": self.next_event_id}
+
+    # -- manual drive ---------------------------------------------------------
+    def fire(self) -> int:
+        """Emit one trigger; returns the event id used."""
+        if self.evm_tid is None:
+            raise I2OError("trigger is not connected to an event manager")
+        event_id = self.next_event_id
+        self.next_event_id += 1
+        self.fired += 1
+        self.send(
+            self.evm_tid,
+            _EVENT_ID.pack(event_id),
+            xfunction=XF_TRIGGER,
+            organization=DAQ_ORG,
+        )
+        return event_id
+
+    def fire_burst(self, count: int) -> list[int]:
+        return [self.fire() for _ in range(count)]
+
+    # -- timer drive ------------------------------------------------------------
+    def on_enable(self) -> None:
+        interval = int(self.parameters.get("interval_ns", "0"))
+        if interval > 0:
+            self._timer_id = self.start_timer(interval, context=interval)
+
+    def on_quiesce(self) -> None:
+        if self._timer_id is not None:
+            self.cancel_timer(self._timer_id)
+            self._timer_id = None
+
+    def on_timer(self, context: int, frame: Frame) -> None:
+        if self.max_events is not None and self.fired >= self.max_events:
+            return
+        self.fire()
+        # Re-arm: context carries the interval.
+        if context > 0:
+            self._timer_id = self.start_timer(context, context=context)
+
+
+def unpack_trigger(frame: Frame) -> int:
+    """Extract the event id from an XF_TRIGGER frame."""
+    if frame.xfunction != XF_TRIGGER:
+        raise I2OError(f"not a trigger frame: xfunc 0x{frame.xfunction:04X}")
+    return _EVENT_ID.unpack_from(frame.payload, 0)[0]

@@ -1,0 +1,150 @@
+"""The LAN device class: a network port as an I2O device.
+
+A :class:`LanDevice` is a port on a shared :class:`LanSegment`
+(broadcast domain).  Applications hand it Ethernet-style packets
+(destination MAC + payload) as private frames; the device delivers
+them to the port(s) whose MAC matches, where registered listeners
+receive them — again through ordinary I2O messages, so "network card"
+and "application" are operationally identical device classes.
+
+Class-specific messages:
+
+====================  ======
+``XF_LAN_SEND``       0x0221  payload: dst_mac u48, src ignored, data
+``XF_LAN_RECEIVED``   0x0222  unsolicited-style delivery to subscribers
+====================  ======
+
+Subscription uses the standard ``UtilEventRegister`` machinery —
+received packets are forwarded to every TiD that registered with the
+port, carried in ``XF_LAN_RECEIVED`` frames.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.core.device import Listener
+from repro.i2o.errors import I2OError
+from repro.i2o.frame import Frame
+from repro.i2o.tid import Tid
+
+XF_LAN_SEND = 0x0221
+XF_LAN_RECEIVED = 0x0222
+
+_MAC = struct.Struct("<Q")  # 48-bit MAC in the low bits
+BROADCAST_MAC = 0xFFFFFFFFFFFF
+
+
+class LanSegment:
+    """The shared medium: MAC → attached LanDevice."""
+
+    def __init__(self, name: str = "lan0") -> None:
+        self.name = name
+        self._ports: dict[int, "LanDevice"] = {}
+        self.packets = 0
+        self.broadcasts = 0
+
+    def attach(self, mac: int, port: "LanDevice") -> None:
+        if mac in self._ports:
+            raise I2OError(f"MAC {mac:012x} already on segment {self.name}")
+        if not 0 <= mac < BROADCAST_MAC:
+            raise I2OError(f"invalid unicast MAC {mac:x}")
+        self._ports[mac] = port
+
+    def carry(self, src_mac: int, dst_mac: int, data: bytes) -> int:
+        """Deliver a packet; returns the number of ports reached."""
+        self.packets += 1
+        if dst_mac == BROADCAST_MAC:
+            self.broadcasts += 1
+            reached = 0
+            for mac, port in self._ports.items():
+                if mac != src_mac:
+                    port._deliver(src_mac, data)
+                    reached += 1
+            return reached
+        port = self._ports.get(dst_mac)
+        if port is None:
+            return 0
+        port._deliver(src_mac, data)
+        return 1
+
+
+class LanDevice(Listener):
+    """One port on a LAN segment."""
+
+    device_class = "i2o_lan"
+
+    def __init__(self, segment: LanSegment, mac: int, name: str = "") -> None:
+        super().__init__(name or f"lan-{mac:04x}")
+        self.segment = segment
+        self.mac = mac
+        segment.attach(mac, self)
+        self.sent = 0
+        self.received = 0
+        self.dropped = 0
+
+    def on_plugin(self) -> None:
+        self.bind(XF_LAN_SEND, self._on_send)
+
+    def export_counters(self) -> dict[str, object]:
+        return {"sent": self.sent, "received": self.received,
+                "dropped": self.dropped}
+
+    # -- the application-facing side ------------------------------------------
+    def _on_send(self, frame: Frame) -> None:
+        if frame.is_reply:
+            return
+        if frame.payload_size < _MAC.size:
+            self.reply(frame, fail=True)
+            return
+        (dst_mac,) = _MAC.unpack_from(frame.payload, 0)
+        data = bytes(frame.payload[_MAC.size:])
+        reached = self.segment.carry(self.mac, dst_mac, data)
+        self.sent += 1
+        if reached == 0:
+            self.dropped += 1
+        self.reply(frame, bytes([1 if reached else 0]))
+
+    # -- the wire-facing side ---------------------------------------------------
+    def _deliver(self, src_mac: int, data: bytes) -> None:
+        """A packet arrived from the segment: forward to subscribers."""
+        self.received += 1
+        if self.executive is None:
+            return
+        payload = _MAC.pack(src_mac) + data
+        for tid in self._event_subscribers:
+            self.send(tid, payload, xfunction=XF_LAN_RECEIVED)
+
+
+class LanClient(Listener):
+    """A protocol endpoint: sends through a port, collects deliveries."""
+
+    device_class = "i2o_lan_client"
+
+    def __init__(self, name: str = "lan-client") -> None:
+        super().__init__(name)
+        self.inbox: list[tuple[int, bytes]] = []  # (src_mac, data)
+        self.send_results: list[bool] = []
+
+    def on_plugin(self) -> None:
+        self.bind(XF_LAN_SEND, self._on_send_reply)
+        self.bind(XF_LAN_RECEIVED, self._on_packet)
+
+    def subscribe(self, port_tid: Tid) -> None:
+        """Register for packet delivery via standard UtilEventRegister."""
+        from repro.i2o.function_codes import UTIL_EVENT_REGISTER
+
+        self.send(port_tid, function=UTIL_EVENT_REGISTER)
+
+    def transmit(self, port_tid: Tid, dst_mac: int, data: bytes) -> None:
+        self.send(port_tid, _MAC.pack(dst_mac) + data, xfunction=XF_LAN_SEND)
+
+    def _on_send_reply(self, frame: Frame) -> None:
+        if frame.is_reply and frame.payload_size:
+            self.send_results.append(bool(frame.payload[0]))
+
+    def _on_packet(self, frame: Frame) -> None:
+        if frame.is_reply:
+            return
+        (src_mac,) = _MAC.unpack_from(frame.payload, 0)
+        self.inbox.append((src_mac, bytes(frame.payload[_MAC.size:])))

@@ -1,0 +1,42 @@
+"""Clocks and time probes.
+
+The paper's whitebox benchmark used *"lightweight high-resolution time
+probes based on reading the CPU clock ticks into some reserved memory
+region"* — the native-plane analogue is ``time.perf_counter_ns``; the
+simulation-plane analogue is the virtual clock of the discrete-event
+kernel.  Framework code only ever sees the :class:`Clock` protocol, so
+the two planes share every code path.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Protocol, runtime_checkable
+
+from repro.sim.kernel import Simulator
+
+
+@runtime_checkable
+class Clock(Protocol):
+    """Minimal clock interface used throughout the framework."""
+
+    def now_ns(self) -> int:
+        """Current time in nanoseconds (monotonic)."""
+        ...  # pragma: no cover - protocol
+
+
+class WallClock:
+    """Real monotonic time (native plane)."""
+
+    def now_ns(self) -> int:
+        return time.perf_counter_ns()
+
+
+class SimClock:
+    """Virtual time read from a simulation kernel (simulation plane)."""
+
+    def __init__(self, sim: Simulator) -> None:
+        self._sim = sim
+
+    def now_ns(self) -> int:
+        return self._sim.now

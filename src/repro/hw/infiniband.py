@@ -1,0 +1,239 @@
+"""An InfiniBand-style fabric and verbs layer.
+
+Paper §3.1: *"This communication concept is also the idea behind
+upcoming I/O approaches, such as the Infiniband architecture: data are
+transferred from host to I/O points or remote nodes through switching
+fabrics using message passing and one common addressing scheme for all
+communication."*  And §8: *"This approach allows us to exploit any
+future networking technology without the need to modify the
+applications."*
+
+This module is that claim made executable: a *different* interconnect
+generation — higher link rate, host channel adapters with queue pairs
+and completion queues instead of GM ports and tokens — behind the same
+peer-transport interface, so the 2000-era framework drives 2001-era
+hardware unchanged (see :class:`repro.transports.simib.SimIbTransport`
+and the transparency tests).
+
+Model essentials (IB 1x SDR era):
+
+* 2.5 Gbit/s signalling, 8b/10b → 250 MB/s data rate (3.2× Myrinet);
+* queue pairs: ``post_send`` consumes a send WQE, completions arrive
+  on the completion queue; receives require posted receive WQEs
+  (like GM tokens, but per-QP);
+* cut-through switching with ~200 ns per-hop latency;
+* the host interface is PCI-independent here (HCA with its own DMA),
+  modelled at 120 MB/s effective — the per-byte bottleneck.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.hw.myrinet import FabricError, FabricStats, Hop, _cut_through_delivery
+from repro.i2o.errors import I2OError
+from repro.sim.kernel import Simulator
+
+
+class IbError(I2OError):
+    """Verbs misuse (no WQEs, unknown LID, ...)."""
+
+
+@dataclass(frozen=True)
+class IbParams:
+    """Calibration for the IB 1x model (nanoseconds)."""
+
+    #: verbs post + doorbell
+    host_post_overhead_ns: int = 700
+    #: HCA processing per message, each direction
+    hca_process_ns: int = 1_300
+    #: completion handling on the receive side
+    host_completion_ns: int = 700
+    #: HCA DMA engine: effective 120 MB/s
+    hca_dma_setup_ns: int = 300
+    hca_dma_ns_per_byte: float = 8.3
+    #: 250 MB/s data-rate link
+    link_ns_per_byte: float = 4.0
+    link_propagation_ns: int = 100
+    switch_hop_ns: int = 200
+    flit_bytes: int = 16
+    wire_header_bytes: int = 30  # LRH + BTH + ICRC/VCRC
+
+
+@dataclass
+class WorkCompletion:
+    """One entry on a completion queue."""
+
+    kind: str  # "send" or "recv"
+    src_lid: int
+    data: bytes | None
+    wr_id: int
+
+
+class IbFabric:
+    """A single-subnet IB fabric: HCAs addressed by LID."""
+
+    def __init__(self, sim: Simulator, params: IbParams | None = None) -> None:
+        self.sim = sim
+        self.params = params if params is not None else IbParams()
+        self.stats = FabricStats()
+        self._hcas: dict[int, "QueuePairEndpoint"] = {}
+        self._tx_dma: dict[int, Hop] = {}
+        self._rx_dma: dict[int, Hop] = {}
+        self._links: dict[int, Hop] = {}
+        self._switch_out: dict[int, Hop] = {}
+
+    def register(self, lid: int, endpoint: "QueuePairEndpoint") -> None:
+        if lid in self._hcas:
+            raise FabricError(f"LID {lid} already registered")
+        p = self.params
+        self._hcas[lid] = endpoint
+        self._tx_dma[lid] = Hop(
+            f"hca_tx{lid}", p.hca_dma_setup_ns + p.hca_process_ns,
+            p.hca_dma_ns_per_byte,
+        )
+        self._rx_dma[lid] = Hop(
+            f"hca_rx{lid}", p.hca_dma_setup_ns + p.hca_process_ns,
+            p.hca_dma_ns_per_byte,
+        )
+        self._links[lid] = Hop(
+            f"link{lid}", p.link_propagation_ns, p.link_ns_per_byte
+        )
+        self._switch_out[lid] = Hop(
+            f"sw->{lid}", p.switch_hop_ns, p.link_ns_per_byte
+        )
+
+    def transmit(
+        self, src_lid: int, dst_lid: int, size_bytes: int,
+        deliver: Callable[[int], None],
+    ) -> int:
+        if src_lid not in self._hcas or dst_lid not in self._hcas:
+            raise FabricError(f"unknown LID in {src_lid}->{dst_lid}")
+        if src_lid == dst_lid:
+            raise FabricError("IB loopback not modelled; use a loopback PT")
+        p = self.params
+        hops = [
+            self._tx_dma[src_lid],
+            self._links[src_lid],
+            self._switch_out[dst_lid],
+            self._rx_dma[dst_lid],
+        ]
+        start = self.sim.now + p.host_post_overhead_ns
+        arrival = _cut_through_delivery(
+            hops, start, size_bytes + p.wire_header_bytes, p.flit_bytes
+        )
+        arrival += p.host_completion_ns
+        self.stats.messages += 1
+        self.stats.bytes += size_bytes
+        self.sim.at(arrival, lambda: deliver(arrival))
+        return arrival
+
+    def expected_one_way_ns(self, size_bytes: int) -> int:
+        p = self.params
+        fresh = [
+            Hop("tx", p.hca_dma_setup_ns + p.hca_process_ns,
+                p.hca_dma_ns_per_byte),
+            Hop("link", p.link_propagation_ns, p.link_ns_per_byte),
+            Hop("sw", p.switch_hop_ns, p.link_ns_per_byte),
+            Hop("rx", p.hca_dma_setup_ns + p.hca_process_ns,
+                p.hca_dma_ns_per_byte),
+        ]
+        arrival = _cut_through_delivery(
+            fresh, p.host_post_overhead_ns,
+            size_bytes + p.wire_header_bytes, p.flit_bytes,
+        )
+        return arrival + p.host_completion_ns
+
+
+class QueuePairEndpoint:
+    """One HCA's verbs interface: a QP plus completion queue.
+
+    Verbs semantics reproduced:
+
+    * ``post_send(data, dst_lid, wr_id)`` consumes a send WQE slot;
+      a ``send`` completion is posted when the HCA's DMA finishes;
+    * inbound messages consume a posted receive WQE; without one the
+      message is dropped and counted (IB without flow-control credits:
+      RNR); ``post_recv`` replenishes;
+    * completions accumulate on the CQ; ``poll_cq`` drains them, or a
+      comp handler is invoked (event-driven mode).
+    """
+
+    def __init__(
+        self,
+        fabric: IbFabric,
+        lid: int,
+        *,
+        send_depth: int = 64,
+        recv_depth: int = 64,
+    ) -> None:
+        self.fabric = fabric
+        self.lid = lid
+        self.send_depth = send_depth
+        self._send_slots = send_depth
+        self._recv_wqes: deque[int] = deque(range(recv_depth))
+        self._next_recv_wr = recv_depth
+        self._cq: deque[WorkCompletion] = deque()
+        self.comp_handler: Callable[[], None] | None = None
+        self.rnr_drops = 0
+        fabric.register(lid, self)
+
+    # -- verbs ----------------------------------------------------------------
+    def post_recv(self, count: int = 1) -> None:
+        if count < 1:
+            raise IbError(f"count must be >= 1, got {count}")
+        for _ in range(count):
+            self._recv_wqes.append(self._next_recv_wr)
+            self._next_recv_wr += 1
+
+    def post_send(self, data: bytes, dst_lid: int, wr_id: int = 0) -> None:
+        if self._send_slots <= 0:
+            raise IbError(f"LID {self.lid}: send queue full")
+        self._send_slots -= 1
+        payload = bytes(data)
+        dst = self.fabric._hcas.get(dst_lid)
+        if dst is None:
+            self._send_slots += 1
+            raise IbError(f"no HCA at LID {dst_lid}")
+        p = self.fabric.params
+
+        def tx_done() -> None:
+            self._send_slots += 1
+            self._complete(WorkCompletion("send", self.lid, None, wr_id))
+
+        # Local DMA completion returns the send slot.
+        local_done = (
+            p.host_post_overhead_ns + p.hca_dma_setup_ns
+            + int(len(payload) * p.hca_dma_ns_per_byte)
+        )
+        self.fabric.sim.after(local_done, tx_done)
+        self.fabric.transmit(
+            self.lid, dst_lid, len(payload),
+            lambda _t: dst._on_arrival(self.lid, payload),
+        )
+
+    def poll_cq(self, max_entries: int = 16) -> list[WorkCompletion]:
+        out = []
+        while self._cq and len(out) < max_entries:
+            out.append(self._cq.popleft())
+        return out
+
+    @property
+    def cq_depth(self) -> int:
+        return len(self._cq)
+
+    # -- internals ---------------------------------------------------------------
+    def _on_arrival(self, src_lid: int, data: bytes) -> None:
+        if not self._recv_wqes:
+            self.rnr_drops += 1
+            self.fabric.stats.drops += 1
+            return
+        wr_id = self._recv_wqes.popleft()
+        self._complete(WorkCompletion("recv", src_lid, data, wr_id))
+
+    def _complete(self, completion: WorkCompletion) -> None:
+        self._cq.append(completion)
+        if self.comp_handler is not None:
+            self.comp_handler()

@@ -1,0 +1,224 @@
+"""Multi-switch Myrinet topologies.
+
+The paper's testbed was two hosts on one switch;
+:class:`~repro.hw.myrinet.Fabric` models exactly that.  Real Myrinet
+SANs (and the clusters the paper aims at) are switch *fabrics* —
+source-routed networks of crossbars.  :class:`MultiSwitchFabric`
+generalises the model: hosts attach to named switches, switches are
+trunked together, and each message follows the precomputed
+shortest-path hop chain with the same cut-through recurrence and
+``free_at`` contention bookkeeping as the single-switch model.
+
+The class is interface-compatible with :class:`Fabric` (``attach``,
+``transmit``, ``expected_one_way_ns``, ``params``, ``sim``, ``stats``,
+``_nics``), so :class:`~repro.hw.gm.GmPort` and the Myrinet peer
+transport run over it unchanged — which is itself a test of the
+paper's transparency claim at the hardware-model level.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Callable
+
+from repro.hw.myrinet import (
+    FabricError,
+    FabricStats,
+    Hop,
+    MyrinetParams,
+    _cut_through_delivery,
+)
+from repro.sim.kernel import Simulator
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.hw.gm import GmNic
+
+
+class _SwitchNode:
+    def __init__(self, name: str, params: MyrinetParams) -> None:
+        self.name = name
+        self.params = params
+        #: outgoing port hops keyed by neighbour (switch name or host id)
+        self.ports: dict[object, Hop] = {}
+
+    def port_to(self, neighbour: object) -> Hop:
+        hop = self.ports.get(neighbour)
+        if hop is None:
+            hop = Hop(
+                f"{self.name}->{neighbour}",
+                self.params.switch_route_ns,
+                self.params.link_ns_per_byte,
+            )
+            self.ports[neighbour] = hop
+        return hop
+
+
+class MultiSwitchFabric:
+    """A source-routed network of crossbar switches."""
+
+    def __init__(self, sim: Simulator, params: MyrinetParams | None = None) -> None:
+        self.sim = sim
+        self.params = params if params is not None else MyrinetParams()
+        self.stats = FabricStats()
+        self._switches: dict[str, _SwitchNode] = {}
+        self._trunks: dict[tuple[str, str], Hop] = {}
+        self._adjacency: dict[str, list[str]] = {}
+        self._host_switch: dict[int, str] = {}
+        self._nics: dict[int, "GmNic"] = {}
+        self._host_up: dict[int, Hop] = {}
+        self._host_down: dict[int, Hop] = {}
+        self._dma_tx: dict[int, Hop] = {}
+        self._dma_rx: dict[int, Hop] = {}
+        self._routes: dict[tuple[str, str], list[str]] = {}
+
+    # -- topology construction -------------------------------------------------
+    def add_switch(self, name: str) -> None:
+        if name in self._switches:
+            raise FabricError(f"switch {name!r} already exists")
+        self._switches[name] = _SwitchNode(name, self.params)
+        self._adjacency[name] = []
+        self._routes.clear()
+
+    def link_switches(self, a: str, b: str) -> None:
+        """Trunk two switches (full duplex: one serialised hop each way)."""
+        for name in (a, b):
+            if name not in self._switches:
+                raise FabricError(f"unknown switch {name!r}")
+        if a == b:
+            raise FabricError("cannot trunk a switch to itself")
+        if (a, b) in self._trunks:
+            raise FabricError(f"switches {a!r} and {b!r} already trunked")
+        p = self.params
+        self._trunks[(a, b)] = Hop(
+            f"trunk {a}->{b}", p.link_propagation_ns, p.link_ns_per_byte
+        )
+        self._trunks[(b, a)] = Hop(
+            f"trunk {b}->{a}", p.link_propagation_ns, p.link_ns_per_byte
+        )
+        self._adjacency[a].append(b)
+        self._adjacency[b].append(a)
+        self._routes.clear()
+
+    def attach(self, node: int, nic: "GmNic", switch: str | None = None) -> None:
+        if node in self._nics:
+            raise FabricError(f"node {node} already attached")
+        if switch is None:
+            if not self._switches:
+                self.add_switch("sw0")
+            switch = next(iter(self._switches))
+        if switch not in self._switches:
+            raise FabricError(f"unknown switch {switch!r}")
+        p = self.params
+        self._nics[node] = nic
+        self._host_switch[node] = switch
+        self._host_up[node] = Hop(
+            f"host{node}.up", p.link_propagation_ns, p.link_ns_per_byte
+        )
+        self._host_down[node] = Hop(
+            f"host{node}.down", p.link_propagation_ns, p.link_ns_per_byte
+        )
+        self._dma_tx[node] = Hop(
+            f"dma_tx{node}", p.pci_dma_setup_ns + p.mcp_process_ns,
+            p.pci_dma_ns_per_byte,
+        )
+        self._dma_rx[node] = Hop(
+            f"dma_rx{node}", p.pci_dma_setup_ns + p.mcp_process_ns,
+            p.pci_dma_ns_per_byte,
+        )
+
+    def nodes(self) -> list[int]:
+        return sorted(self._nics)
+
+    # -- routing --------------------------------------------------------------
+    def switch_path(self, src_switch: str, dst_switch: str) -> list[str]:
+        """Shortest switch sequence from src to dst (BFS, cached)."""
+        key = (src_switch, dst_switch)
+        cached = self._routes.get(key)
+        if cached is not None:
+            return cached
+        if src_switch == dst_switch:
+            path = [src_switch]
+        else:
+            parents: dict[str, str] = {}
+            frontier = deque([src_switch])
+            seen = {src_switch}
+            while frontier:
+                current = frontier.popleft()
+                if current == dst_switch:
+                    break
+                for neighbour in self._adjacency[current]:
+                    if neighbour not in seen:
+                        seen.add(neighbour)
+                        parents[neighbour] = current
+                        frontier.append(neighbour)
+            else:
+                raise FabricError(
+                    f"no route from switch {src_switch!r} to {dst_switch!r}"
+                )
+            path = [dst_switch]
+            while path[-1] != src_switch:
+                path.append(parents[path[-1]])
+            path.reverse()
+        self._routes[key] = path
+        return path
+
+    def _hops(self, src: int, dst: int) -> list[Hop]:
+        path = self.switch_path(self._host_switch[src], self._host_switch[dst])
+        hops: list[Hop] = [self._dma_tx[src], self._host_up[src]]
+        for i, switch_name in enumerate(path):
+            switch = self._switches[switch_name]
+            if i + 1 < len(path):
+                next_name = path[i + 1]
+                hops.append(switch.port_to(next_name))
+                hops.append(self._trunks[(switch_name, next_name)])
+            else:
+                hops.append(switch.port_to(dst))
+        hops.append(self._host_down[dst])
+        hops.append(self._dma_rx[dst])
+        return hops
+
+    def hop_count(self, src: int, dst: int) -> int:
+        return len(self._hops(src, dst))
+
+    # -- transmission -------------------------------------------------------------
+    def transmit(
+        self, src: int, dst: int, size_bytes: int,
+        deliver: Callable[[int], None],
+    ) -> int:
+        if src not in self._nics:
+            raise FabricError(f"source node {src} not attached")
+        if dst not in self._nics:
+            raise FabricError(f"destination node {dst} not attached")
+        if src == dst:
+            raise FabricError("fabric loopback not supported; use a loopback PT")
+        p = self.params
+        wire_bytes = size_bytes + p.wire_header_bytes
+        start = self.sim.now + p.host_send_overhead_ns
+        arrival = _cut_through_delivery(
+            self._hops(src, dst), start, wire_bytes, p.flit_bytes
+        )
+        arrival += p.host_recv_overhead_ns
+        self.stats.messages += 1
+        self.stats.bytes += size_bytes
+        key = (src, dst)
+        self.stats.per_pair[key] = self.stats.per_pair.get(key, 0) + 1
+        self.sim.at(arrival, lambda: deliver(arrival))
+        return arrival
+
+    def expected_one_way_ns(self, size_bytes: int, src: int = None,
+                            dst: int = None) -> int:  # type: ignore[assignment]
+        """Uncontended latency between ``src`` and ``dst`` (defaults:
+        the two lowest-numbered hosts)."""
+        nodes = self.nodes()
+        if src is None:
+            src = nodes[0]
+        if dst is None:
+            dst = nodes[1]
+        p = self.params
+        live_hops = self._hops(src, dst)
+        fresh = [Hop(h.name, h.fixed_ns, h.ns_per_byte) for h in live_hops]
+        arrival = _cut_through_delivery(
+            fresh, p.host_send_overhead_ns,
+            size_bytes + p.wire_header_bytes, p.flit_bytes,
+        )
+        return arrival + p.host_recv_overhead_ns

@@ -1,0 +1,349 @@
+"""The I2O message frame (paper figure 5).
+
+One binary layout for every message in the system.  The frame is a
+*view* over a buffer — normally a block loaned from the executive's
+memory pool (:mod:`repro.mem`), so that building, routing, transmitting
+and dispatching a message never copies the payload (paper §4: "All
+communication employs a zero-copy scheme as the message buffers are
+taken from the executive's memory pool").
+
+Layout (little-endian, 32-byte fixed header)::
+
+    offset  size  field
+    ------  ----  -----------------------------------------------------
+       0      1   version            (I2O_VERSION = 0x20 for v2.0)
+       1      1   msg_flags          (REPLY / FAIL / MORE / LAST)
+       2      1   priority           (0 = highest .. 6 = lowest)
+       3      1   function           (0xFF = private, see function_codes)
+       4      2   target_tid         (12-bit TiD, destination device)
+       6      2   initiator_tid      (12-bit TiD, source device)
+       8      4   payload_size       (bytes following the header)
+      12      2   organization_id    (vendor id for private messages)
+      14      2   xfunction_code     (private function discriminator)
+      16      8   initiator_context  (returned untouched in replies)
+      24      8   transaction_context(correlates fragments / transactions)
+      32      ..  payload
+
+Deviations from the on-the-wire I2O v2.0 spec, chosen deliberately and
+kept stable:
+
+* the spec counts ``MessageSize`` in 32-bit words in a 16-bit field,
+  which cannot express the paper's own 256 KB maximum block; we store a
+  byte count in 32 bits;
+* ``target_tid``/``initiator_tid`` occupy a full 16 bits each instead
+  of packed 12+12+8; values remain 12-bit (validated);
+* contexts are 64-bit from the start (the spec grew them in v2.0).
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Any
+
+from repro.i2o.errors import FrameFormatError
+from repro.i2o.function_codes import PRIVATE, function_name
+from repro.i2o.tid import MAX_TID
+
+I2O_VERSION = 0x20
+
+FLAG_REPLY = 0x01  # this frame answers a request
+FLAG_FAIL = 0x02  # reply signals failure / transaction error
+FLAG_MORE = 0x04  # more fragments of this transaction follow
+FLAG_LAST = 0x08  # final fragment of a multi-frame transaction
+
+_ALL_FLAGS = FLAG_REPLY | FLAG_FAIL | FLAG_MORE | FLAG_LAST
+
+_HEADER = struct.Struct("<BBBBHHIHHQQ")
+HEADER_SIZE = _HEADER.size  # 32
+
+NUM_PRIORITIES = 7  # paper §4: "There exist seven priority levels"
+DEFAULT_PRIORITY = 3
+
+#: Paper §4: "Memory is allocated in fixed sized blocks with a maximum
+#: length of 256 KB."  A frame (header + payload) must fit one block.
+MAX_FRAME_SIZE = 256 * 1024
+MAX_PAYLOAD_SIZE = MAX_FRAME_SIZE - HEADER_SIZE
+
+
+class Frame:
+    """A mutable view of one I2O message inside a buffer.
+
+    ``Frame`` never owns payload memory itself: ``buffer`` is any
+    writable buffer (a :class:`memoryview` of a pool block, or a
+    ``bytearray`` for standalone use in tests).  ``block`` optionally
+    records the pool block backing the buffer so ``frame_free`` can
+    return it (see :class:`repro.mem.pool.BufferPool`).
+    """
+
+    __slots__ = ("_buf", "block")
+
+    def __init__(self, buffer: memoryview | bytearray, block: Any = None) -> None:
+        if isinstance(buffer, bytearray):
+            buffer = memoryview(buffer)
+        if buffer.readonly:
+            raise FrameFormatError("frame buffer must be writable")
+        if len(buffer) < HEADER_SIZE:
+            raise FrameFormatError(
+                f"buffer too small for header: {len(buffer)} < {HEADER_SIZE}"
+            )
+        self._buf = buffer
+        self.block = block
+
+    # -- construction -------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        *,
+        target: int,
+        initiator: int,
+        function: int = PRIVATE,
+        payload: bytes | bytearray | memoryview = b"",
+        priority: int = DEFAULT_PRIORITY,
+        flags: int = 0,
+        organization: int = 0,
+        xfunction: int = 0,
+        initiator_context: int = 0,
+        transaction_context: int = 0,
+        buffer: memoryview | bytearray | None = None,
+        block: Any = None,
+    ) -> "Frame":
+        """Build a frame, writing header and payload into ``buffer``.
+
+        Without ``buffer`` a right-sized ``bytearray`` is allocated
+        (convenient for tests and small control traffic); with a pool
+        block's memoryview this is the zero-copy path.
+        """
+        size = len(payload)
+        if size > MAX_PAYLOAD_SIZE:
+            raise FrameFormatError(
+                f"payload {size} exceeds max {MAX_PAYLOAD_SIZE}; use an SGL chain"
+            )
+        if buffer is None:
+            buffer = bytearray(HEADER_SIZE + size)
+        frame = cls(buffer, block=block)
+        if HEADER_SIZE + size > len(frame._buf):
+            raise FrameFormatError(
+                f"payload {size} does not fit buffer of {len(frame._buf)}"
+            )
+        frame.set_header(
+            target=target,
+            initiator=initiator,
+            function=function,
+            payload_size=size,
+            priority=priority,
+            flags=flags,
+            organization=organization,
+            xfunction=xfunction,
+            initiator_context=initiator_context,
+            transaction_context=transaction_context,
+        )
+        if size:
+            frame._buf[HEADER_SIZE : HEADER_SIZE + size] = payload
+        return frame
+
+    @classmethod
+    def parse(cls, data: bytes | bytearray | memoryview, block: Any = None) -> "Frame":
+        """Wrap and validate received bytes (copying only if immutable)."""
+        if isinstance(data, bytes):
+            data = bytearray(data)
+        frame = cls(data, block=block)
+        frame.validate()
+        return frame
+
+    # -- raw header access ----------------------------------------------------
+    def _unpack(self) -> tuple:
+        return _HEADER.unpack_from(self._buf, 0)
+
+    def set_header(
+        self,
+        *,
+        target: int,
+        initiator: int,
+        function: int,
+        payload_size: int,
+        priority: int = DEFAULT_PRIORITY,
+        flags: int = 0,
+        organization: int = 0,
+        xfunction: int = 0,
+        initiator_context: int = 0,
+        transaction_context: int = 0,
+    ) -> None:
+        if not 0 <= target <= MAX_TID:
+            raise FrameFormatError(f"target TiD {target} out of range")
+        if not 0 <= initiator <= MAX_TID:
+            raise FrameFormatError(f"initiator TiD {initiator} out of range")
+        if not 0 <= function <= 0xFF:
+            raise FrameFormatError(f"function 0x{function:X} out of range")
+        if not 0 <= priority < NUM_PRIORITIES:
+            raise FrameFormatError(f"priority {priority} out of range 0..6")
+        if flags & ~_ALL_FLAGS:
+            raise FrameFormatError(f"unknown flag bits 0x{flags:02X}")
+        _HEADER.pack_into(
+            self._buf,
+            0,
+            I2O_VERSION,
+            flags,
+            priority,
+            function,
+            target,
+            initiator,
+            payload_size,
+            organization & 0xFFFF,
+            xfunction & 0xFFFF,
+            initiator_context & 0xFFFFFFFFFFFFFFFF,
+            transaction_context & 0xFFFFFFFFFFFFFFFF,
+        )
+
+    # -- field properties -------------------------------------------------
+    @property
+    def version(self) -> int:
+        return self._buf[0]
+
+    @property
+    def flags(self) -> int:
+        return self._buf[1]
+
+    @flags.setter
+    def flags(self, value: int) -> None:
+        if value & ~_ALL_FLAGS:
+            raise FrameFormatError(f"unknown flag bits 0x{value:02X}")
+        self._buf[1] = value
+
+    @property
+    def priority(self) -> int:
+        return self._buf[2]
+
+    @priority.setter
+    def priority(self, value: int) -> None:
+        if not 0 <= value < NUM_PRIORITIES:
+            raise FrameFormatError(f"priority {value} out of range 0..6")
+        self._buf[2] = value
+
+    @property
+    def function(self) -> int:
+        return self._buf[3]
+
+    @property
+    def target(self) -> int:
+        return int.from_bytes(self._buf[4:6], "little")
+
+    @target.setter
+    def target(self, tid: int) -> None:
+        if not 0 <= tid <= MAX_TID:
+            raise FrameFormatError(f"target TiD {tid} out of range")
+        self._buf[4:6] = tid.to_bytes(2, "little")
+
+    @property
+    def initiator(self) -> int:
+        return int.from_bytes(self._buf[6:8], "little")
+
+    @initiator.setter
+    def initiator(self, tid: int) -> None:
+        if not 0 <= tid <= MAX_TID:
+            raise FrameFormatError(f"initiator TiD {tid} out of range")
+        self._buf[6:8] = tid.to_bytes(2, "little")
+
+    @property
+    def payload_size(self) -> int:
+        return int.from_bytes(self._buf[8:12], "little")
+
+    @property
+    def organization(self) -> int:
+        return int.from_bytes(self._buf[12:14], "little")
+
+    @property
+    def xfunction(self) -> int:
+        return int.from_bytes(self._buf[14:16], "little")
+
+    @property
+    def initiator_context(self) -> int:
+        return int.from_bytes(self._buf[16:24], "little")
+
+    @initiator_context.setter
+    def initiator_context(self, value: int) -> None:
+        self._buf[16:24] = (value & 0xFFFFFFFFFFFFFFFF).to_bytes(8, "little")
+
+    @property
+    def transaction_context(self) -> int:
+        return int.from_bytes(self._buf[24:32], "little")
+
+    @transaction_context.setter
+    def transaction_context(self, value: int) -> None:
+        self._buf[24:32] = (value & 0xFFFFFFFFFFFFFFFF).to_bytes(8, "little")
+
+    # -- flag helpers -------------------------------------------------------
+    @property
+    def is_reply(self) -> bool:
+        return bool(self.flags & FLAG_REPLY)
+
+    @property
+    def is_failure(self) -> bool:
+        return bool(self.flags & FLAG_FAIL)
+
+    @property
+    def has_more(self) -> bool:
+        return bool(self.flags & FLAG_MORE)
+
+    # -- payload ------------------------------------------------------------
+    @property
+    def payload(self) -> memoryview:
+        """Zero-copy writable view of the payload bytes."""
+        return self._buf[HEADER_SIZE : HEADER_SIZE + self.payload_size]
+
+    @property
+    def total_size(self) -> int:
+        return HEADER_SIZE + self.payload_size
+
+    def tobytes(self) -> bytes:
+        """Serialise header + payload for the wire (this is the one copy
+        a byte-stream transport like TCP must make)."""
+        return bytes(self._buf[: self.total_size])
+
+    # -- validation & comparison -----------------------------------------
+    def validate(self) -> "Frame":
+        """Check structural well-formedness; returns self for chaining.
+
+        One bulk header unpack instead of per-field property reads:
+        this runs per message on both the send and receive hot paths.
+        """
+        (
+            version,
+            flags,
+            priority,
+            _function,
+            target,
+            initiator,
+            payload_size,
+            *_rest,
+        ) = _HEADER.unpack_from(self._buf, 0)
+        if version != I2O_VERSION:
+            raise FrameFormatError(
+                f"bad version 0x{version:02X}, expected 0x{I2O_VERSION:02X}"
+            )
+        if flags & ~_ALL_FLAGS:
+            raise FrameFormatError(f"unknown flag bits 0x{flags:02X}")
+        if priority >= NUM_PRIORITIES:
+            raise FrameFormatError(f"priority {priority} out of range")
+        if target > MAX_TID or initiator > MAX_TID:
+            raise FrameFormatError("TiD out of 12-bit range")
+        total = HEADER_SIZE + payload_size
+        if total > len(self._buf):
+            raise FrameFormatError(
+                f"declared payload {payload_size} overruns buffer "
+                f"of {len(self._buf)}"
+            )
+        if total > MAX_FRAME_SIZE:
+            raise FrameFormatError(f"frame {total} exceeds 256 KB block")
+        return self
+
+    def same_message(self, other: "Frame") -> bool:
+        """Header-and-payload equality (identity of content, not buffer)."""
+        return self.tobytes() == other.tobytes()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<Frame {function_name(self.function)} "
+            f"tid {self.initiator}->{self.target} prio={self.priority} "
+            f"xfunc=0x{self.xfunction:04X} size={self.payload_size} "
+            f"flags=0x{self.flags:02X}>"
+        )

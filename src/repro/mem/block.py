@@ -1,0 +1,99 @@
+"""Reference-counted pool blocks.
+
+A block is a fixed-size span of pool memory loaned to exactly one
+in-flight message at a time.  The reference count implements the
+paper's "automatic garbage collection ... blocks are recycled if they
+are not referenced anymore": a transport that needs to hold a frame
+across an asynchronous send takes an extra reference; the block only
+returns to its free list when the last holder releases it.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.i2o.errors import I2OError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.mem.pool import Allocator
+
+
+class BlockStateError(I2OError):
+    """Use of a block that is not currently loaned out."""
+
+
+class PoolBlock:
+    """One fixed-size block of pool memory.
+
+    Blocks are created once by their allocator and recycled forever;
+    ``memory`` is a writable memoryview of the block's full capacity.
+    User code receives blocks only through
+    :meth:`repro.mem.pool.BufferPool.alloc`.
+    """
+
+    __slots__ = ("memory", "capacity", "index", "size_class", "_owner", "_refcount")
+
+    def __init__(
+        self,
+        memory: memoryview,
+        *,
+        index: int,
+        size_class: int,
+        owner: "Allocator",
+    ) -> None:
+        if memory.readonly:
+            raise BlockStateError("block memory must be writable")
+        self.memory = memory
+        self.capacity = len(memory)
+        self.index = index
+        self.size_class = size_class
+        self._owner = owner
+        self._refcount = 0
+
+    @property
+    def refcount(self) -> int:
+        return self._refcount
+
+    @property
+    def in_use(self) -> bool:
+        return self._refcount > 0
+
+    def _loan(self) -> None:
+        """Called by the allocator when handing the block out."""
+        if self._refcount != 0:
+            raise BlockStateError(
+                f"block {self.index} loaned while refcount={self._refcount}"
+            )
+        self._refcount = 1
+
+    def addref(self) -> "PoolBlock":
+        """Take an additional reference; returns self for chaining.
+
+        Guarded by the owning allocator's lock: references may be taken
+        and dropped from any thread of any executive.
+        """
+        with self._owner.lock:
+            if self._refcount <= 0:
+                raise BlockStateError(f"addref on free block {self.index}")
+            self._refcount += 1
+            return self
+
+    def release(self) -> bool:
+        """Drop one reference; recycles the block (and returns True)
+        when the count reaches zero."""
+        with self._owner.lock:
+            if self._refcount <= 0:
+                raise BlockStateError(
+                    f"release of free block {self.index} (double free?)"
+                )
+            self._refcount -= 1
+            if self._refcount == 0:
+                self._owner._recycle(self)
+                return True
+            return False
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<PoolBlock #{self.index} cap={self.capacity} "
+            f"refs={self._refcount}>"
+        )

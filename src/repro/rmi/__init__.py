@@ -1,0 +1,24 @@
+"""RMI-style adapters over I2O frames.
+
+Paper §4: *"To further shield users from these details, adapters can
+be provided that allow a remote method invocation style communication
+scheme.  The stub part will take the call parameters and marshal them
+into a standard message, whereas the skeleton part scans the message
+and provides typed pointers to its contents."*
+"""
+
+from repro.rmi.marshal import MarshalError, marshal, unmarshal
+from repro.rmi.skeleton import RemoteObject, remote
+from repro.rmi.stub import CallFuture, RemoteCallError, Stub, StubDevice
+
+__all__ = [
+    "CallFuture",
+    "MarshalError",
+    "RemoteCallError",
+    "RemoteObject",
+    "Stub",
+    "StubDevice",
+    "marshal",
+    "remote",
+    "unmarshal",
+]

@@ -1,0 +1,167 @@
+"""Type-tagged binary marshalling for RMI payloads.
+
+A deliberately small, self-describing format (no pickle: frames cross
+trust boundaries, and the paper's point is a *standard* wire format).
+Each value is a one-byte tag followed by a fixed or length-prefixed
+body; containers nest.
+
+=====  =======================================
+tag    body
+=====  =======================================
+``N``  none (empty)
+``T``  true / ``F`` false (empty)
+``i``  int64 little-endian
+``I``  arbitrary-precision int (u32 length + sign byte + magnitude)
+``d``  float64 little-endian
+``s``  UTF-8 string (u32 length + bytes)
+``b``  bytes (u32 length + raw)
+``l``  list (u32 count + items)
+``t``  tuple (u32 count + items)
+``m``  dict (u32 count + alternating key/value)
+=====  =======================================
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Any
+
+from repro.i2o.errors import I2OError
+
+_I64 = struct.Struct("<q")
+_F64 = struct.Struct("<d")
+_U32 = struct.Struct("<I")
+
+_I64_MIN = -(2**63)
+_I64_MAX = 2**63 - 1
+
+MAX_DEPTH = 32
+
+
+class MarshalError(I2OError):
+    """Unsupported type or malformed marshalled data."""
+
+
+def _encode(value: Any, out: list[bytes], depth: int) -> None:
+    if depth > MAX_DEPTH:
+        raise MarshalError(f"nesting deeper than {MAX_DEPTH}")
+    if value is None:
+        out.append(b"N")
+    elif value is True:
+        out.append(b"T")
+    elif value is False:
+        out.append(b"F")
+    elif isinstance(value, int):
+        if _I64_MIN <= value <= _I64_MAX:
+            out.append(b"i")
+            out.append(_I64.pack(value))
+        else:
+            magnitude = abs(value)
+            body = magnitude.to_bytes((magnitude.bit_length() + 7) // 8, "little")
+            out.append(b"I")
+            out.append(_U32.pack(len(body)))
+            out.append(b"-" if value < 0 else b"+")
+            out.append(body)
+    elif isinstance(value, float):
+        out.append(b"d")
+        out.append(_F64.pack(value))
+    elif isinstance(value, str):
+        body = value.encode("utf-8")
+        out.append(b"s")
+        out.append(_U32.pack(len(body)))
+        out.append(body)
+    elif isinstance(value, (bytes, bytearray, memoryview)):
+        body = bytes(value)
+        out.append(b"b")
+        out.append(_U32.pack(len(body)))
+        out.append(body)
+    elif isinstance(value, (list, tuple)):
+        out.append(b"l" if isinstance(value, list) else b"t")
+        out.append(_U32.pack(len(value)))
+        for item in value:
+            _encode(item, out, depth + 1)
+    elif isinstance(value, dict):
+        out.append(b"m")
+        out.append(_U32.pack(len(value)))
+        for key, item in value.items():
+            _encode(key, out, depth + 1)
+            _encode(item, out, depth + 1)
+    else:
+        raise MarshalError(f"cannot marshal {type(value).__name__}")
+
+
+def marshal(value: Any) -> bytes:
+    """Serialise one value tree."""
+    out: list[bytes] = []
+    _encode(value, out, 0)
+    return b"".join(out)
+
+
+def _decode(data: memoryview, pos: int, depth: int) -> tuple[Any, int]:
+    if depth > MAX_DEPTH:
+        raise MarshalError(f"nesting deeper than {MAX_DEPTH}")
+    if pos >= len(data):
+        raise MarshalError("truncated data (missing tag)")
+    tag = data[pos]
+    pos += 1
+    try:
+        if tag == ord("N"):
+            return None, pos
+        if tag == ord("T"):
+            return True, pos
+        if tag == ord("F"):
+            return False, pos
+        if tag == ord("i"):
+            return _I64.unpack_from(data, pos)[0], pos + 8
+        if tag == ord("I"):
+            (length,) = _U32.unpack_from(data, pos)
+            pos += 4
+            sign = data[pos]
+            pos += 1
+            value = int.from_bytes(bytes(data[pos : pos + length]), "little")
+            return (-value if sign == ord("-") else value), pos + length
+        if tag == ord("d"):
+            return _F64.unpack_from(data, pos)[0], pos + 8
+        if tag == ord("s"):
+            (length,) = _U32.unpack_from(data, pos)
+            pos += 4
+            return bytes(data[pos : pos + length]).decode("utf-8"), pos + length
+        if tag == ord("b"):
+            (length,) = _U32.unpack_from(data, pos)
+            pos += 4
+            if pos + length > len(data):
+                raise MarshalError("truncated bytes body")
+            return bytes(data[pos : pos + length]), pos + length
+        if tag in (ord("l"), ord("t")):
+            (count,) = _U32.unpack_from(data, pos)
+            pos += 4
+            items = []
+            for _ in range(count):
+                item, pos = _decode(data, pos, depth + 1)
+                items.append(item)
+            return (items if tag == ord("l") else tuple(items)), pos
+        if tag == ord("m"):
+            (count,) = _U32.unpack_from(data, pos)
+            pos += 4
+            result: dict[Any, Any] = {}
+            for _ in range(count):
+                key, pos = _decode(data, pos, depth + 1)
+                value, pos = _decode(data, pos, depth + 1)
+                result[key] = value
+            return result, pos
+    except struct.error as exc:
+        raise MarshalError(f"truncated data: {exc}") from exc
+    except IndexError as exc:
+        raise MarshalError("truncated data (body overruns buffer)") from exc
+    except UnicodeDecodeError as exc:
+        raise MarshalError(f"string body is not valid UTF-8: {exc}") from exc
+    raise MarshalError(f"unknown tag 0x{tag:02X}")
+
+
+def unmarshal(data: bytes | bytearray | memoryview) -> Any:
+    """Deserialise one value tree; rejects trailing garbage."""
+    view = memoryview(data)
+    value, pos = _decode(view, 0, 0)
+    if pos != len(view):
+        raise MarshalError(f"{len(view) - pos} trailing bytes after value")
+    return value

@@ -1,0 +1,156 @@
+"""The stub side: typed remote calls over frameSend.
+
+:class:`StubDevice` is the caller-side device that correlates replies
+to outstanding calls via the ``initiator_context`` echoed by every
+reply (paper figure 5: "Address of buffer ... returned unchanged in
+reply").  :class:`Stub` wraps one remote object's TiD with attribute
+syntax: ``stub.add(2, 3)`` marshals, sends, and (synchronously or via
+a :class:`CallFuture`) returns the unmarshalled result.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable
+
+from repro.core.device import Listener
+from repro.i2o.errors import I2OError
+from repro.i2o.frame import Frame
+from repro.i2o.tid import Tid
+from repro.rmi.marshal import marshal, unmarshal
+from repro.rmi.skeleton import method_code
+
+
+class RemoteCallError(I2OError):
+    """The remote method raised, the call failed, or timed out."""
+
+
+class CallFuture:
+    """Completion handle for one outstanding remote call."""
+
+    __slots__ = ("_done", "_value", "_error", "callbacks")
+
+    def __init__(self) -> None:
+        self._done = False
+        self._value: Any = None
+        self._error: str | None = None
+        self.callbacks: list[Callable[["CallFuture"], None]] = []
+
+    @property
+    def done(self) -> bool:
+        return self._done
+
+    def result(self) -> Any:
+        if not self._done:
+            raise RemoteCallError("call has not completed")
+        if self._error is not None:
+            raise RemoteCallError(self._error)
+        return self._value
+
+    def _complete(self, value: Any = None, error: str | None = None) -> None:
+        self._done = True
+        self._value = value
+        self._error = error
+        for cb in self.callbacks:
+            cb(self)
+
+
+class StubDevice(Listener):
+    """Caller-side endpoint: issues calls, collects replies.
+
+    ``pump`` is called repeatedly by :meth:`wait` until the future
+    completes — single-threaded programs pass a function that steps
+    their executives; threaded programs can pass ``time.sleep``-based
+    pumps or use futures with callbacks instead.
+    """
+
+    device_class = "rmi_stub"
+
+    def __init__(
+        self,
+        name: str = "stub",
+        *,
+        pump: Callable[[], None] | None = None,
+        max_pumps: int = 100_000,
+    ) -> None:
+        super().__init__(name)
+        self.pump = pump
+        self.max_pumps = max_pumps
+        self._contexts = itertools.count(1)
+        self._outstanding: dict[int, CallFuture] = {}
+
+    def on_plugin(self) -> None:
+        self.table.bind_default(self._on_reply)
+
+    def _on_reply(self, frame: Frame) -> None:
+        if not frame.is_reply:
+            self.reply(frame, fail=True)
+            return
+        future = self._outstanding.pop(frame.initiator_context, None)
+        if future is None:
+            return  # late reply for an abandoned call
+        if frame.is_failure:
+            future._complete(error="remote rejected the call (failure reply)")
+            return
+        try:
+            status, payload = unmarshal(frame.payload)
+        except I2OError as exc:
+            future._complete(error=f"unmarshal failed: {exc}")
+            return
+        if status == "ok":
+            future._complete(value=payload)
+        else:
+            future._complete(error=str(payload))
+
+    # -- calls ---------------------------------------------------------------
+    def invoke(
+        self, target: Tid, method: str, *args: Any, **kwargs: Any
+    ) -> CallFuture:
+        """Fire a call; returns its future immediately."""
+        future = CallFuture()
+        context = next(self._contexts)
+        self._outstanding[context] = future
+        self.send(
+            target,
+            marshal((list(args), kwargs)),
+            xfunction=method_code(method),
+            initiator_context=context,
+        )
+        return future
+
+    def wait(self, future: CallFuture) -> Any:
+        """Pump until ``future`` completes; returns its result."""
+        for _ in range(self.max_pumps):
+            if future.done:
+                return future.result()
+            if self.pump is not None:
+                self.pump()
+            elif self.executive is not None:
+                self.executive.step()
+        raise RemoteCallError(f"no reply after {self.max_pumps} pumps")
+
+    def call(self, target: Tid, method: str, *args: Any, **kwargs: Any) -> Any:
+        """Synchronous remote call."""
+        return self.wait(self.invoke(target, method, *args, **kwargs))
+
+    @property
+    def outstanding(self) -> int:
+        return len(self._outstanding)
+
+
+class Stub:
+    """Attribute-syntax façade: ``Stub(device, tid).method(args)``."""
+
+    def __init__(self, device: StubDevice, target: Tid) -> None:
+        self._device = device
+        self._target = target
+
+    def __getattr__(self, method: str) -> Callable[..., Any]:
+        if method.startswith("_"):
+            raise AttributeError(method)
+
+        def call(*args: Any, **kwargs: Any) -> Any:
+            return self._device.call(self._target, method, *args, **kwargs)
+
+        call.__name__ = method
+        return call

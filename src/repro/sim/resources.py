@@ -1,0 +1,127 @@
+"""Shared-resource primitives for hardware models.
+
+:class:`Resource` serialises access to something with finite capacity —
+a PCI bus, a Myrinet link, a DMA engine.  :class:`Store` is a FIFO
+buffer with blocking get, used for hardware message FIFOs.
+
+Both hand out :class:`~repro.sim.kernel.Event` objects so they compose
+with process style (``token = yield bus.acquire()``).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any
+
+from repro.sim.kernel import Event, SimError, Simulator
+
+
+class Resource:
+    """A counted resource with FIFO granting.
+
+    ``acquire()`` returns an event that fires (with an opaque token)
+    once a unit is available; ``release(token)`` returns the unit.
+    Grant order is strictly request order — hardware arbiters in this
+    code base are all FIFO, matching the paper's FIFO message queues.
+    """
+
+    def __init__(self, sim: Simulator, capacity: int = 1, name: str = "") -> None:
+        if capacity < 1:
+            raise SimError(f"capacity must be >= 1, got {capacity}")
+        self._sim = sim
+        self.capacity = capacity
+        self.name = name
+        self._in_use = 0
+        self._waiting: deque[Event] = deque()
+
+    @property
+    def in_use(self) -> int:
+        return self._in_use
+
+    @property
+    def queued(self) -> int:
+        return len(self._waiting)
+
+    def acquire(self) -> Event:
+        ev = Event(self._sim, name=f"{self.name}.acquire")
+        if self._in_use < self.capacity:
+            self._in_use += 1
+            ev.succeed(self)
+        else:
+            self._waiting.append(ev)
+        return ev
+
+    def release(self, token: Any = None) -> None:
+        if self._in_use <= 0:
+            raise SimError(f"release of idle resource {self.name!r}")
+        if self._waiting:
+            # Hand the unit straight to the next waiter; _in_use unchanged.
+            self._waiting.popleft().succeed(self)
+        else:
+            self._in_use -= 1
+
+
+class Store:
+    """An unbounded-or-bounded FIFO of items with blocking get/put.
+
+    With a bound, ``put`` returns an event that fires once space exists
+    (hardware FIFO back-pressure); unbounded puts fire immediately.
+    """
+
+    def __init__(
+        self, sim: Simulator, capacity: int | None = None, name: str = ""
+    ) -> None:
+        if capacity is not None and capacity < 1:
+            raise SimError(f"capacity must be >= 1 or None, got {capacity}")
+        self._sim = sim
+        self.capacity = capacity
+        self.name = name
+        self._items: deque[Any] = deque()
+        self._getters: deque[Event] = deque()
+        self._putters: deque[tuple[Event, Any]] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def free(self) -> int | None:
+        if self.capacity is None:
+            return None
+        return self.capacity - len(self._items)
+
+    def put(self, item: Any) -> Event:
+        ev = Event(self._sim, name=f"{self.name}.put")
+        if self._getters:
+            # Hand the item directly to the oldest blocked getter.
+            self._getters.popleft().succeed(item)
+            ev.succeed(None)
+        elif self.capacity is None or len(self._items) < self.capacity:
+            self._items.append(item)
+            ev.succeed(None)
+        else:
+            self._putters.append((ev, item))
+        return ev
+
+    def get(self) -> Event:
+        ev = Event(self._sim, name=f"{self.name}.get")
+        if self._items:
+            item = self._items.popleft()
+            if self._putters:
+                put_ev, pending = self._putters.popleft()
+                self._items.append(pending)
+                put_ev.succeed(None)
+            ev.succeed(item)
+        else:
+            self._getters.append(ev)
+        return ev
+
+    def try_get(self) -> tuple[bool, Any]:
+        """Non-blocking get: ``(True, item)`` or ``(False, None)``."""
+        if not self._items:
+            return False, None
+        item = self._items.popleft()
+        if self._putters:
+            put_ev, pending = self._putters.popleft()
+            self._items.append(pending)
+            put_ev.succeed(None)
+        return True, item

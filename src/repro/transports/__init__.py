@@ -1,0 +1,42 @@
+"""Peer Transports: the pluggable wire layer.
+
+Paper §4: *"The Peer Transports (PT) perform the actual communication.
+They encapsulate all details about a specific transport layer ... we
+can use multiple transports to send and receive in parallel ...
+Concerning Peer Transports we distinguish two ways of operation.  In
+polling mode, the executive periodically scans all registered PTs for
+pending data.  In task mode each PT has its own thread of control."*
+
+PTs are themselves device driver modules with TiDs (paper §3.5), which
+is why :class:`~repro.transports.base.PeerTransport` subclasses
+:class:`~repro.core.device.Listener`.
+"""
+
+from repro.transports.agent import PeerTransportAgent
+from repro.transports.base import PeerTransport, TransportError
+from repro.transports.faulty import FaultPlan, FaultyLoopbackTransport
+from repro.transports.loopback import LoopbackNetwork, LoopbackTransport
+from repro.transports.queued import QueuePair, QueueTransport
+from repro.transports.simgm import SimGmTransport
+from repro.transports.simib import SimIbTransport
+from repro.transports.simpci import SimPciTransport
+from repro.transports.tcp import TcpTransport
+from repro.transports.wire import decode_wire, encode_wire
+
+__all__ = [
+    "FaultPlan",
+    "FaultyLoopbackTransport",
+    "LoopbackNetwork",
+    "LoopbackTransport",
+    "PeerTransport",
+    "PeerTransportAgent",
+    "QueuePair",
+    "QueueTransport",
+    "SimGmTransport",
+    "SimIbTransport",
+    "SimPciTransport",
+    "TcpTransport",
+    "TransportError",
+    "decode_wire",
+    "encode_wire",
+]

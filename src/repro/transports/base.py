@@ -1,0 +1,122 @@
+"""The PeerTransport base class.
+
+A peer transport is an ordinary device module (it has a TiD, answers
+utility messages, is configured through UtilParamsSet) whose private
+job is moving frames to other nodes.  Subclasses implement
+:meth:`transmit`; the receive side funnels through :meth:`ingest_wire`,
+which is the probe point for the whitebox stage ``pt_processing``
+("Handling an incoming message in the GM PT accounts for most of the
+time ... most of the PT processing time is spent in the frame
+allocation", paper §5).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.core.device import Listener
+from repro.i2o.errors import I2OError
+from repro.i2o.frame import Frame
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.executive import Executive, Route
+
+
+class TransportError(I2OError):
+    """Transmission or reception failure in a peer transport."""
+
+
+class PeerTransport(Listener):
+    """Base class for all peer transports.
+
+    ``mode`` selects the paper's two operation styles:
+
+    * ``"polling"`` — the executive's loop calls :meth:`poll` every
+      quantum; the PT must never block in it;
+    * ``"task"`` — the PT owns a thread (or, in the simulation plane,
+      a process) that pushes received frames asynchronously.
+    """
+
+    device_class = "peer_transport"
+
+    def __init__(self, name: str = "", mode: str = "polling") -> None:
+        if mode not in ("polling", "task"):
+            raise TransportError(f"unknown PT mode {mode!r}")
+        super().__init__(name)
+        self.mode = mode
+        self.frames_sent = 0
+        self.frames_received = 0
+        self.bytes_sent = 0
+        self.bytes_received = 0
+        self.suspended = False
+
+    # -- subclass contract ---------------------------------------------------
+    def transmit(self, frame: Frame, route: "Route") -> None:
+        """Move ``frame`` to ``route.node``.
+
+        The frame's ``target`` has already been rewritten to the
+        receiver-local TiD by the PTA.  The transport owns the frame's
+        block from this point: it must release it (``frame_free``)
+        once the bytes are on the wire, or hold a reference across an
+        asynchronous send.
+        """
+        raise NotImplementedError
+
+    def poll(self) -> bool:
+        """Polling mode: ingest pending data; True if anything arrived.
+
+        Task-mode transports keep the default no-op (their thread
+        delivers), so the executive may scan all PTs uniformly.
+        """
+        return False
+
+    @property
+    def has_pending(self) -> bool:
+        """True when data is staged awaiting the next ``poll`` — the
+        executive's idleness test must include this, or work parked in
+        a polling transport would be invisible."""
+        return False
+
+    def suspend(self) -> None:
+        """Paper §4: it is "advisable ... to suspend other PTs during
+        periods in which low latency communication is required"."""
+        self.suspended = True
+
+    def resume(self) -> None:
+        self.suspended = False
+
+    # -- shared receive path ---------------------------------------------------
+    def ingest_frame_bytes(self, src_node: int, frame_bytes: bytes) -> Frame:
+        """Rebuild an arriving frame in pool memory and post it inbound.
+
+        This is the ``pt_processing`` probe span: allocate a pool block
+        (nested ``frame_alloc`` probe), copy the wire bytes in — the
+        single unavoidable copy off the wire — resolve the initiator to
+        a local proxy TiD, and post to the inbound queue.
+        """
+        exe = self._require_live()
+        with exe.probes.measure("pt_processing"):
+            size = len(frame_bytes)
+            with exe.probes.measure("frame_alloc"):
+                block = exe.pool.alloc(size)
+            view = block.memory[:size]
+            view[:] = frame_bytes
+            frame = Frame(view, block=block)
+            frame.validate()
+            frame.initiator = exe.create_proxy(
+                src_node, frame.initiator, transport=self.name
+            )
+            self.frames_received += 1
+            self.bytes_received += size
+            exe.post_inbound(frame)
+        return frame
+
+    # -- shared transmit-side bookkeeping -----------------------------------
+    def account_sent(self, nbytes: int) -> None:
+        self.frames_sent += 1
+        self.bytes_sent += nbytes
+
+    def _require_live(self) -> "Executive":
+        if self.executive is None:
+            raise TransportError(f"peer transport {self.name!r} is not installed")
+        return self.executive

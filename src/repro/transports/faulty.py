@@ -1,0 +1,114 @@
+"""Fault-injecting transports for resilience testing.
+
+The paper's domain (§1: air traffic control, physics DAQ) makes
+delivery failure a first-class concern, and its fault-tolerance story
+(default handlers, watchdogs, failure replies) needs an adversarial
+wire to be tested against.  :class:`FaultyLoopbackTransport` wraps the
+loopback medium with deterministic, seeded fault injection:
+
+* **drop** — the message vanishes;
+* **duplicate** — delivered twice;
+* **corrupt** — one byte of the frame body is flipped (the receiver's
+  validation or the application's CRC must catch it);
+* **delay** — the message is re-queued behind later traffic
+  (reordering).
+
+Faults are driven by a named RNG substream, so a failing test replays
+identically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.rng import RngStreams
+from repro.transports.loopback import LoopbackNetwork, LoopbackTransport
+from repro.transports.wire import decode_wire, encode_wire
+from repro.i2o.frame import Frame
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Per-message fault probabilities (independent draws)."""
+
+    drop_rate: float = 0.0
+    duplicate_rate: float = 0.0
+    corrupt_rate: float = 0.0
+    delay_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in ("drop_rate", "duplicate_rate", "corrupt_rate",
+                     "delay_rate"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value}")
+
+
+class FaultyLoopbackTransport(LoopbackTransport):
+    """Loopback with seeded fault injection on the transmit side."""
+
+    def __init__(
+        self,
+        network: LoopbackNetwork,
+        plan: FaultPlan,
+        name: str = "faulty",
+        *,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(network, name=name)
+        self.plan = plan
+        self._rng = RngStreams(seed).stream(f"faults/{name}")
+        self.dropped = 0
+        self.duplicated = 0
+        self.corrupted = 0
+        self.delayed = 0
+        self._delayed_queue: list[tuple[int, bytes]] = []
+
+    def transmit(self, frame: Frame, route) -> None:
+        exe = self._require_live()
+        dest = self.network.endpoint(route.node)
+        data = encode_wire(exe.node, frame)
+        self.account_sent(frame.total_size)
+        exe.frame_free(frame)
+        src_node, frame_bytes = decode_wire(data)
+        plan = self.plan
+        draw = self._rng.random
+        if draw() < plan.drop_rate:
+            self.dropped += 1
+            return
+        if draw() < plan.corrupt_rate and len(frame_bytes) > 32:
+            # Flip a payload byte: the frame still parses, so only an
+            # end-to-end integrity check (application CRC) catches it.
+            self.corrupted += 1
+            mutable = bytearray(frame_bytes)
+            index = 32 + int(self._rng.integers(0, len(mutable) - 32))
+            mutable[index] ^= 0xFF
+            frame_bytes = bytes(mutable)
+        copies = 2 if draw() < plan.duplicate_rate else 1
+        if copies == 2:
+            self.duplicated += 1
+        for _ in range(copies):
+            delay_hook = getattr(dest, "_delay_stage", None)
+            if delay_hook is not None and draw() < plan.delay_rate:
+                self.delayed += 1
+                delay_hook(src_node, frame_bytes)
+            else:
+                dest._staged.append((src_node, frame_bytes))
+        self.network.messages += 1
+
+    def _delay_stage(self, src_node: int, frame_bytes: bytes) -> None:
+        """Hold one message back until after the next poll round."""
+        self._delayed_queue.append((src_node, bytes(frame_bytes)))
+
+    def poll(self) -> bool:
+        got = super().poll()
+        if self._delayed_queue and not self._staged:
+            # Release delayed traffic one poll round later.
+            self._staged.extend(self._delayed_queue)
+            self._delayed_queue.clear()
+            return True
+        return got
+
+    @property
+    def has_pending(self) -> bool:
+        return bool(self._staged) or bool(self._delayed_queue)

@@ -1,0 +1,152 @@
+"""Queue-pair transport for threaded (native-plane) executives.
+
+Two executives running in their own threads exchange wire messages
+through a pair of thread-safe queues — the software analogue of the
+inbound/outbound hardware FIFOs of paper figure 2.  Supports both PT
+operation modes:
+
+* **polling** — the executive's loop drains the receive queue each
+  quantum (non-blocking);
+* **task** — the PT runs a reader thread that blocks on the queue and
+  posts frames the moment they arrive, like the paper's Myrinet/GM PT
+  which "ran as a thread".
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from typing import TYPE_CHECKING
+
+from repro.i2o.frame import Frame
+from repro.transports.base import PeerTransport, TransportError
+from repro.transports.wire import decode_wire, encode_wire
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.executive import Route
+
+
+class QueuePair:
+    """A bidirectional channel: two unbounded FIFO queues."""
+
+    def __init__(self, node_a: int, node_b: int) -> None:
+        if node_a == node_b:
+            raise TransportError("queue pair endpoints must differ")
+        self.nodes = (node_a, node_b)
+        self._queues: dict[int, queue.Queue[bytes]] = {
+            node_a: queue.Queue(),
+            node_b: queue.Queue(),
+        }
+
+    def send_to(self, node: int, data: bytes) -> None:
+        q = self._queues.get(node)
+        if q is None:
+            raise TransportError(f"queue pair does not reach node {node}")
+        q.put(data)
+
+    def receive_queue(self, node: int) -> "queue.Queue[bytes]":
+        q = self._queues.get(node)
+        if q is None:
+            raise TransportError(f"node {node} is not an endpoint")
+        return q
+
+
+class QueueTransport(PeerTransport):
+    """One endpoint of a :class:`QueuePair`."""
+
+    def __init__(
+        self,
+        pair: QueuePair,
+        name: str = "queue",
+        mode: str = "polling",
+        *,
+        artificial_delay_s: float = 0.0,
+    ) -> None:
+        super().__init__(name=name, mode=mode)
+        self.pair = pair
+        #: deliberately slows ``poll``/reads — used by the X1 bench to
+        #: reproduce the paper's "a slow PT ... would negate the
+        #: benefits" claim about mixing PTs in polling mode.
+        self.artificial_delay_s = artificial_delay_s
+        self._rx: "queue.Queue[bytes] | None" = None
+        self._reader: threading.Thread | None = None
+        self._stop = threading.Event()
+
+    def on_plugin(self) -> None:
+        exe = self._require_live()
+        if exe.node not in self.pair.nodes:
+            raise TransportError(
+                f"executive node {exe.node} is not an endpoint of this pair"
+            )
+        self._rx = self.pair.receive_queue(exe.node)
+        if self.mode == "task":
+            self._stop.clear()
+            self._reader = threading.Thread(
+                target=self._reader_loop, name=f"pt-{self.name}", daemon=True
+            )
+            self._reader.start()
+
+    def on_unplug(self) -> None:
+        self.shutdown()
+
+    def shutdown(self) -> None:
+        if self._reader is not None:
+            self._stop.set()
+            # Unblock the reader with a sentinel.
+            assert self._rx is not None
+            self._rx.put(b"")
+            self._reader.join(timeout=5)
+            self._reader = None
+
+    # -- transmit ---------------------------------------------------------
+    def transmit(self, frame: Frame, route: "Route") -> None:
+        exe = self._require_live()
+        peer = route.node
+        data = encode_wire(exe.node, frame)
+        self.account_sent(frame.total_size)
+        exe.frame_free(frame)
+        self.pair.send_to(peer, data)
+
+    # -- receive: polling mode ----------------------------------------------
+    def poll(self) -> bool:
+        if self._rx is None or self.mode != "polling" or self.suspended:
+            return False
+        if self.artificial_delay_s:
+            # A deliberately slow poll (e.g. a select() on a TCP socket
+            # in the paper's warning about polling-mode mixing).
+            import time
+
+            time.sleep(self.artificial_delay_s)
+        got = False
+        while True:
+            try:
+                data = self._rx.get_nowait()
+            except queue.Empty:
+                return got
+            got = True
+            self._ingest(data)
+
+    @property
+    def has_pending(self) -> bool:
+        return (
+            self.mode == "polling"
+            and self._rx is not None
+            and not self._rx.empty()
+        )
+
+    # -- receive: task mode -------------------------------------------------
+    def _reader_loop(self) -> None:
+        assert self._rx is not None
+        while not self._stop.is_set():
+            data = self._rx.get()
+            if not data:  # shutdown sentinel
+                continue
+            if self.artificial_delay_s:
+                import time
+
+                time.sleep(self.artificial_delay_s)
+            self._ingest(data)
+
+    def _ingest(self, data: bytes) -> None:
+        src_node, frame_bytes = decode_wire(data)
+        self.ingest_frame_bytes(src_node, frame_bytes)

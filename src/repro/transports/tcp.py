@@ -1,0 +1,191 @@
+"""TCP peer transport.
+
+The paper's benchmark setup ran *"another PT thread ... handling TCP
+communication for configuration and control purposes"* alongside the
+Myrinet/GM data PT — the classic control/data plane split.  This
+transport provides that role in the native plane: real sockets on
+localhost (or anywhere), length-prefixed wire messages, lazy outbound
+connections, and a task-mode accept/reader thread per peer.
+"""
+
+from __future__ import annotations
+
+import socket
+import struct
+import threading
+from typing import TYPE_CHECKING
+
+from repro.i2o.frame import Frame
+from repro.transports.base import PeerTransport, TransportError
+from repro.transports.wire import WIRE_HEADER_SIZE, decode_wire, encode_wire
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.executive import Route
+
+_LEN = struct.Struct("<I")
+
+
+def _recv_exact(sock: socket.socket, count: int) -> bytes | None:
+    """Read exactly ``count`` bytes or None on orderly shutdown."""
+    chunks: list[bytes] = []
+    remaining = count
+    while remaining:
+        data = sock.recv(remaining)
+        if not data:
+            return None
+        chunks.append(data)
+        remaining -= len(data)
+    return b"".join(chunks)
+
+
+class TcpTransport(PeerTransport):
+    """Task-mode TCP endpoint.
+
+    ``peers`` maps node id → ``(host, port)``.  The local endpoint
+    listens on ``listen_port`` (0 = ephemeral; read ``bound_port``
+    after install).  Connections are made lazily on first transmit and
+    cached; each accepted or initiated socket gets a reader thread.
+    """
+
+    def __init__(
+        self,
+        name: str = "tcp",
+        *,
+        listen_host: str = "127.0.0.1",
+        listen_port: int = 0,
+        peers: dict[int, tuple[str, int]] | None = None,
+    ) -> None:
+        super().__init__(name=name, mode="task")
+        self.listen_host = listen_host
+        self.listen_port = listen_port
+        self.peers: dict[int, tuple[str, int]] = dict(peers or {})
+        self.bound_port: int | None = None
+        self._server: socket.socket | None = None
+        self._accept_thread: threading.Thread | None = None
+        self._conns: dict[int, socket.socket] = {}
+        self._conn_lock = threading.Lock()
+        self._readers: list[threading.Thread] = []
+        self._stop = threading.Event()
+
+    # -- lifecycle ------------------------------------------------------------
+    def on_plugin(self) -> None:
+        server = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        server.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        server.bind((self.listen_host, self.listen_port))
+        server.listen(16)
+        self._server = server
+        self.bound_port = server.getsockname()[1]
+        self._stop.clear()
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name=f"pt-{self.name}-accept", daemon=True
+        )
+        self._accept_thread.start()
+
+    def on_unplug(self) -> None:
+        self.shutdown()
+
+    def shutdown(self) -> None:
+        self._stop.set()
+        if self._server is not None:
+            try:
+                self._server.close()
+            except OSError:  # pragma: no cover - defensive
+                pass
+            self._server = None
+        with self._conn_lock:
+            conns = list(self._conns.values())
+            self._conns.clear()
+        for conn in conns:
+            try:
+                conn.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            conn.close()
+        for reader in self._readers:
+            reader.join(timeout=2)
+        self._readers.clear()
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=2)
+            self._accept_thread = None
+
+    def add_peer(self, node: int, host: str, port: int) -> None:
+        self.peers[node] = (host, port)
+
+    # -- transmit ---------------------------------------------------------------
+    def transmit(self, frame: Frame, route: "Route") -> None:
+        exe = self._require_live()
+        data = encode_wire(exe.node, frame)
+        self.account_sent(frame.total_size)
+        exe.frame_free(frame)
+        sock = self._connection_to(route.node)
+        try:
+            sock.sendall(_LEN.pack(len(data)) + data)
+        except OSError as exc:
+            self._drop_connection(route.node)
+            raise TransportError(f"send to node {route.node} failed: {exc}") from exc
+
+    def _connection_to(self, node: int) -> socket.socket:
+        with self._conn_lock:
+            sock = self._conns.get(node)
+            if sock is not None:
+                return sock
+        address = self.peers.get(node)
+        if address is None:
+            raise TransportError(f"no TCP address configured for node {node}")
+        try:
+            sock = socket.create_connection(address, timeout=5)
+        except OSError as exc:
+            raise TransportError(f"connect to node {node} {address}: {exc}") from exc
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        with self._conn_lock:
+            self._conns[node] = sock
+        self._spawn_reader(sock)
+        return sock
+
+    def _drop_connection(self, node: int) -> None:
+        with self._conn_lock:
+            sock = self._conns.pop(node, None)
+        if sock is not None:
+            sock.close()
+
+    # -- receive ------------------------------------------------------------------
+    def _accept_loop(self) -> None:
+        assert self._server is not None
+        while not self._stop.is_set():
+            try:
+                conn, _addr = self._server.accept()
+            except OSError:
+                return  # socket closed during shutdown
+            conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            self._spawn_reader(conn)
+
+    def _spawn_reader(self, sock: socket.socket) -> None:
+        reader = threading.Thread(
+            target=self._reader_loop,
+            args=(sock,),
+            name=f"pt-{self.name}-reader",
+            daemon=True,
+        )
+        reader.start()
+        self._readers.append(reader)
+
+    def _reader_loop(self, sock: socket.socket) -> None:
+        while not self._stop.is_set():
+            try:
+                header = _recv_exact(sock, _LEN.size)
+                if header is None:
+                    return
+                (length,) = _LEN.unpack(header)
+                if length < WIRE_HEADER_SIZE:
+                    raise TransportError(f"implausible wire length {length}")
+                data = _recv_exact(sock, length)
+                if data is None:
+                    return
+            except OSError:
+                return
+            src_node, frame_bytes = decode_wire(data)
+            # Learn the reverse path: an accepted connection can serve
+            # replies to its originating node.
+            with self._conn_lock:
+                self._conns.setdefault(src_node, sock)
+            self.ingest_frame_bytes(src_node, frame_bytes)

@@ -1,0 +1,55 @@
+"""The inter-node wire encapsulation.
+
+A frame leaving a node is prefixed with a small transport header
+carrying the source node (for proxy resolution at the receiver) and the
+total length (for stream transports like TCP that must re-frame).  The
+frame's ``target`` field has already been rewritten by the PTA to the
+TiD that is *local at the receiver*; the ``initiator`` still names the
+sender-local TiD and is proxied on arrival.
+
+Layout (little-endian)::
+
+    offset  size  field
+    ------  ----  ---------------------------
+       0      4   magic  (0x58444151 = "XDAQ" backwards-friendly)
+       4      4   source node id
+       8      4   frame length (header + payload)
+      12      ..  the I2O frame bytes
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.i2o.errors import FrameFormatError
+from repro.i2o.frame import HEADER_SIZE, MAX_FRAME_SIZE, Frame
+
+WIRE_MAGIC = 0x58444151
+_WIRE = struct.Struct("<III")
+WIRE_HEADER_SIZE = _WIRE.size  # 12
+
+
+def encode_wire(src_node: int, frame: Frame) -> bytes:
+    """Serialise a frame for transmission from ``src_node``."""
+    body = frame.tobytes()
+    return _WIRE.pack(WIRE_MAGIC, src_node, len(body)) + body
+
+
+def decode_wire(data: bytes | bytearray | memoryview) -> tuple[int, bytes]:
+    """Split a wire message into ``(src_node, frame_bytes)``.
+
+    Raises :class:`FrameFormatError` on any structural problem — a
+    transport receiving garbage must fail loudly, not deliver it.
+    """
+    if len(data) < WIRE_HEADER_SIZE + HEADER_SIZE:
+        raise FrameFormatError(f"wire message of {len(data)} bytes is too short")
+    magic, src_node, length = _WIRE.unpack_from(data, 0)
+    if magic != WIRE_MAGIC:
+        raise FrameFormatError(f"bad wire magic 0x{magic:08X}")
+    if length < HEADER_SIZE or length > MAX_FRAME_SIZE:
+        raise FrameFormatError(f"implausible frame length {length}")
+    if WIRE_HEADER_SIZE + length != len(data):
+        raise FrameFormatError(
+            f"length field {length} disagrees with message size {len(data)}"
+        )
+    return src_node, bytes(data[WIRE_HEADER_SIZE:])

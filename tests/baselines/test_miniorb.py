@@ -1,0 +1,98 @@
+"""The mini-ORB baseline is itself a working little ORB."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.miniorb import (
+    CdrDecoder,
+    CdrEncoder,
+    MiniOrb,
+    OrbChannel,
+    OrbError,
+)
+
+
+class Servant:
+    def echo(self, data):
+        return data
+
+    def add(self, a, b):
+        return a + b
+
+    def fail(self):
+        raise ValueError("servant exploded")
+
+
+@pytest.fixture
+def orbs():
+    channel = OrbChannel()
+    client, server = MiniOrb(channel, 0), MiniOrb(channel, 1)
+    client.peer = server
+    server.peer = client
+    server.register("Svc/1", Servant())
+    return client, server
+
+
+class TestCdr:
+    def test_primitives_round_trip(self):
+        enc = CdrEncoder()
+        enc.write_u32(7)
+        enc.write_i64(-5)
+        enc.write_f64(2.5)
+        enc.write_string("hi")
+        dec = CdrDecoder(enc.getvalue())
+        assert dec.read_u32() == 7
+        assert dec.read_i64() == -5
+        assert dec.read_f64() == 2.5
+        assert dec.read_string() == "hi"
+
+    def test_alignment_padding(self):
+        enc = CdrEncoder()
+        enc.buffer.extend(b"x")  # misalign
+        enc.write_u32(1)
+        assert len(enc.buffer) == 8  # 3 pad bytes inserted
+
+    def test_any_round_trip(self):
+        value = {"k": [1, 2.5, "s", b"b", None, True]}
+        enc = CdrEncoder()
+        enc.write_any(value)
+        assert CdrDecoder(enc.getvalue()).read_any() == value
+
+    def test_unsupported_type(self):
+        with pytest.raises(OrbError):
+            CdrEncoder().write_any(object())
+
+
+class TestInvocation:
+    def test_call_round_trip(self, orbs):
+        client, _ = orbs
+        ref = client.resolve("Svc/1")
+        assert ref.add(2, 3) == 5
+        assert ref.echo(b"bytes") == b"bytes"
+
+    def test_attribute_syntax(self, orbs):
+        client, _ = orbs
+        assert client.resolve("Svc/1").add(10, 1) == 11
+
+    def test_unknown_object(self, orbs):
+        client, _ = orbs
+        with pytest.raises(OrbError, match="OBJECT_NOT_EXIST"):
+            client.resolve("Ghost/9").echo(b"")
+
+    def test_unknown_operation(self, orbs):
+        client, _ = orbs
+        with pytest.raises(OrbError, match="BAD_OPERATION"):
+            client.resolve("Svc/1").frobnicate()
+
+    def test_servant_exception_propagates(self, orbs):
+        client, _ = orbs
+        with pytest.raises(OrbError, match="ValueError: servant exploded"):
+            client.resolve("Svc/1").fail()
+
+    def test_requests_served_counter(self, orbs):
+        client, server = orbs
+        ref = client.resolve("Svc/1")
+        for _ in range(3):
+            ref.add(1, 1)
+        assert server.requests_served == 3

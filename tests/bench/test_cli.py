@@ -1,0 +1,48 @@
+"""The xdaq-bench CLI."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.__main__ import EXPERIMENTS, main
+
+
+def test_experiment_registry_covers_design_index():
+    """Every experiment id from DESIGN.md's table has a runner."""
+    for exp_id in ("fig6", "tab1", "alloc", "orb", "ptmodes", "dispatch",
+                   "pcififo", "multirail", "native", "daqscale"):
+        assert exp_id in EXPERIMENTS
+
+
+def test_cli_runs_one_experiment(capsys):
+    assert main(["tab1"]) == 0
+    out = capsys.readouterr().out
+    assert "Table 1" in out
+    assert "frameAlloc" in out
+    assert "done in" in out
+
+
+def test_cli_rejects_unknown_experiment():
+    with pytest.raises(SystemExit):
+        main(["frobnicate"])
+
+
+def test_report_formatting():
+    from repro.bench.report import format_table, paper_vs_measured
+
+    table = format_table(["a", "bb"], [[1, 22], [333, 4]], title="T")
+    lines = table.splitlines()
+    assert lines[0] == "T"
+    assert lines[1].split() == ["a", "bb"]
+    # Right-aligned columns line up.
+    assert lines[4].index("333") < lines[4].index("4")
+
+    compare = paper_vs_measured([("x", 1, 2)], title="C")
+    assert "paper" in compare and "measured" in compare
+
+
+def test_format_table_empty_rows():
+    from repro.bench.report import format_table
+
+    table = format_table(["col"], [])
+    assert "col" in table

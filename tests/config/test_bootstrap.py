@@ -1,0 +1,123 @@
+"""Declarative cluster bootstrap."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config.bootstrap import BootstrapError, Cluster, bootstrap
+
+from tests.conftest import assert_no_leaks
+
+ECHO = "repro.bench.devices.EchoDevice"
+PING = "repro.bench.devices.PingDevice"
+
+
+def two_node_spec(transport="loopback"):
+    return {
+        "transport": transport,
+        "nodes": {
+            0: {"devices": [{"class": PING, "name": "ping"}]},
+            1: {"devices": [{"class": ECHO, "name": "echo"}]},
+        },
+    }
+
+
+class TestBuild:
+    def test_builds_executives_and_devices(self):
+        cluster = bootstrap(two_node_spec())
+        assert sorted(cluster.executives) == [0, 1]
+        assert cluster.device("echo").device_class == "bench_echo"
+        assert cluster.node_of("echo") == 1
+        assert cluster.tid("ping") >= 16
+
+    def test_kwargs_passed_to_constructor(self):
+        spec = {
+            "nodes": {
+                0: {"devices": [{
+                    "class": "repro.daq.readout.ReadoutUnit",
+                    "name": "ru7",
+                    "kwargs": {"ru_id": 7},
+                }]},
+            },
+        }
+        cluster = bootstrap(spec)
+        assert cluster.device("ru7").ru_id == 7
+
+    def test_params_applied(self):
+        spec = two_node_spec()
+        spec["nodes"][1]["devices"][0]["params"] = {"colour": "blue"}
+        cluster = bootstrap(spec)
+        assert cluster.device("echo").parameters["colour"] == "blue"
+
+    def test_duplicate_names_rejected(self):
+        spec = two_node_spec()
+        spec["nodes"][0]["devices"].append({"class": ECHO, "name": "echo"})
+        with pytest.raises(BootstrapError, match="duplicate"):
+            bootstrap(spec)
+
+    def test_bad_class_paths(self):
+        for path in ("NotAPath", "repro.no.such.Module",
+                     "repro.bench.devices.Missing",
+                     "repro.i2o.frame.Frame"):
+            spec = {"nodes": {0: {"devices": [{"class": path}]}}}
+            with pytest.raises(BootstrapError):
+                bootstrap(spec)
+
+    def test_empty_spec_rejected(self):
+        with pytest.raises(BootstrapError):
+            bootstrap({})
+        with pytest.raises(BootstrapError):
+            bootstrap({"nodes": {}})
+
+    def test_unknown_transport(self):
+        with pytest.raises(BootstrapError, match="unknown transport"):
+            bootstrap(two_node_spec(transport="carrier-pigeon"))
+
+
+class TestOperation:
+    @pytest.mark.parametrize("transport", ["loopback", "queue-mesh"])
+    def test_ping_pong_over_built_cluster(self, transport):
+        cluster = bootstrap(two_node_spec(transport))
+        ping = cluster.device("ping")
+        ping.configure(cluster.proxy(0, "echo"), 128, 5)
+        ping.kick()
+        cluster.pump()
+        assert len(ping.rtts_ns) == 5
+        assert_no_leaks(cluster.executives)
+
+    def test_proxy_unknown_name(self):
+        cluster = bootstrap(two_node_spec())
+        with pytest.raises(BootstrapError, match="no device named"):
+            cluster.proxy(0, "ghost")
+
+    def test_full_daq_from_spec(self):
+        spec = {
+            "nodes": {
+                0: {"devices": [
+                    {"class": "repro.daq.manager.EventManager",
+                     "name": "evm"},
+                    {"class": "repro.daq.trigger.TriggerSource",
+                     "name": "trigger"},
+                ]},
+                1: {"devices": [
+                    {"class": "repro.daq.readout.ReadoutUnit", "name": "ru0",
+                     "kwargs": {"ru_id": 0}},
+                ]},
+                2: {"devices": [
+                    {"class": "repro.daq.builder.BuilderUnit", "name": "bu0",
+                     "kwargs": {"bu_id": 0}},
+                ]},
+            },
+        }
+        cluster = bootstrap(spec)
+        evm = cluster.device("evm")
+        trigger = cluster.device("trigger")
+        bu = cluster.device("bu0")
+        trigger.connect(cluster.tid("evm"))
+        evm.connect({0: cluster.proxy(0, "ru0")},
+                    {0: cluster.proxy(0, "bu0")})
+        bu.connect(cluster.proxy(2, "evm"), {0: cluster.proxy(2, "ru0")})
+        trigger.fire_burst(4)
+        cluster.pump()
+        assert evm.completed == 4
+        assert_no_leaks(cluster.executives)

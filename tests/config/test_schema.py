@@ -1,0 +1,142 @@
+"""Typed parameter schemas."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config.schema import (
+    ParamSchema,
+    ParamSpec,
+    SchemaError,
+    SchemaListenerMixin,
+)
+from repro.core.device import Listener, encode_params
+from repro.core.executive import Executive
+from repro.i2o.function_codes import UTIL_PARAMS_SET
+
+
+class TestParamSpec:
+    def test_int_parse_and_bounds(self):
+        spec = ParamSpec("rate", int, default=10, minimum=1, maximum=100)
+        assert spec.parse("50") == 50
+        with pytest.raises(SchemaError, match="below"):
+            spec.parse("0")
+        with pytest.raises(SchemaError, match="above"):
+            spec.parse("101")
+        with pytest.raises(SchemaError, match="parse"):
+            spec.parse("fast")
+
+    def test_bool_forms(self):
+        spec = ParamSpec("flag", bool, default=False)
+        for text in ("1", "true", "YES", "on"):
+            assert spec.parse(text) is True
+        for text in ("0", "false", "No", "off"):
+            assert spec.parse(text) is False
+        with pytest.raises(SchemaError):
+            spec.parse("maybe")
+        assert spec.format(True) == "true"
+
+    def test_float(self):
+        spec = ParamSpec("gain", float, default=1.0, minimum=0.0)
+        assert spec.parse("2.5") == 2.5
+
+    def test_choices(self):
+        spec = ParamSpec("mode", str, default="run", choices=("run", "test"))
+        assert spec.parse("test") == "test"
+        with pytest.raises(SchemaError, match="not one of"):
+            spec.parse("other")
+
+    def test_choices_require_str(self):
+        with pytest.raises(SchemaError):
+            ParamSpec("n", int, default=1, choices=("1",))
+
+    def test_default_must_validate(self):
+        with pytest.raises(SchemaError):
+            ParamSpec("rate", int, default=0, minimum=1)
+
+    def test_illegal_names(self):
+        with pytest.raises(SchemaError):
+            ParamSpec("a=b", str)
+        with pytest.raises(SchemaError):
+            ParamSpec("", str)
+
+    def test_unsupported_type(self):
+        with pytest.raises(SchemaError):
+            ParamSpec("x", list)  # type: ignore[arg-type]
+
+
+class TestParamSchema:
+    def test_duplicates_rejected(self):
+        schema = ParamSchema([ParamSpec("a", int, default=1)])
+        with pytest.raises(SchemaError, match="duplicate"):
+            schema.add(ParamSpec("a", str))
+
+    def test_defaults(self):
+        schema = ParamSchema([
+            ParamSpec("rate", int, default=100),
+            ParamSpec("on", bool, default=True),
+        ])
+        assert schema.defaults() == {"rate": "100", "on": "true"}
+
+    def test_validate_update_atomic(self):
+        schema = ParamSchema([
+            ParamSpec("a", int, default=1, minimum=0),
+            ParamSpec("b", int, default=2),
+        ])
+        assert schema.validate_update({"a": "5", "b": "7"}) == {"a": 5, "b": 7}
+        with pytest.raises(SchemaError):
+            schema.validate_update({"a": "5", "b": "oops"})
+        with pytest.raises(SchemaError, match="unknown"):
+            schema.validate_update({"ghost": "1"})
+
+    def test_read_only_refused(self):
+        schema = ParamSchema([ParamSpec("serial", str, default="X",
+                                        read_only=True)])
+        with pytest.raises(SchemaError, match="read-only"):
+            schema.validate_update({"serial": "Y"})
+
+    def test_describe_is_self_documenting(self):
+        schema = ParamSchema([
+            ParamSpec("rate", int, default=100, minimum=1, maximum=1000),
+            ParamSpec("mode", str, default="run", choices=("run", "test")),
+        ])
+        desc = schema.describe()
+        assert "min:1" in desc["rate"] and "max:1000" in desc["rate"]
+        assert "choices:run|test" in desc["mode"]
+
+
+class Device(SchemaListenerMixin, Listener):
+    schema = ParamSchema([
+        ParamSpec("rate_hz", int, default=100, minimum=1, maximum=10_000),
+        ParamSpec("mode", str, default="run", choices=("run", "test")),
+    ])
+
+
+class TestListenerIntegration:
+    def test_defaults_seeded(self):
+        dev = Device()
+        assert dev.parameters["rate_hz"] == "100"
+        assert dev.typed_param("rate_hz") == 100
+
+    def test_params_set_validated_over_the_wire(self):
+        exe = Executive()
+        dev = Device()
+        tid = exe.install(dev)
+        sender = Listener("s")
+        exe.install(sender)
+        outcomes = []
+        sender.table.bind(UTIL_PARAMS_SET,
+                          lambda f: outcomes.append(f.is_failure))
+        # Valid update accepted.
+        sender.send(tid, encode_params({"rate_hz": "500"}),
+                    function=UTIL_PARAMS_SET)
+        exe.run_until_idle()
+        assert outcomes == [False]
+        assert dev.typed_param("rate_hz") == 500
+        # Out-of-range update refused atomically.
+        sender.send(tid, encode_params({"rate_hz": "0", "mode": "test"}),
+                    function=UTIL_PARAMS_SET)
+        exe.run_until_idle()
+        assert outcomes == [False, True]
+        assert dev.typed_param("rate_hz") == 500
+        assert dev.parameters["mode"] == "run"

@@ -1,0 +1,55 @@
+"""Shared fixtures: clusters, pumps, and leak checking."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.executive import Executive
+from repro.transports.agent import PeerTransportAgent
+from repro.transports.loopback import LoopbackNetwork, LoopbackTransport
+
+
+def make_loopback_cluster(n_nodes: int) -> dict[int, Executive]:
+    """N executives joined by one loopback network, PTA installed."""
+    network = LoopbackNetwork()
+    cluster: dict[int, Executive] = {}
+    for node in range(n_nodes):
+        exe = Executive(node=node)
+        PeerTransportAgent.attach(exe).register(
+            LoopbackTransport(network), default=True
+        )
+        cluster[node] = exe
+    return cluster
+
+
+def pump(cluster: dict[int, Executive], max_rounds: int = 100_000) -> int:
+    """Step every executive until the whole cluster is idle."""
+    for rounds in range(max_rounds):
+        if not any(exe.step() for exe in cluster.values()):
+            return rounds
+    raise AssertionError("cluster did not go idle")
+
+
+def assert_no_leaks(cluster: dict[int, Executive]) -> None:
+    for exe in cluster.values():
+        exe.pool.check_conservation()
+        assert exe.pool.in_flight == 0, (
+            f"node {exe.node} leaked {exe.pool.in_flight} blocks"
+        )
+
+
+@pytest.fixture
+def two_nodes():
+    """The canonical two-node loopback cluster, leak-checked on exit."""
+    cluster = make_loopback_cluster(2)
+    yield cluster
+    pump(cluster)
+    assert_no_leaks(cluster)
+
+
+@pytest.fixture
+def five_nodes():
+    cluster = make_loopback_cluster(5)
+    yield cluster
+    pump(cluster)
+    assert_no_leaks(cluster)

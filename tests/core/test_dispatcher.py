@@ -1,0 +1,110 @@
+"""Dispatch tables and functors."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.dispatcher import DispatchError, DispatchTable, Functor
+from repro.i2o.errors import I2OError
+from repro.i2o.frame import Frame
+from repro.i2o.function_codes import PRIVATE, UTIL_NOP
+
+
+def private_frame(xfunction: int) -> Frame:
+    return Frame.build(target=1, initiator=2, function=PRIVATE,
+                       xfunction=xfunction)
+
+
+def util_frame() -> Frame:
+    return Frame.build(target=1, initiator=2, function=UTIL_NOP)
+
+
+class TestBinding:
+    def test_bind_and_lookup_private(self):
+        table = DispatchTable("dev")
+        hits = []
+        table.bind(PRIVATE, hits.append, xfunction=0x10)
+        functor = table.lookup(private_frame(0x10))
+        functor.prepare(private_frame(0x10))()
+        assert len(hits) == 1
+
+    def test_bind_and_lookup_standard(self):
+        table = DispatchTable()
+        table.bind(UTIL_NOP, lambda f: "nop")
+        assert table.lookup(util_frame()).handler(util_frame()) == "nop"
+
+    def test_xfunction_discriminates_private_only(self):
+        table = DispatchTable()
+        with pytest.raises(I2OError):
+            table.bind(UTIL_NOP, lambda f: None, xfunction=5)
+
+    def test_rebinding_replaces(self):
+        table = DispatchTable()
+        table.bind(PRIVATE, lambda f: "old", xfunction=1)
+        table.bind(PRIVATE, lambda f: "new", xfunction=1)
+        assert len(table) == 1
+        assert table.lookup(private_frame(1)).handler(None) == "new"
+
+    def test_unbind(self):
+        table = DispatchTable()
+        table.bind(PRIVATE, lambda f: None, xfunction=1)
+        table.unbind(PRIVATE, xfunction=1)
+        with pytest.raises(DispatchError):
+            table.lookup(private_frame(1))
+        with pytest.raises(DispatchError):
+            table.unbind(PRIVATE, xfunction=1)
+
+    def test_non_callable_rejected(self):
+        with pytest.raises(I2OError):
+            Functor("not callable", (0, 0))  # type: ignore[arg-type]
+
+    def test_bindings_listing(self):
+        table = DispatchTable()
+        table.bind(PRIVATE, lambda f: None, xfunction=2)
+        table.bind(UTIL_NOP, lambda f: None)
+        assert table.bindings() == [(UTIL_NOP, 0), (PRIVATE, 2)]
+
+
+class TestDefaults:
+    def test_no_handler_no_default_raises(self):
+        with pytest.raises(DispatchError, match="no handler"):
+            DispatchTable("dev").lookup(private_frame(0x99))
+
+    def test_default_catches_unbound(self):
+        table = DispatchTable()
+        caught = []
+        table.bind_default(caught.append)
+        functor = table.lookup(private_frame(0x99))
+        functor.prepare(private_frame(0x99))()
+        assert len(caught) == 1
+
+    def test_exact_binding_beats_default(self):
+        table = DispatchTable()
+        table.bind_default(lambda f: "default")
+        table.bind(PRIVATE, lambda f: "exact", xfunction=1)
+        assert table.lookup(private_frame(1)).handler(None) == "exact"
+
+
+class TestFunctorPrepare:
+    def test_prepare_counts_calls(self):
+        table = DispatchTable()
+        functor = table.bind(PRIVATE, lambda f: None, xfunction=3)
+        functor.prepare(private_frame(3))
+        functor.prepare(private_frame(3))
+        assert functor.calls == 2
+
+    def test_prepare_rejects_mismatched_frame(self):
+        table = DispatchTable()
+        functor = table.bind(PRIVATE, lambda f: None, xfunction=3)
+        with pytest.raises(DispatchError, match="bound to"):
+            functor.prepare(private_frame(4))
+
+    def test_prepare_returns_thunk_carrying_frame(self):
+        table = DispatchTable()
+        got = []
+        functor = table.bind(PRIVATE, got.append, xfunction=3)
+        frame = private_frame(3)
+        thunk = functor.prepare(frame)
+        assert got == []  # not yet invoked
+        thunk()
+        assert got == [frame]

@@ -1,0 +1,260 @@
+"""The executive: routing, dispatching, proxies, its own device role."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.device import Listener, RETAIN, decode_params
+from repro.core.executive import Executive, Route
+from repro.core.states import DeviceState
+from repro.i2o.errors import AddressingError, I2OError
+from repro.i2o.frame import Frame
+from repro.i2o.function_codes import (
+    EXEC_LCT_NOTIFY,
+    EXEC_STATUS_GET,
+    EXEC_SYS_ENABLE,
+    EXEC_SYS_QUIESCE,
+)
+from repro.i2o.tid import EXECUTIVE_TID, TID_BROADCAST
+
+from tests.conftest import assert_no_leaks, make_loopback_cluster, pump
+
+
+class Sink(Listener):
+    def __init__(self, name: str = "sink") -> None:
+        super().__init__(name)
+        self.got: list[Frame] = []
+        self.replies: list[Frame] = []
+
+    def on_plugin(self) -> None:
+        self.bind(0x01, self._on_msg)
+
+    def _on_msg(self, frame: Frame) -> None:
+        if frame.is_reply:
+            self.replies.append(frame)
+        else:
+            self.got.append(frame)
+
+
+class TestInstallation:
+    def test_executive_occupies_tid_zero(self):
+        exe = Executive(node=3)
+        assert EXECUTIVE_TID in exe.devices()
+        assert exe.device(EXECUTIVE_TID).device_class == "executive"
+
+    def test_install_allocates_dynamic_tids(self):
+        exe = Executive()
+        t1 = exe.install(Sink("a"))
+        t2 = exe.install(Sink("b"))
+        assert t1 != t2 and t1 >= 16 and t2 >= 16
+
+    def test_find_device_by_name(self):
+        exe = Executive()
+        dev = Sink("needle")
+        exe.install(dev)
+        assert exe.find_device("needle") is dev
+        with pytest.raises(AddressingError):
+            exe.find_device("missing")
+
+    def test_uninstall_releases_tid_and_drops_frames(self):
+        exe = Executive()
+        a, b = Sink("a"), Sink("b")
+        ta, tb = exe.install(a), exe.install(b)
+        a.send(tb, b"queued", xfunction=0x01)
+        exe._route_outbound()  # frame now queued for b
+        exe.uninstall(tb)
+        exe.run_until_idle()
+        assert b.got == []
+        assert b.executive is None
+        exe.pool.check_conservation()
+        assert exe.pool.in_flight == 0
+
+    def test_device_lookup_unknown_tid(self):
+        with pytest.raises(AddressingError):
+            Executive().device(999)
+
+
+class TestLocalRouting:
+    def test_local_send_and_reply(self):
+        exe = Executive()
+        a, b = Sink("a"), Sink("b")
+        exe.install(a)
+        tb = exe.install(b)
+        b.bind(0x01, lambda f: b.reply(f, b"pong") if not f.is_reply else None)
+        a.send(tb, b"ping", xfunction=0x01)
+        exe.run_until_idle()
+        assert [bytes(f.payload) for f in a.replies] == [b"pong"]
+
+    def test_unroutable_target_failure_reply(self):
+        exe = Executive()
+        a = Sink("a")
+        exe.install(a)
+        a.send(0x500, b"void", xfunction=0x01)
+        exe.run_until_idle()
+        assert exe.dropped == 1
+        assert len(a.replies) == 1 and a.replies[0].is_failure
+
+    def test_broadcast_reaches_all_but_initiator(self):
+        exe = Executive()
+        devices = [Sink(f"s{i}") for i in range(3)]
+        for d in devices:
+            exe.install(d)
+        devices[0].send(TID_BROADCAST, b"all", xfunction=0x01)
+        exe.run_until_idle()
+        assert devices[0].got == []
+        assert [len(d.got) for d in devices[1:]] == [1, 1]
+
+    def test_handler_exception_does_not_kill_executive(self):
+        exe = Executive()
+        a, b = Sink("a"), Sink("b")
+        exe.install(a)
+        tb = exe.install(b)
+
+        def boom(frame):
+            if not frame.is_reply:
+                raise ValueError("application bug")
+
+        b.bind(0x01, boom)
+        a.send(tb, b"x", xfunction=0x01)
+        exe.run_until_idle()
+        assert exe.handler_errors == 1
+        assert len(a.replies) == 1 and a.replies[0].is_failure
+        exe.pool.check_conservation()
+
+    def test_retain_transfers_frame_ownership(self):
+        exe = Executive()
+        a, b = Sink("a"), Sink("b")
+        exe.install(a)
+        tb = exe.install(b)
+        kept = []
+
+        def keeper(frame):
+            if frame.is_reply:
+                return None
+            kept.append(frame)
+            return RETAIN
+
+        b.bind(0x01, keeper)
+        a.send(tb, b"keep me", xfunction=0x01)
+        exe.run_until_idle()
+        assert exe.pool.in_flight == 1  # the retained frame
+        assert bytes(kept[0].payload) == b"keep me"
+        exe.frame_free(kept[0])
+        exe.pool.check_conservation()
+
+    def test_run_until_idle_detects_message_loops(self):
+        exe = Executive()
+        a, b = Sink("a"), Sink("b")
+        ta, tb = exe.install(a), exe.install(b)
+        a.bind(0x02, lambda f: a.send(tb, b"", xfunction=0x02))
+        b.bind(0x02, lambda f: b.send(ta, b"", xfunction=0x02))
+        a.send(tb, b"", xfunction=0x02)
+        with pytest.raises(I2OError, match="exceeded"):
+            exe.run_until_idle(max_steps=200)
+
+
+class TestProxies:
+    def test_create_proxy_idempotent(self):
+        exe = Executive(node=0)
+        p1 = exe.create_proxy(1, 20)
+        p2 = exe.create_proxy(1, 20)
+        assert p1 == p2
+        assert exe.route_for(p1) == Route(node=1, remote_tid=20)
+
+    def test_proxy_for_local_is_identity(self):
+        exe = Executive(node=0)
+        tid = exe.install(Sink())
+        assert exe.create_proxy(0, tid) == tid
+
+    def test_distinct_remotes_distinct_proxies(self):
+        exe = Executive(node=0)
+        assert exe.create_proxy(1, 20) != exe.create_proxy(2, 20)
+        assert exe.create_proxy(1, 20) != exe.create_proxy(1, 21)
+
+    def test_proxy_with_no_pta_dead_letters(self):
+        exe = Executive(node=0)
+        a = Sink()
+        exe.install(a)
+        proxy = exe.create_proxy(1, 20)
+        a.send(proxy, b"x", xfunction=0x01)
+        exe.run_until_idle()
+        assert exe.dropped == 1
+
+
+class TestExecutiveDevice:
+    """The executive's own message set (it is itself an I2O device)."""
+
+    def _ask(self, cluster, function):
+        asker = Sink("asker")
+        cluster[0].install(asker)
+        answers = []
+        asker.table.bind(function,
+                         lambda f: answers.append(f) if f.is_reply else None)
+        proxy = cluster[0].create_proxy(1, EXECUTIVE_TID)
+        asker.send(proxy, function=function)
+        pump(cluster)
+        return answers
+
+    def test_status_get_over_the_wire(self):
+        cluster = make_loopback_cluster(2)
+        answers = self._ask(cluster, EXEC_STATUS_GET)
+        status = decode_params(answers[0].payload)
+        assert status["node"] == "1"
+        assert status["state"] == "initialised"
+        assert_no_leaks(cluster)
+
+    def test_lct_notify_lists_devices(self):
+        cluster = make_loopback_cluster(2)
+        tid = cluster[1].install(Sink("remote-sink"))
+        answers = self._ask(cluster, EXEC_LCT_NOTIFY)
+        table = decode_params(answers[0].payload)
+        assert table[str(tid)] == "private"
+        assert table["0"] == "executive"
+
+    def test_sys_enable_drives_all_devices(self):
+        cluster = make_loopback_cluster(2)
+        dev = Sink("target")
+        cluster[1].install(dev)
+        self._ask(cluster, EXEC_SYS_ENABLE)
+        assert dev.state is DeviceState.ENABLED
+        assert cluster[1].state is DeviceState.ENABLED
+
+    def test_sys_quiesce_after_enable(self):
+        cluster = make_loopback_cluster(2)
+        dev = Sink("target")
+        cluster[1].install(dev)
+        self._ask(cluster, EXEC_SYS_ENABLE)
+        self._ask(cluster, EXEC_SYS_QUIESCE)
+        assert dev.state is DeviceState.QUIESCED
+
+
+class TestThreadMode:
+    def test_start_stop(self):
+        exe = Executive()
+        a, b = Sink("a"), Sink("b")
+        exe.install(a)
+        tb = exe.install(b)
+        b.bind(0x01, lambda f: b.reply(f) if not f.is_reply else None)
+        exe.start(poll_interval=0.001)
+        try:
+            a.send(tb, b"threaded", xfunction=0x01)
+            import time
+
+            deadline = time.monotonic() + 5
+            while not a.replies and time.monotonic() < deadline:
+                time.sleep(0.001)
+            assert a.replies, "no reply within 5 s in thread mode"
+        finally:
+            exe.stop()
+
+    def test_double_start_rejected(self):
+        exe = Executive()
+        exe.start()
+        try:
+            with pytest.raises(I2OError):
+                exe.start()
+        finally:
+            exe.stop()
+
+    def test_stop_without_start_is_noop(self):
+        Executive().stop()

@@ -1,0 +1,90 @@
+"""SimNode: executives as simulation processes."""
+
+from __future__ import annotations
+
+from repro.bench.pingpong import build_gm_cluster
+from repro.core.device import Listener
+from repro.core.executive import Executive
+from repro.core.probes import CostModel
+from repro.core.simnode import SimNode
+from repro.hw.clock import SimClock
+from repro.sim.kernel import Simulator
+
+
+class _Sink(Listener):
+    def on_plugin(self):
+        self.bind(0x9, lambda frame: None)
+
+
+def test_simnode_replaces_clock_and_probes():
+    sim = Simulator()
+    exe = Executive(node=0)
+    SimNode(sim, exe)
+    assert isinstance(exe.clock, SimClock)
+    assert exe.probes.mode == "model"
+
+
+def test_costs_become_virtual_time():
+    sim = Simulator()
+    exe = Executive(node=0)
+    node = SimNode(sim, exe, cost_model=CostModel({"demultiplex": 1000,
+                                                   "upcall": 0,
+                                                   "application": 0,
+                                                   "postprocess": 0,
+                                                   "frame_alloc": 0,
+                                                   "frame_free": 0}))
+    sink = _Sink()
+    tid = exe.install(sink)
+    for _ in range(5):
+        frame = exe.frame_alloc(0, target=tid, initiator=tid, xfunction=0x9)
+        exe.post_inbound(frame)
+    sim.run(until=1_000_000)
+    # 5 dispatches x 1000 ns demultiplex cost = 5 us of busy time.
+    assert node.busy_ns == 5_000
+
+
+def test_idle_node_wakes_on_post():
+    sim = Simulator()
+    exe = Executive(node=0)
+    SimNode(sim, exe, cost_model=CostModel({}, default_ns=10))
+    sink = _Sink()
+    tid = exe.install(sink)
+
+    def inject():
+        frame = exe.frame_alloc(0, target=tid, initiator=tid, xfunction=0x9)
+        exe.post_inbound(frame)
+
+    sim.at(50_000, inject)
+    sim.run(until=1_000_000)
+    assert exe.dispatched == 1
+
+
+def test_halt_stops_the_process():
+    sim = Simulator()
+    exe = Executive(node=0)
+    node = SimNode(sim, exe)
+    node.halt()
+    sim.run(until=10_000)
+    assert node.process.done.fired
+
+
+def test_gm_cluster_round_trip_deterministic():
+    """Same seedless deterministic kernel: two runs, identical RTTs."""
+
+    def run_once():
+        cluster = build_gm_cluster()
+        cluster.ping.configure(cluster.ping.peer, 128, 20)
+        cluster.sim.at(0, cluster.ping.kick)
+        cluster.sim.run()
+        return cluster.ping.rtts_ns
+
+    assert run_once() == run_once()
+
+
+def test_gm_cluster_node_busy_accounting():
+    cluster = build_gm_cluster()
+    cluster.ping.configure(cluster.ping.peer, 128, 10)
+    cluster.sim.at(0, cluster.ping.kick)
+    cluster.sim.run()
+    # Echo node handles 10 messages at ~9.7 us modelled each.
+    assert cluster.node_b.busy_ns == 10 * 9_700

@@ -1,0 +1,52 @@
+"""Device state machine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.states import DeviceState, StateError, check_transition
+
+
+def test_happy_path_lifecycle():
+    state = DeviceState.INITIALISED
+    for target in (
+        DeviceState.CONFIGURED,
+        DeviceState.ENABLED,
+        DeviceState.QUIESCED,
+        DeviceState.ENABLED,
+        DeviceState.QUIESCED,
+        DeviceState.HALTED,
+    ):
+        state = check_transition(state, target)
+    assert state is DeviceState.HALTED
+
+
+def test_enable_straight_from_initialised():
+    assert check_transition(DeviceState.INITIALISED, DeviceState.ENABLED)
+
+
+def test_reconfigure_while_configured():
+    assert check_transition(DeviceState.CONFIGURED, DeviceState.CONFIGURED)
+
+
+def test_enabled_cannot_reconfigure_directly():
+    with pytest.raises(StateError):
+        check_transition(DeviceState.ENABLED, DeviceState.CONFIGURED)
+
+
+def test_halted_is_terminal():
+    for target in DeviceState:
+        with pytest.raises(StateError):
+            check_transition(DeviceState.HALTED, target)
+
+
+def test_failed_only_halts():
+    assert check_transition(DeviceState.FAILED, DeviceState.HALTED)
+    with pytest.raises(StateError):
+        check_transition(DeviceState.FAILED, DeviceState.ENABLED)
+
+
+def test_any_active_state_can_fail():
+    for state in (DeviceState.INITIALISED, DeviceState.CONFIGURED,
+                  DeviceState.ENABLED, DeviceState.QUIESCED):
+        assert check_transition(state, DeviceState.FAILED)

@@ -1,0 +1,179 @@
+"""The distributed event builder, over multiple transports."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.executive import Executive
+from repro.daq import (
+    BuilderUnit,
+    EventManager,
+    ReadoutUnit,
+    TriggerSource,
+)
+from repro.daq.events import fragment_size
+from repro.transports.agent import PeerTransportAgent
+from repro.transports.loopback import LoopbackNetwork, LoopbackTransport
+from repro.transports.queued import QueuePair, QueueTransport
+
+from tests.conftest import assert_no_leaks, make_loopback_cluster, pump
+
+
+def wire_daq(cluster, n_ru=2, n_bu=2, mean_fragment=512):
+    """Standard topology: node 0 = evm+trigger, then RUs, then BUs."""
+    evm, trigger = EventManager(), TriggerSource()
+    evm_tid = cluster[0].install(evm)
+    cluster[0].install(trigger)
+    trigger.connect(evm_tid)
+    rus = {i: ReadoutUnit(ru_id=i, mean_fragment=mean_fragment)
+           for i in range(n_ru)}
+    ru_tids = {i: cluster[1 + i].install(ru) for i, ru in rus.items()}
+    bus = {i: BuilderUnit(bu_id=i) for i in range(n_bu)}
+    bu_tids = {i: cluster[1 + n_ru + i].install(bu) for i, bu in bus.items()}
+    evm.connect(
+        {i: cluster[0].create_proxy(1 + i, t) for i, t in ru_tids.items()},
+        {i: cluster[0].create_proxy(1 + n_ru + i, t)
+         for i, t in bu_tids.items()},
+    )
+    for i, bu in bus.items():
+        node = 1 + n_ru + i
+        bu.connect(
+            cluster[node].create_proxy(0, evm_tid),
+            {j: cluster[node].create_proxy(1 + j, t)
+             for j, t in ru_tids.items()},
+        )
+    return evm, trigger, rus, bus
+
+
+class TestLoopbackEventBuilding:
+    def test_every_trigger_becomes_a_built_event(self, five_nodes):
+        evm, trigger, rus, bus = wire_daq(five_nodes)
+        trigger.fire_burst(20)
+        pump(five_nodes)
+        assert evm.triggers == 20
+        assert evm.completed == 20
+        assert evm.in_flight == 0
+
+    def test_round_robin_between_builders(self, five_nodes):
+        evm, trigger, rus, bus = wire_daq(five_nodes)
+        trigger.fire_burst(10)
+        pump(five_nodes)
+        assert bus[0].built == 5
+        assert bus[1].built == 5
+
+    def test_built_sizes_match_generator(self, five_nodes):
+        evm, trigger, rus, bus = wire_daq(five_nodes)
+        trigger.fire_burst(6)
+        pump(five_nodes)
+        for bu in bus.values():
+            for event_id, size in bu.completed:
+                expected = sum(
+                    fragment_size(event_id, ru_id, mean=512)
+                    for ru_id in rus
+                )
+                assert size == expected
+
+    def test_buffers_cleared_after_completion(self, five_nodes):
+        evm, trigger, rus, bus = wire_daq(five_nodes)
+        trigger.fire_burst(15)
+        pump(five_nodes)
+        for ru in rus.values():
+            assert ru.buffered_events == 0
+            assert ru.cleared == 15
+
+    def test_no_corrupt_fragments(self, five_nodes):
+        evm, trigger, rus, bus = wire_daq(five_nodes)
+        trigger.fire_burst(10)
+        pump(five_nodes)
+        assert all(bu.corrupt == 0 for bu in bus.values())
+
+    def test_request_before_readout_is_parked(self, five_nodes):
+        """Builder fragment requests racing ahead of readout commands
+        must be parked, not failed."""
+        evm, trigger, rus, bus = wire_daq(five_nodes)
+        # Bypass the EVM: ask a BU to build an event the RUs have
+        # never heard of, then trigger readout afterwards.
+        bu = bus[0]
+        from repro.daq.protocol import XF_REQUEST_FRAGMENT
+        from repro.daq.readout import pack_event_id
+
+        bu._pending[999] = {}
+        for ru_tid in bu.ru_tids.values():
+            bu.send(ru_tid, pack_event_id(999),
+                    xfunction=XF_REQUEST_FRAGMENT)
+        pump(five_nodes)
+        assert any(ru.parked_requests for ru in rus.values())
+        # Now the readout command arrives late.
+        from repro.daq.protocol import XF_READOUT
+
+        for i, ru_tid in evm.ru_tids.items():
+            evm.send(ru_tid, pack_event_id(999), xfunction=XF_READOUT)
+        pump(five_nodes)
+        assert bu.built == 1
+        assert all(ru.parked_requests == 0 for ru in rus.values())
+
+    def test_single_ru_single_bu_minimal(self):
+        cluster = make_loopback_cluster(3)
+        evm, trigger, rus, bus = wire_daq(cluster, n_ru=1, n_bu=1)
+        trigger.fire()
+        pump(cluster)
+        assert evm.completed == 1
+        assert_no_leaks(cluster)
+
+    def test_larger_cluster_4x3(self):
+        cluster = make_loopback_cluster(8)  # 1 + 4 RU + 3 BU
+        evm, trigger, rus, bus = wire_daq(cluster, n_ru=4, n_bu=3)
+        trigger.fire_burst(30)
+        pump(cluster)
+        assert evm.completed == 30
+        assert sum(bu.built for bu in bus.values()) == 30
+        assert_no_leaks(cluster)
+
+
+class TestTimerDrivenTrigger:
+    def test_enable_starts_periodic_triggers(self, five_nodes):
+        evm, trigger, rus, bus = wire_daq(five_nodes)
+
+        class ManualClock:
+            t = 0
+
+            def now_ns(self):
+                return self.t
+
+        clock = ManualClock()
+        five_nodes[0].clock = clock
+        trigger.parameters["interval_ns"] = "1000"
+        trigger.max_events = 3
+        trigger.set_state(trigger.state.__class__.ENABLED)
+        trigger.on_enable()
+        for step in range(1, 6):
+            clock.t = step * 1000
+            pump(five_nodes)
+        assert trigger.fired == 3
+        assert evm.completed == 3
+
+
+class TestOverQueueTransport:
+    def test_same_application_over_queue_wires(self):
+        """The identical DAQ code on a different transport - paper's
+        'exchange the hardware, keep the application'."""
+        nodes = range(5)
+        pairs = {}
+        exes = {n: Executive(node=n) for n in nodes}
+        for n in nodes:
+            pta = PeerTransportAgent.attach(exes[n])
+            for m in nodes:
+                if m <= n:
+                    continue
+                pair = QueuePair(n, m)
+                pairs[(n, m)] = pair
+                pta.register(QueueTransport(pair, name=f"q{n}-{m}"),
+                             nodes=[m])
+        for (n, m), pair in pairs.items():
+            exes[m].pta.register(QueueTransport(pair, name=f"q{m}-{n}"),
+                                 nodes=[n])
+        evm, trigger, rus, bus = wire_daq(exes)
+        trigger.fire_burst(8)
+        pump(exes)
+        assert evm.completed == 8
+        assert_no_leaks(exes)

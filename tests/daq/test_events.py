@@ -1,0 +1,83 @@
+"""Fragment generation and wire format."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.daq.events import (
+    FRAGMENT_OVERHEAD,
+    FragmentError,
+    fragment_payload,
+    fragment_size,
+    make_fragment_payload,
+    parse_fragment,
+    synthesize_fragment,
+)
+
+
+class TestGenerator:
+    def test_size_deterministic(self):
+        assert fragment_size(42, 3) == fragment_size(42, 3)
+
+    def test_size_varies_by_event_and_ru(self):
+        sizes = {fragment_size(e, r) for e in range(10) for r in range(4)}
+        assert len(sizes) > 10  # fluctuating occupancy
+
+    def test_size_bounds_respected(self):
+        for event in range(200):
+            assert 64 <= fragment_size(event, 0) <= 16384
+
+    def test_payload_deterministic(self):
+        assert fragment_payload(7, 1, 100) == fragment_payload(7, 1, 100)
+
+    def test_payload_differs_across_rus(self):
+        assert fragment_payload(7, 1, 100) != fragment_payload(7, 2, 100)
+
+
+class TestWireFormat:
+    def test_round_trip(self):
+        data = b"detector bytes" * 10
+        header, payload = parse_fragment(make_fragment_payload(9, 2, data))
+        assert header.event_id == 9
+        assert header.ru_id == 2
+        assert header.length == len(data)
+        assert payload == data
+
+    def test_synthesize_parses(self):
+        header, payload = parse_fragment(synthesize_fragment(123, 4))
+        assert header.event_id == 123
+        assert header.ru_id == 4
+        assert len(payload) == header.length
+
+    def test_crc_detects_corruption(self):
+        wire = bytearray(make_fragment_payload(1, 1, b"x" * 50))
+        wire[FRAGMENT_OVERHEAD] ^= 0xFF  # flip a payload byte
+        with pytest.raises(FragmentError, match="CRC"):
+            parse_fragment(wire)
+
+    def test_truncation_detected(self):
+        wire = make_fragment_payload(1, 1, b"x" * 50)
+        with pytest.raises(FragmentError):
+            parse_fragment(wire[:-1])
+
+    def test_too_short_detected(self):
+        with pytest.raises(FragmentError, match="short"):
+            parse_fragment(b"tiny")
+
+    def test_length_mismatch_detected(self):
+        wire = bytearray(make_fragment_payload(1, 1, b"x" * 50))
+        wire[12:16] = (10).to_bytes(4, "little")  # lie about length
+        with pytest.raises(FragmentError):
+            parse_fragment(wire)
+
+    @given(st.integers(0, 2**63), st.integers(0, 2**31),
+           st.binary(max_size=500))
+    @settings(max_examples=80, deadline=None)
+    def test_property_round_trip(self, event_id, ru_id, data):
+        header, payload = parse_fragment(
+            make_fragment_payload(event_id, ru_id, data)
+        )
+        assert (header.event_id, header.ru_id) == (event_id, ru_id)
+        assert payload == data

@@ -1,0 +1,85 @@
+"""The LAN device class: ports, delivery, broadcast, subscription."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.devclasses.lan import BROADCAST_MAC, LanClient, LanDevice, LanSegment
+from repro.i2o.errors import I2OError
+
+from tests.conftest import make_loopback_cluster, pump
+
+
+@pytest.fixture
+def lan():
+    """Three nodes, each with a LAN port on one segment and a client."""
+    cluster = make_loopback_cluster(3)
+    segment = LanSegment()
+    ports, clients, port_tids = {}, {}, {}
+    for node in range(3):
+        port = LanDevice(segment, mac=0x100 + node)
+        port_tids[node] = cluster[node].install(port)
+        ports[node] = port
+        client = LanClient(name=f"client{node}")
+        cluster[node].install(client)
+        clients[node] = client
+        client.subscribe(port_tids[node])
+    pump(cluster)
+    return cluster, segment, ports, clients, port_tids
+
+
+class TestUnicast:
+    def test_point_to_point_delivery(self, lan):
+        cluster, _, _, clients, port_tids = lan
+        clients[0].transmit(port_tids[0], 0x101, b"to node 1")
+        pump(cluster)
+        assert clients[1].inbox == [(0x100, b"to node 1")]
+        assert clients[2].inbox == []
+        assert clients[0].send_results == [True]
+
+    def test_unknown_mac_reports_unreached(self, lan):
+        cluster, _, ports, clients, port_tids = lan
+        clients[0].transmit(port_tids[0], 0xDEAD, b"void")
+        pump(cluster)
+        assert clients[0].send_results == [False]
+        assert ports[0].dropped == 1
+
+    def test_reply_path(self, lan):
+        cluster, _, _, clients, port_tids = lan
+        clients[0].transmit(port_tids[0], 0x101, b"ping")
+        pump(cluster)
+        src_mac, _ = clients[1].inbox[0]
+        clients[1].transmit(port_tids[1], src_mac, b"pong")
+        pump(cluster)
+        assert clients[0].inbox == [(0x101, b"pong")]
+
+
+class TestBroadcast:
+    def test_broadcast_reaches_all_but_sender(self, lan):
+        cluster, segment, _, clients, port_tids = lan
+        clients[0].transmit(port_tids[0], BROADCAST_MAC, b"hello all")
+        pump(cluster)
+        assert clients[0].inbox == []
+        assert clients[1].inbox == [(0x100, b"hello all")]
+        assert clients[2].inbox == [(0x100, b"hello all")]
+        assert segment.broadcasts == 1
+
+
+class TestSegment:
+    def test_duplicate_mac_rejected(self):
+        segment = LanSegment()
+        LanDevice(segment, mac=5)
+        with pytest.raises(I2OError, match="already"):
+            LanDevice(segment, mac=5)
+
+    def test_broadcast_mac_not_attachable(self):
+        with pytest.raises(I2OError):
+            LanDevice(LanSegment(), mac=BROADCAST_MAC)
+
+    def test_counters(self, lan):
+        cluster, segment, ports, clients, port_tids = lan
+        clients[0].transmit(port_tids[0], 0x101, b"x")
+        pump(cluster)
+        assert segment.packets == 1
+        assert ports[0].sent == 1
+        assert ports[1].received == 1

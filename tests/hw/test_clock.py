@@ -1,0 +1,30 @@
+"""Clock implementations."""
+
+from __future__ import annotations
+
+import time
+
+from repro.hw.clock import Clock, SimClock, WallClock
+from repro.sim.kernel import Simulator
+
+
+def test_wall_clock_is_monotonic():
+    clock = WallClock()
+    a = clock.now_ns()
+    time.sleep(0.001)
+    b = clock.now_ns()
+    assert b > a
+
+
+def test_sim_clock_tracks_kernel():
+    sim = Simulator()
+    clock = SimClock(sim)
+    assert clock.now_ns() == 0
+    sim.at(500, lambda: None)
+    sim.run()
+    assert clock.now_ns() == 500
+
+
+def test_both_satisfy_protocol():
+    assert isinstance(WallClock(), Clock)
+    assert isinstance(SimClock(Simulator()), Clock)

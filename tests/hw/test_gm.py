@@ -1,0 +1,99 @@
+"""The GM message-passing layer: tokens, handlers, backlog."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hw.gm import GmError, GmPort
+from repro.hw.myrinet import Fabric
+from repro.sim.kernel import Simulator
+
+
+def make_ports(recv_tokens=16, send_tokens=16, nic_backlog=64):
+    sim = Simulator()
+    fabric = Fabric(sim)
+    a = GmPort(fabric, 0, send_tokens=send_tokens, recv_tokens=recv_tokens,
+               nic_backlog=nic_backlog)
+    b = GmPort(fabric, 1, send_tokens=send_tokens, recv_tokens=recv_tokens,
+               nic_backlog=nic_backlog)
+    return sim, a, b
+
+
+class TestSendReceive:
+    def test_handler_receives_payload_and_source(self):
+        sim, a, b = make_ports()
+        got = []
+        b.set_receive_handler(lambda p: got.append((p.src_node, p.data)))
+        a.send_with_callback(b"payload", 1)
+        sim.run()
+        assert got == [(0, b"payload")]
+
+    def test_handlerless_port_stages_for_poll(self):
+        sim, a, b = make_ports()
+        a.send_with_callback(b"x", 1)
+        sim.run()
+        assert b.pending == 1
+        packet = b.poll()
+        assert packet.data == b"x"
+        assert b.poll() is None
+
+    def test_unknown_destination_raises_and_returns_token(self):
+        sim, a, b = make_ports()
+        with pytest.raises(GmError, match="no GM port"):
+            a.send_with_callback(b"x", 7)
+        assert a.send_tokens == a.max_send_tokens
+
+    def test_counters(self):
+        sim, a, b = make_ports()
+        b.set_receive_handler(lambda p: None)
+        for _ in range(4):
+            a.send_with_callback(b"zz", 1)
+        sim.run()
+        assert a.sent == 4
+        assert b.received == 4
+
+
+class TestSendTokens:
+    def test_exhaustion_raises(self):
+        sim, a, b = make_ports(send_tokens=2)
+        a.send_with_callback(b"1", 1)
+        a.send_with_callback(b"2", 1)
+        with pytest.raises(GmError, match="send tokens"):
+            a.send_with_callback(b"3", 1)
+
+    def test_token_returns_via_callback(self):
+        sim, a, b = make_ports(send_tokens=1)
+        returned = []
+        a.send_with_callback(b"1", 1, on_sent=lambda: returned.append(sim.now))
+        sim.run()
+        assert a.send_tokens == 1
+        assert returned and returned[0] > 0
+        a.send_with_callback(b"2", 1)  # token available again
+
+
+class TestReceiveTokens:
+    def test_no_buffer_stages_in_nic(self):
+        sim, a, b = make_ports(recv_tokens=1)
+        got = []
+        b.set_receive_handler(lambda p: got.append(p.data))
+        a.send_with_callback(b"1", 1)
+        a.send_with_callback(b"2", 1)
+        sim.run()
+        assert got == [b"1"]  # second is parked in NIC SRAM
+        b.provide_receive_buffer()
+        assert got == [b"1", b"2"]
+        assert b.dropped == 0
+
+    def test_nic_backlog_overflow_drops(self):
+        sim, a, b = make_ports(recv_tokens=0, nic_backlog=2, send_tokens=8)
+        b.set_receive_handler(lambda p: None)
+        for i in range(4):
+            a.send_with_callback(bytes([i]), 1)
+        sim.run()
+        assert b.dropped == 2
+        assert b.fabric.stats.drops == 2
+
+    def test_provide_count_validation(self):
+        sim, a, b = make_ports()
+        with pytest.raises(GmError):
+            b.provide_receive_buffer(0)

@@ -1,0 +1,172 @@
+"""Multi-switch fabric: routing, latency composition, contention."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hw.gm import GmPort
+from repro.hw.myrinet import Fabric, FabricError
+from repro.hw.topology import MultiSwitchFabric
+from repro.sim.kernel import Simulator
+
+
+class _StubNic:
+    def __init__(self, fabric, node, switch=None):
+        self.delivered = []
+        fabric.attach(node, self, switch=switch)
+
+    def deliver(self, packet):  # pragma: no cover - unused
+        pass
+
+
+def line_fabric(n_switches=3):
+    """sw0 - sw1 - ... - sw(n-1), host 0 on first, host 1 on last."""
+    sim = Simulator()
+    fabric = MultiSwitchFabric(sim)
+    for i in range(n_switches):
+        fabric.add_switch(f"sw{i}")
+    for i in range(n_switches - 1):
+        fabric.link_switches(f"sw{i}", f"sw{i + 1}")
+    _StubNic(fabric, 0, switch="sw0")
+    _StubNic(fabric, 1, switch=f"sw{n_switches - 1}")
+    return sim, fabric
+
+
+class TestTopologyConstruction:
+    def test_duplicate_switch_rejected(self):
+        fabric = MultiSwitchFabric(Simulator())
+        fabric.add_switch("a")
+        with pytest.raises(FabricError):
+            fabric.add_switch("a")
+
+    def test_self_trunk_rejected(self):
+        fabric = MultiSwitchFabric(Simulator())
+        fabric.add_switch("a")
+        with pytest.raises(FabricError):
+            fabric.link_switches("a", "a")
+
+    def test_duplicate_trunk_rejected(self):
+        fabric = MultiSwitchFabric(Simulator())
+        fabric.add_switch("a")
+        fabric.add_switch("b")
+        fabric.link_switches("a", "b")
+        with pytest.raises(FabricError):
+            fabric.link_switches("a", "b")
+
+    def test_attach_default_switch_created(self):
+        fabric = MultiSwitchFabric(Simulator())
+        _StubNic(fabric, 0)
+        assert fabric.nodes() == [0]
+
+    def test_unknown_switch_rejected(self):
+        fabric = MultiSwitchFabric(Simulator())
+        with pytest.raises(FabricError):
+            _StubNic(fabric, 0, switch="ghost")
+
+
+class TestRouting:
+    def test_bfs_shortest_path(self):
+        fabric = MultiSwitchFabric(Simulator())
+        for name in "abcd":
+            fabric.add_switch(name)
+        fabric.link_switches("a", "b")
+        fabric.link_switches("b", "c")
+        fabric.link_switches("c", "d")
+        fabric.link_switches("a", "d")  # ring: a-d is one hop
+        assert fabric.switch_path("a", "d") == ["a", "d"]
+        assert fabric.switch_path("a", "c") in (["a", "b", "c"],
+                                                ["a", "d", "c"])
+
+    def test_unreachable_raises(self):
+        fabric = MultiSwitchFabric(Simulator())
+        fabric.add_switch("island1")
+        fabric.add_switch("island2")
+        _StubNic(fabric, 0, switch="island1")
+        _StubNic(fabric, 1, switch="island2")
+        with pytest.raises(FabricError, match="no route"):
+            fabric.transmit(0, 1, 100, lambda t: None)
+
+    def test_hop_count_grows_with_distance(self):
+        _, near = line_fabric(n_switches=1)
+        _, far = line_fabric(n_switches=4)
+        assert far.hop_count(0, 1) > near.hop_count(0, 1)
+
+
+class TestLatency:
+    def test_single_switch_matches_flat_fabric(self):
+        """One switch: the generalised model must agree with Fabric."""
+        sim1, multi = line_fabric(n_switches=1)
+        sim2 = Simulator()
+        flat = Fabric(sim2)
+
+        class Nic:
+            def deliver(self, p):  # pragma: no cover
+                pass
+
+        flat.attach(0, Nic())
+        flat.attach(1, Nic())
+        for size in (1, 512, 4096):
+            assert multi.expected_one_way_ns(size) == (
+                flat.expected_one_way_ns(size)
+            )
+
+    def test_extra_switches_add_fixed_latency_only(self):
+        """Cut-through: more switches add route latency per hop but do
+        not multiply the per-byte cost."""
+        _, short = line_fabric(n_switches=1)
+        _, long = line_fabric(n_switches=4)
+        small_delta = (long.expected_one_way_ns(1)
+                       - short.expected_one_way_ns(1))
+        large_delta = (long.expected_one_way_ns(4096)
+                       - short.expected_one_way_ns(4096))
+        assert small_delta > 0
+        # The per-byte slope is unchanged: deltas equal up to flit terms.
+        assert abs(large_delta - small_delta) < 5_000  # < 5 us
+
+    def test_transmit_matches_expected(self):
+        sim, fabric = line_fabric(n_switches=3)
+        arrivals = []
+        fabric.transmit(0, 1, 1024, arrivals.append)
+        sim.run()
+        assert arrivals == [fabric.expected_one_way_ns(1024)]
+
+
+class TestContention:
+    def test_trunk_is_shared(self):
+        """Two hosts on sw0 sending to two hosts on sw1 share the one
+        trunk: the second flow queues."""
+        sim = Simulator()
+        fabric = MultiSwitchFabric(sim)
+        fabric.add_switch("sw0")
+        fabric.add_switch("sw1")
+        fabric.link_switches("sw0", "sw1")
+        for node, sw in ((0, "sw0"), (1, "sw0"), (2, "sw1"), (3, "sw1")):
+            _StubNic(fabric, node, switch=sw)
+        arrivals = {}
+        fabric.transmit(0, 2, 4096, lambda t: arrivals.setdefault("a", t))
+        fabric.transmit(1, 3, 4096, lambda t: arrivals.setdefault("b", t))
+        sim.run()
+        solo = fabric.expected_one_way_ns(4096, src=1, dst=3)
+        assert arrivals["b"] > solo  # queued behind flow a on the trunk
+
+
+class TestGmOverMultiSwitch:
+    def test_gm_ping_pong_across_three_switches(self):
+        sim = Simulator()
+        fabric = MultiSwitchFabric(sim)
+        for i in range(3):
+            fabric.add_switch(f"sw{i}")
+        fabric.link_switches("sw0", "sw1")
+        fabric.link_switches("sw1", "sw2")
+        a = GmPort(fabric, 0, switch="sw0")
+        b = GmPort(fabric, 1, switch="sw2")
+        b.set_receive_handler(
+            lambda p: b.send_with_callback(p.data, p.src_node)
+        )
+        done = []
+        a.set_receive_handler(lambda p: done.append(p.data))
+        a.send_with_callback(b"over the fabric", 1)
+        sim.run()
+        assert done == [b"over the fabric"]
+        # 2 DMA + 2 host links + 3 switch output ports + 2 trunks = 9.
+        assert fabric.hop_count(0, 1) == 9

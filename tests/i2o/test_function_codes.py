@@ -1,0 +1,49 @@
+"""Function-code classification."""
+
+from __future__ import annotations
+
+from repro.i2o.function_codes import (
+    EXEC_STATUS_GET,
+    EXEC_SYS_ENABLE,
+    PRIVATE,
+    UTIL_NOP,
+    UTIL_PARAMS_GET,
+    function_name,
+    is_executive,
+    is_private,
+    is_utility,
+)
+
+
+def test_utility_range():
+    assert is_utility(UTIL_NOP)
+    assert is_utility(UTIL_PARAMS_GET)
+    assert not is_utility(EXEC_STATUS_GET)
+    assert not is_utility(PRIVATE)
+
+
+def test_executive_range():
+    assert is_executive(EXEC_STATUS_GET)
+    assert is_executive(EXEC_SYS_ENABLE)
+    assert not is_executive(UTIL_NOP)
+    assert not is_executive(PRIVATE)
+
+
+def test_private():
+    assert is_private(PRIVATE)
+    assert not is_private(UTIL_NOP)
+
+
+def test_function_name_known():
+    assert function_name(UTIL_NOP) == "UTIL_NOP"
+    assert function_name(PRIVATE) == "PRIVATE"
+    assert function_name(EXEC_SYS_ENABLE) == "EXEC_SYS_ENABLE"
+
+
+def test_function_name_unknown_is_hex():
+    assert function_name(0x42) == "0x42"
+
+
+def test_ranges_disjoint():
+    for code in range(0x100):
+        assert is_utility(code) + is_executive(code) + is_private(code) <= 1

@@ -1,0 +1,71 @@
+"""Adversarial input: arbitrary bytes must never crash the codecs.
+
+A transport can hand the frame parser anything; the contract is
+"return a valid Frame or raise FrameFormatError" — never a different
+exception, never a Frame that then misbehaves.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.i2o.errors import FrameFormatError, I2OError
+from repro.i2o.frame import HEADER_SIZE, I2O_VERSION, Frame
+from repro.rmi.marshal import MarshalError, unmarshal
+from repro.transports.wire import decode_wire
+
+
+@given(st.binary(max_size=600))
+@settings(max_examples=300, deadline=None)
+def test_frame_parse_total(data):
+    try:
+        frame = Frame.parse(data)
+    except FrameFormatError:
+        return
+    # Anything that parses must be internally consistent and re-serialise.
+    assert frame.version == I2O_VERSION
+    assert frame.total_size <= len(data) or frame.total_size <= len(
+        bytearray(data)
+    )
+    round_tripped = Frame.parse(frame.tobytes())
+    assert round_tripped.same_message(frame)
+
+
+@given(st.binary(max_size=600))
+@settings(max_examples=300, deadline=None)
+def test_wire_decode_total(data):
+    try:
+        src, frame_bytes = decode_wire(data)
+    except FrameFormatError:
+        return
+    assert isinstance(src, int)
+    assert len(frame_bytes) >= HEADER_SIZE
+
+
+@given(st.binary(max_size=300))
+@settings(max_examples=300, deadline=None)
+def test_unmarshal_total(data):
+    try:
+        unmarshal(data)
+    except MarshalError:
+        pass
+
+
+@given(st.binary(min_size=HEADER_SIZE, max_size=200))
+@settings(max_examples=200, deadline=None)
+def test_mutated_valid_frame_never_escapes_validation(data):
+    """Start from a valid frame, splice in arbitrary bytes: parse
+    either rejects or yields a structurally sound frame."""
+    base = bytearray(
+        Frame.build(target=5, initiator=6, payload=b"x" * 64).tobytes()
+    )
+    splice = min(len(data), len(base))
+    base[:splice] = data[:splice]
+    try:
+        frame = Frame.parse(bytes(base))
+    except I2OError:
+        return
+    assert frame.priority < 7
+    assert frame.target <= 0xFFF
+    assert frame.payload_size + HEADER_SIZE <= len(base)

@@ -1,0 +1,64 @@
+"""SGL chaining with pool-backed frames (the production path)."""
+
+from __future__ import annotations
+
+from repro.core.executive import Executive
+from repro.i2o.frame import Frame
+from repro.i2o.sgl import Fragmenter, Reassembler
+
+
+def pool_builder(exe: Executive):
+    """A Fragmenter `build` callable backed by the executive's pool."""
+
+    def build(*, target, initiator, payload, priority, organization,
+              xfunction, flags, transaction_context, initiator_context) -> Frame:
+        frame = exe.frame_alloc(
+            len(payload), target=target, initiator=initiator,
+            xfunction=xfunction, priority=priority, flags=flags,
+            organization=organization,
+        )
+        frame.payload[:] = payload
+        frame.transaction_context = transaction_context
+        frame.initiator_context = initiator_context
+        return frame
+
+    return build
+
+
+def test_fragment_chain_uses_pool_blocks():
+    exe = Executive(node=0)
+    fragmenter = Fragmenter(max_fragment=1000)
+    payload = bytes(range(256)) * 20  # 5120 B -> 6 fragments
+    frames = fragmenter.fragment(
+        payload, target=5, initiator=6, build=pool_builder(exe)
+    )
+    assert len(frames) == 6
+    assert all(f.block is not None for f in frames)
+    assert exe.pool.in_flight == 6
+    reassembler = Reassembler()
+    out = None
+    for frame in frames:
+        out = reassembler.add(frame)
+        exe.frame_free(frame)
+    assert out == payload
+    exe.pool.check_conservation()
+    assert exe.pool.in_flight == 0
+
+
+def test_many_chains_conserve_pool():
+    exe = Executive(node=0)
+    fragmenter = Fragmenter(max_fragment=512)
+    reassembler = Reassembler()
+    for i in range(20):
+        payload = bytes([i]) * (100 + 137 * i)
+        frames = fragmenter.fragment(
+            payload, target=5, initiator=6, build=pool_builder(exe)
+        )
+        out = None
+        for frame in frames:
+            out = reassembler.add(frame)
+            exe.frame_free(frame)
+        assert out == payload
+    exe.pool.check_conservation()
+    assert exe.pool.in_flight == 0
+    assert reassembler.pending_chains == 0

@@ -1,0 +1,68 @@
+"""Pool block refcount semantics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.mem.block import BlockStateError
+from repro.mem.pool import TableAllocator
+
+
+@pytest.fixture
+def allocator():
+    return TableAllocator(slab_blocks=4)
+
+
+def test_fresh_block_has_one_reference(allocator):
+    block = allocator.alloc(100)
+    assert block.refcount == 1
+    assert block.in_use
+
+
+def test_release_recycles_at_zero(allocator):
+    block = allocator.alloc(100)
+    assert block.release() is True
+    assert not block.in_use
+    assert allocator.in_flight == 0
+
+
+def test_addref_delays_recycle(allocator):
+    block = allocator.alloc(100)
+    block.addref()
+    assert block.release() is False  # one reference remains
+    assert block.in_use
+    assert block.release() is True
+
+
+def test_double_free_raises(allocator):
+    block = allocator.alloc(100)
+    block.release()
+    with pytest.raises(BlockStateError, match="double free"):
+        block.release()
+
+
+def test_addref_on_free_block_raises(allocator):
+    block = allocator.alloc(100)
+    block.release()
+    with pytest.raises(BlockStateError):
+        block.addref()
+
+
+def test_capacity_covers_request(allocator):
+    block = allocator.alloc(100)
+    assert block.capacity >= 100
+    assert len(block.memory) == block.capacity
+
+
+def test_memory_is_writable(allocator):
+    block = allocator.alloc(64)
+    block.memory[0] = 0xAB
+    assert block.memory[0] == 0xAB
+
+
+def test_recycled_block_identity_reused(allocator):
+    block = allocator.alloc(100)
+    index = block.index
+    block.release()
+    again = allocator.alloc(100)
+    assert again.index == index  # LIFO free list reuses the hot block

@@ -1,0 +1,100 @@
+"""The RMI marshaller: round trips and malformed-input rejection."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rmi.marshal import MarshalError, marshal, unmarshal
+
+SIMPLE_CASES = [
+    None,
+    True,
+    False,
+    0,
+    -1,
+    2**62,
+    -(2**62),
+    2**100,            # beyond int64
+    -(2**100),
+    3.14159,
+    float("inf"),
+    "",
+    "unicode: åøπ",
+    b"",
+    b"\x00\xff" * 10,
+    [],
+    [1, 2, 3],
+    (1, "two", 3.0),
+    {},
+    {"key": [1, {"nested": b"bytes"}]},
+]
+
+
+@pytest.mark.parametrize("value", SIMPLE_CASES,
+                         ids=[repr(v)[:30] for v in SIMPLE_CASES])
+def test_round_trip(value):
+    assert unmarshal(marshal(value)) == value
+
+
+def test_tuple_and_list_distinguished():
+    assert unmarshal(marshal((1, 2))) == (1, 2)
+    assert isinstance(unmarshal(marshal((1, 2))), tuple)
+    assert isinstance(unmarshal(marshal([1, 2])), list)
+
+
+def test_bool_and_int_distinguished():
+    assert unmarshal(marshal(True)) is True
+    assert unmarshal(marshal(1)) == 1
+    assert unmarshal(marshal(1)) is not True
+
+
+def test_unsupported_type_rejected():
+    with pytest.raises(MarshalError, match="cannot marshal"):
+        marshal(object())
+
+
+def test_deep_nesting_rejected():
+    value: list = []
+    for _ in range(50):
+        value = [value]
+    with pytest.raises(MarshalError, match="nesting"):
+        marshal(value)
+
+
+def test_trailing_garbage_rejected():
+    with pytest.raises(MarshalError, match="trailing"):
+        unmarshal(marshal(1) + b"\x00")
+
+
+def test_truncated_rejected():
+    data = marshal("hello world")
+    with pytest.raises(MarshalError):
+        unmarshal(data[:-3])
+
+
+def test_unknown_tag_rejected():
+    with pytest.raises(MarshalError, match="unknown tag"):
+        unmarshal(b"\xfe")
+
+
+def test_empty_input_rejected():
+    with pytest.raises(MarshalError):
+        unmarshal(b"")
+
+
+json_like = st.recursive(
+    st.none() | st.booleans() | st.integers() | st.text(max_size=20)
+    | st.binary(max_size=20)
+    | st.floats(allow_nan=False, allow_infinity=False),
+    lambda children: st.lists(children, max_size=4)
+    | st.dictionaries(st.text(max_size=8), children, max_size=4),
+    max_leaves=25,
+)
+
+
+@given(json_like)
+@settings(max_examples=150, deadline=None)
+def test_property_round_trip(value):
+    assert unmarshal(marshal(value)) == value

@@ -1,0 +1,123 @@
+"""Resource and Store semantics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.kernel import SimError, Simulator, delay
+from repro.sim.resources import Resource, Store
+
+
+class TestResource:
+    def test_acquire_within_capacity_is_immediate(self):
+        sim = Simulator()
+        res = Resource(sim, capacity=2)
+        assert res.acquire().fired
+        assert res.acquire().fired
+        assert res.in_use == 2
+
+    def test_over_capacity_queues_fifo(self):
+        sim = Simulator()
+        res = Resource(sim, capacity=1)
+        first = res.acquire()
+        grants = []
+        for tag in ("a", "b"):
+            res.acquire().add_callback(lambda _v, tag=tag: grants.append(tag))
+        assert first.fired and res.queued == 2
+        res.release()
+        res.release()
+        sim.run()
+        assert grants == ["a", "b"]
+
+    def test_release_idle_raises(self):
+        with pytest.raises(SimError):
+            Resource(Simulator()).release()
+
+    def test_capacity_validation(self):
+        with pytest.raises(SimError):
+            Resource(Simulator(), capacity=0)
+
+    def test_serialises_process_access(self):
+        sim = Simulator()
+        res = Resource(sim, capacity=1, name="bus")
+        spans = []
+
+        def user(name, hold):
+            yield res.acquire()
+            start = sim.now
+            yield delay(hold)
+            res.release()
+            spans.append((name, start, sim.now))
+
+        sim.process(user("x", 100))
+        sim.process(user("y", 50))
+        sim.run()
+        assert spans == [("x", 0, 100), ("y", 100, 150)]
+
+
+class TestStore:
+    def test_put_then_get(self):
+        sim = Simulator()
+        store = Store(sim)
+        store.put("item")
+        got = []
+        store.get().add_callback(got.append)
+        sim.run()
+        assert got == ["item"]
+
+    def test_get_blocks_until_put(self):
+        sim = Simulator()
+        store = Store(sim)
+        got = []
+        store.get().add_callback(got.append)
+        sim.run()
+        assert got == []
+        store.put("late")
+        sim.run()
+        assert got == ["late"]
+
+    def test_fifo_order(self):
+        sim = Simulator()
+        store = Store(sim)
+        for i in range(5):
+            store.put(i)
+        got = []
+        for _ in range(5):
+            store.get().add_callback(got.append)
+        sim.run()
+        assert got == [0, 1, 2, 3, 4]
+
+    def test_bounded_put_blocks(self):
+        sim = Simulator()
+        store = Store(sim, capacity=1)
+        assert store.put("a").fired
+        second = store.put("b")
+        assert not second.fired
+        assert store.free == 0
+        got = []
+        store.get().add_callback(got.append)
+        sim.run()
+        assert second.fired  # freed slot admitted the blocked put
+        assert got == ["a"]
+        assert len(store) == 1
+
+    def test_try_get(self):
+        sim = Simulator()
+        store = Store(sim)
+        assert store.try_get() == (False, None)
+        store.put(7)
+        assert store.try_get() == (True, 7)
+
+    def test_capacity_validation(self):
+        with pytest.raises(SimError):
+            Store(Simulator(), capacity=0)
+
+    def test_handoff_to_waiting_getter(self):
+        sim = Simulator()
+        store = Store(sim, capacity=1)
+        got = []
+        store.get().add_callback(got.append)
+        store.put("direct")
+        sim.run()
+        assert got == ["direct"]
+        assert len(store) == 0

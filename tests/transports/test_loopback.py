@@ -1,0 +1,122 @@
+"""Loopback transport semantics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.device import Listener
+from repro.core.executive import Executive
+from repro.transports.agent import PeerTransportAgent
+from repro.transports.base import TransportError
+from repro.transports.loopback import LoopbackNetwork, LoopbackTransport
+
+from tests.conftest import assert_no_leaks, make_loopback_cluster, pump
+
+
+class Echo(Listener):
+    def on_plugin(self):
+        self.bind(0x1, self._h)
+
+    def _h(self, frame):
+        if not frame.is_reply:
+            self.reply(frame, frame.payload)
+
+
+class Caller(Listener):
+    def __init__(self, name="caller"):
+        super().__init__(name)
+        self.replies = []
+
+    def on_plugin(self):
+        self.bind(0x1, lambda f: self.replies.append(bytes(f.payload))
+                  if f.is_reply else None)
+
+
+def test_round_trip(two_nodes):
+    echo_tid = two_nodes[1].install(Echo())
+    caller = Caller()
+    two_nodes[0].install(caller)
+    proxy = two_nodes[0].create_proxy(1, echo_tid)
+    caller.send(proxy, b"payload", xfunction=0x1)
+    pump(two_nodes)
+    assert caller.replies == [b"payload"]
+
+
+def test_duplicate_node_rejected():
+    net = LoopbackNetwork()
+    exe = Executive(node=0)
+    pta = PeerTransportAgent.attach(exe)
+    pta.register(LoopbackTransport(net), default=True)
+    exe2 = Executive(node=0)  # same node id!
+    pta2 = PeerTransportAgent.attach(exe2)
+    with pytest.raises(TransportError, match="already"):
+        pta2.register(LoopbackTransport(net), default=True)
+
+
+def test_unknown_destination_becomes_failure_reply(two_nodes):
+    caller = Caller()
+    two_nodes[0].install(caller)
+    failures = []
+    caller.bind(0x2, lambda f: failures.append(f.is_failure)
+                if f.is_reply else None)
+    proxy = two_nodes[0].create_proxy(99, 0x20)  # node 99 doesn't exist
+    caller.send(proxy, b"x", xfunction=0x2)
+    pump(two_nodes)
+    assert failures == [True]
+
+
+def test_immediate_mode_delivers_synchronously():
+    net = LoopbackNetwork()
+    exes = {}
+    for node in range(2):
+        exe = Executive(node=node)
+        PeerTransportAgent.attach(exe).register(
+            LoopbackTransport(net, immediate=True), default=True
+        )
+        exes[node] = exe
+    echo_tid = exes[1].install(Echo())
+    caller = Caller()
+    exes[0].install(caller)
+    caller.send(exes[0].create_proxy(1, echo_tid), b"now", xfunction=0x1)
+    pump(exes)
+    assert caller.replies == [b"now"]
+    assert_no_leaks(exes)
+
+
+def test_has_pending_reflects_staged_data(two_nodes):
+    echo_tid = two_nodes[1].install(Echo())
+    caller = Caller()
+    two_nodes[0].install(caller)
+    caller.send(two_nodes[0].create_proxy(1, echo_tid), b"x", xfunction=0x1)
+    two_nodes[0].step()  # routes + transmits, staging at node 1
+    pt = two_nodes[1].pta.transport("loopback")
+    assert pt.has_pending
+    assert not two_nodes[1].idle
+    pump(two_nodes)
+    assert not pt.has_pending
+
+
+def test_counters(two_nodes):
+    echo_tid = two_nodes[1].install(Echo())
+    caller = Caller()
+    two_nodes[0].install(caller)
+    proxy = two_nodes[0].create_proxy(1, echo_tid)
+    for _ in range(3):
+        caller.send(proxy, b"abc", xfunction=0x1)
+    pump(two_nodes)
+    pt0 = two_nodes[0].pta.transport("loopback")
+    pt1 = two_nodes[1].pta.transport("loopback")
+    assert pt0.frames_sent == 3 and pt1.frames_received == 3
+    assert pt1.frames_sent == 3 and pt0.frames_received == 3  # replies
+    assert pt0.bytes_sent == pt1.bytes_received
+
+
+def test_wide_cluster_any_to_any(five_nodes):
+    echoes = {n: five_nodes[n].install(Echo()) for n in range(1, 5)}
+    caller = Caller()
+    five_nodes[0].install(caller)
+    for node, tid in echoes.items():
+        caller.send(five_nodes[0].create_proxy(node, tid),
+                    str(node).encode(), xfunction=0x1)
+    pump(five_nodes)
+    assert sorted(caller.replies) == [b"1", b"2", b"3", b"4"]

@@ -1,0 +1,126 @@
+"""Queue-pair transport: polling and task modes."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.core.device import Listener
+from repro.core.executive import Executive
+from repro.transports.agent import PeerTransportAgent
+from repro.transports.base import TransportError
+from repro.transports.queued import QueuePair, QueueTransport
+
+
+class Echo(Listener):
+    def on_plugin(self):
+        self.bind(0x1, self._h)
+
+    def _h(self, frame):
+        if not frame.is_reply:
+            self.reply(frame, frame.payload)
+
+
+class Caller(Listener):
+    def __init__(self, name="caller"):
+        super().__init__(name)
+        self.replies = []
+
+    def on_plugin(self):
+        self.bind(0x1, lambda f: self.replies.append(bytes(f.payload))
+                  if f.is_reply else None)
+
+
+def build_pair(mode: str):
+    pair = QueuePair(0, 1)
+    exes = {}
+    for node in range(2):
+        exe = Executive(node=node)
+        PeerTransportAgent.attach(exe).register(
+            QueueTransport(pair, name="q", mode=mode), default=True
+        )
+        exes[node] = exe
+    return exes
+
+
+class TestQueuePair:
+    def test_same_endpoints_rejected(self):
+        with pytest.raises(TransportError):
+            QueuePair(1, 1)
+
+    def test_unknown_node_rejected(self):
+        pair = QueuePair(0, 1)
+        with pytest.raises(TransportError):
+            pair.send_to(5, b"x")
+        with pytest.raises(TransportError):
+            pair.receive_queue(5)
+
+    def test_wrong_executive_node_rejected(self):
+        pair = QueuePair(0, 1)
+        exe = Executive(node=9)
+        pta = PeerTransportAgent.attach(exe)
+        with pytest.raises(TransportError, match="endpoint"):
+            pta.register(QueueTransport(pair), default=True)
+
+
+class TestPollingMode:
+    def test_round_trip(self):
+        exes = build_pair("polling")
+        echo_tid = exes[1].install(Echo())
+        caller = Caller()
+        exes[0].install(caller)
+        caller.send(exes[0].create_proxy(1, echo_tid), b"hi", xfunction=0x1)
+        for _ in range(50):
+            exes[0].step()
+            exes[1].step()
+            if caller.replies:
+                break
+        assert caller.replies == [b"hi"]
+        for exe in exes.values():
+            exe.pool.check_conservation()
+            assert exe.pool.in_flight == 0
+
+    def test_many_messages_in_order(self):
+        exes = build_pair("polling")
+        echo_tid = exes[1].install(Echo())
+        caller = Caller()
+        exes[0].install(caller)
+        proxy = exes[0].create_proxy(1, echo_tid)
+        for i in range(20):
+            caller.send(proxy, f"m{i}".encode(), xfunction=0x1)
+        for _ in range(500):
+            exes[0].step()
+            exes[1].step()
+            if len(caller.replies) == 20:
+                break
+        assert caller.replies == [f"m{i}".encode() for i in range(20)]
+
+
+class TestTaskMode:
+    def test_round_trip_with_threaded_executives(self):
+        exes = build_pair("task")
+        echo_tid = exes[1].install(Echo())
+        caller = Caller()
+        exes[0].install(caller)
+        for exe in exes.values():
+            exe.start(poll_interval=0.001)
+        try:
+            caller.send(exes[0].create_proxy(1, echo_tid), b"task",
+                        xfunction=0x1)
+            deadline = time.monotonic() + 5
+            while not caller.replies and time.monotonic() < deadline:
+                time.sleep(0.001)
+            assert caller.replies == [b"task"]
+        finally:
+            for exe in exes.values():
+                exe.stop()
+            for exe in exes.values():
+                exe.pta.transport("q").shutdown()
+
+    def test_task_mode_has_no_pending_concept(self):
+        exes = build_pair("task")
+        pt = exes[0].pta.transport("q")
+        assert pt.has_pending is False
+        pt.shutdown()
+        exes[1].pta.transport("q").shutdown()

@@ -1,0 +1,122 @@
+"""TCP transport over real localhost sockets."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.core.device import Listener
+from repro.core.executive import Executive
+from repro.transports.agent import PeerTransportAgent
+from repro.transports.base import TransportError
+from repro.transports.tcp import TcpTransport
+
+
+class Echo(Listener):
+    def on_plugin(self):
+        self.bind(0x1, self._h)
+
+    def _h(self, frame):
+        if not frame.is_reply:
+            self.reply(frame, frame.payload)
+
+
+class Caller(Listener):
+    def __init__(self, name="caller"):
+        super().__init__(name)
+        self.replies = []
+
+    def on_plugin(self):
+        self.bind(0x1, lambda f: self.replies.append(bytes(f.payload))
+                  if f.is_reply else None)
+
+
+@pytest.fixture
+def tcp_cluster():
+    """Two threaded executives joined by real TCP sockets."""
+    exes, pts = {}, {}
+    for node in range(2):
+        exe = Executive(node=node)
+        pt = TcpTransport(name="tcp")
+        PeerTransportAgent.attach(exe).register(pt, default=True)
+        exes[node], pts[node] = exe, pt
+    # Exchange the ephemeral ports.
+    pts[0].add_peer(1, "127.0.0.1", pts[1].bound_port)
+    pts[1].add_peer(0, "127.0.0.1", pts[0].bound_port)
+    for exe in exes.values():
+        exe.start(poll_interval=0.001)
+    yield exes, pts
+    for exe in exes.values():
+        exe.stop()
+    for pt in pts.values():
+        pt.shutdown()
+    for exe in exes.values():
+        exe.pool.check_conservation()
+
+
+def wait_for(predicate, timeout=10.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.002)
+    return False
+
+
+class TestTcp:
+    def test_round_trip(self, tcp_cluster):
+        exes, _ = tcp_cluster
+        echo_tid = exes[1].install(Echo())
+        caller = Caller()
+        exes[0].install(caller)
+        caller.send(exes[0].create_proxy(1, echo_tid), b"over tcp",
+                    xfunction=0x1)
+        assert wait_for(lambda: caller.replies == [b"over tcp"])
+
+    def test_reverse_path_learned_from_accepted_connection(self, tcp_cluster):
+        """The reply comes back over the same socket the request used,
+        even though node 1 never dialled node 0."""
+        exes, pts = tcp_cluster
+        pts[1].peers.clear()  # node 1 cannot dial out at all
+        echo_tid = exes[1].install(Echo())
+        caller = Caller()
+        exes[0].install(caller)
+        caller.send(exes[0].create_proxy(1, echo_tid), b"learned",
+                    xfunction=0x1)
+        assert wait_for(lambda: caller.replies == [b"learned"])
+
+    def test_large_payload_crosses_stream_reframing(self, tcp_cluster):
+        exes, _ = tcp_cluster
+        echo_tid = exes[1].install(Echo())
+        caller = Caller()
+        exes[0].install(caller)
+        big = bytes(range(256)) * 256  # 64 KiB
+        caller.send(exes[0].create_proxy(1, echo_tid), big, xfunction=0x1)
+        assert wait_for(lambda: caller.replies == [big])
+
+    def test_many_interleaved_messages(self, tcp_cluster):
+        exes, _ = tcp_cluster
+        echo_tid = exes[1].install(Echo())
+        caller = Caller()
+        exes[0].install(caller)
+        proxy = exes[0].create_proxy(1, echo_tid)
+        payloads = [f"msg-{i}".encode() for i in range(50)]
+        for p in payloads:
+            caller.send(proxy, p, xfunction=0x1)
+        assert wait_for(lambda: len(caller.replies) == 50)
+        assert sorted(caller.replies) == sorted(payloads)
+
+    def test_unconfigured_peer_raises(self):
+        exe = Executive(node=0)
+        pt = TcpTransport(name="tcp")
+        PeerTransportAgent.attach(exe).register(pt, default=True)
+        try:
+            frame = exe.frame_alloc(0, target=5, initiator=0)
+            from repro.core.executive import Route
+
+            with pytest.raises(TransportError, match="no TCP address"):
+                pt.transmit(frame, Route(node=42, remote_tid=5))
+            exe.frame_free(frame)
+        finally:
+            pt.shutdown()

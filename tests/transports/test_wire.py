@@ -1,0 +1,60 @@
+"""Wire encapsulation."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.i2o.errors import FrameFormatError
+from repro.i2o.frame import Frame
+from repro.transports.wire import WIRE_HEADER_SIZE, decode_wire, encode_wire
+
+
+def frame(payload=b"data"):
+    return Frame.build(target=3, initiator=4, payload=payload, xfunction=0x10)
+
+
+def test_round_trip():
+    f = frame()
+    src, body = decode_wire(encode_wire(7, f))
+    assert src == 7
+    assert Frame.parse(body).same_message(f)
+
+
+def test_header_size():
+    assert WIRE_HEADER_SIZE == 12
+    assert len(encode_wire(0, frame(b""))) == 12 + 32
+
+
+def test_bad_magic_rejected():
+    data = bytearray(encode_wire(1, frame()))
+    data[0] ^= 0xFF
+    with pytest.raises(FrameFormatError, match="magic"):
+        decode_wire(data)
+
+
+def test_truncated_rejected():
+    data = encode_wire(1, frame())
+    with pytest.raises(FrameFormatError):
+        decode_wire(data[:-1])
+
+
+def test_trailing_garbage_rejected():
+    data = encode_wire(1, frame()) + b"extra"
+    with pytest.raises(FrameFormatError, match="disagrees"):
+        decode_wire(data)
+
+
+def test_too_short_rejected():
+    with pytest.raises(FrameFormatError, match="short"):
+        decode_wire(b"xy")
+
+
+@given(src=st.integers(0, 2**32 - 1), payload=st.binary(max_size=300))
+@settings(max_examples=60, deadline=None)
+def test_property_round_trip(src, payload):
+    f = frame(payload)
+    got_src, body = decode_wire(encode_wire(src, f))
+    assert got_src == src
+    assert Frame.parse(body).same_message(f)
