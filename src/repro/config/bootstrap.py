@@ -12,6 +12,13 @@ Specification shape (plain dicts, JSON/Tcl-friendly)::
 
     spec = {
         "transport": "loopback",            # loopback | queue-mesh
+        "supervision": {                    # optional liveness/failover
+            "interval_ns": 1_000_000,
+            "suspect_after": 2,
+            "dead_after": 4,
+            "rejoin_after": 3,
+            "policy": "rebind",             # rebind | park | none
+        },
         "nodes": {
             0: {"devices": [
                 {"class": "repro.daq.trigger.TriggerSource",
@@ -58,6 +65,8 @@ class Cluster:
 
     executives: dict[int, Executive] = field(default_factory=dict)
     devices: dict[str, tuple[int, Tid, Listener]] = field(default_factory=dict)
+    #: node -> its HeartbeatService, when the spec asked for supervision
+    heartbeats: dict[int, "Listener"] = field(default_factory=dict)
 
     def executive(self, node: int) -> Executive:
         exe = self.executives.get(node)
@@ -95,6 +104,12 @@ class Cluster:
             if not any(exe.step() for exe in self.executives.values()):
                 return rounds
         raise BootstrapError("cluster did not go idle")
+
+    def start_supervision(self) -> None:
+        """Begin heartbeating on every node (no-op without a
+        ``supervision`` section in the spec)."""
+        for hb in self.heartbeats.values():
+            hb.start()  # type: ignore[attr-defined]
 
     def start_all(self, poll_interval: float = 0.001) -> None:
         for exe in self.executives.values():
@@ -176,4 +191,48 @@ def bootstrap(spec: dict[str, Any]) -> Cluster:
                 )
             tid = exe.install(device)
             cluster.devices[name] = (int(node), tid, device)
+    supervision = spec.get("supervision")
+    if supervision is not None:
+        _wire_supervision(cluster, dict(supervision))
     return cluster
+
+
+def _wire_supervision(cluster: Cluster, conf: dict[str, Any]) -> None:
+    """Install a full mesh of HeartbeatServices (every node beats to
+    and watches every other) configured from the spec section."""
+    from repro.core.liveness import HeartbeatService
+
+    policy = str(conf.pop("policy", "rebind"))
+    params = {
+        key: str(conf[key])
+        for key in ("interval_ns", "suspect_after", "dead_after",
+                    "rejoin_after")
+        if key in conf
+    }
+    params["failover_policy"] = policy
+    unknown = set(conf) - set(params)
+    if unknown:
+        raise BootstrapError(f"unknown supervision keys {sorted(unknown)}")
+    nodes = sorted(cluster.executives)
+    for node in nodes:
+        exe = cluster.executives[node]
+        discovery = next(
+            (dev for dev in exe.devices().values()
+             if dev.device_class == "discovery"),
+            None,
+        ) if policy != "none" else None
+        hb = HeartbeatService(name=f"heartbeat{node}", discovery=discovery)
+        hb.on_parameters(params)
+        hb.parameters.update(params)
+        exe.install(hb)
+        cluster.devices[hb.name] = (node, hb.tid, hb)
+        cluster.heartbeats[node] = hb
+    for node, hb in cluster.heartbeats.items():
+        for peer in nodes:
+            if peer == node:
+                continue
+            peer_hb = cluster.heartbeats[peer]
+            hb.monitor(
+                peer,
+                cluster.executives[node].create_proxy(peer, peer_hb.tid),
+            )

@@ -11,11 +11,12 @@ accessed by the registered modules."*
 from repro.core.device import Listener, RETAIN
 from repro.core.dispatcher import DispatchTable, Functor
 from repro.core.executive import Executive, Route
+from repro.core.liveness import HeartbeatService, PeerTable
 from repro.core.probes import CostModel, Probes
 from repro.core.queues import MessagingInstance
 from repro.core.registry import ModuleRegistry, download_module
 from repro.core.scheduler import PriorityScheduler
-from repro.core.states import DeviceState
+from repro.core.states import DeviceState, PeerState
 from repro.core.timer import TimerService
 from repro.core.watchdog import HandlerWatchdog, WatchdogTimeout
 
@@ -26,9 +27,12 @@ __all__ = [
     "Executive",
     "Functor",
     "HandlerWatchdog",
+    "HeartbeatService",
     "Listener",
     "MessagingInstance",
     "ModuleRegistry",
+    "PeerState",
+    "PeerTable",
     "PriorityScheduler",
     "Probes",
     "RETAIN",

@@ -236,12 +236,18 @@ class Listener:
         """Bind a private message of this application class."""
         self.table.bind(PRIVATE, handler, xfunction=xfunction)
 
-    def start_timer(self, delay_ns: int, context: int = 0) -> int:
+    def start_timer(
+        self, delay_ns: int, context: int = 0, period_ns: int | None = None
+    ) -> int:
         """Arm a timer; expiry arrives as an EXEC_TIMER_EXPIRED frame
         routed through the ordinary queues (paper §3.2: even timer
-        expirations trigger messages)."""
+        expirations trigger messages).  A ``period_ns`` keeps the timer
+        re-arming itself until cancelled."""
         exe = self._require_live()
-        return exe.timers.start(owner=self.tid, delay_ns=delay_ns, context=context)
+        return exe.timers.start(
+            owner=self.tid, delay_ns=delay_ns, context=context,
+            period_ns=period_ns,
+        )
 
     def cancel_timer(self, timer_id: int) -> bool:
         exe = self._require_live()

@@ -15,6 +15,7 @@ mandatory message set *is* the discovery protocol.
 from __future__ import annotations
 
 import itertools
+import logging
 from typing import Callable
 
 from repro.core.device import Listener, decode_params
@@ -22,6 +23,15 @@ from repro.i2o.errors import I2OError
 from repro.i2o.frame import Frame
 from repro.i2o.function_codes import EXEC_LCT_NOTIFY
 from repro.i2o.tid import EXECUTIVE_TID, Tid
+
+logger = logging.getLogger(__name__)
+
+#: ``select_replacement`` hook: (dead_node, dead_tid, device_class,
+#: candidates) -> (node, tid) or None.  Candidates are the surviving
+#: same-class instances known from the cached LCTs, sorted.
+ReplacementSelector = Callable[
+    [int, Tid, str, list[tuple[int, Tid]]], "tuple[int, Tid] | None"
+]
 
 
 class DiscoveryError(I2OError):
@@ -54,6 +64,15 @@ class DiscoveryService(Listener):
         self._replies: dict[int, dict[str, str]] = {}
         #: cache: node -> last seen LCT (tid string -> device class)
         self.tables: dict[int, dict[str, str]] = {}
+        #: nodes declared DEAD and excluded until readmitted
+        self.quarantined: set[int] = set()
+        #: pluggable replica choice; default picks the lowest (node, tid)
+        self.select_replacement: ReplacementSelector = (
+            lambda node, tid, cls, candidates:
+            candidates[0] if candidates else None
+        )
+        self.rebinds = 0
+        self.parks = 0
 
     def on_plugin(self) -> None:
         self.table.bind(EXEC_LCT_NOTIFY, self._on_lct_reply)
@@ -103,7 +122,7 @@ class DiscoveryService(Listener):
             if dev.device_class == device_class:
                 found[(exe.node, tid)] = tid
         for node in self.nodes:
-            if node == exe.node:
+            if node == exe.node or node in self.quarantined:
                 continue
             table = self.refresh(node) if refresh else self.tables.get(node, {})
             for tid_text, cls in table.items():
@@ -126,3 +145,87 @@ class DiscoveryService(Listener):
                 f"on nodes {where}; use find_all"
             )
         return next(iter(found.values()))
+
+    # -- failover -------------------------------------------------------------
+    def candidates_for(self, device_class: str, *,
+                       exclude: int) -> list[tuple[int, Tid]]:
+        """Surviving instances of ``device_class`` from the cached LCTs.
+
+        Only the cache is consulted — refreshing would mean messaging a
+        cluster that just lost a node, and the dead node obviously
+        cannot answer.  Local devices are excluded: a route must lead
+        to a remote TiD.
+        """
+        exe = self._require_live()
+        out: list[tuple[int, Tid]] = []
+        for node, table in self.tables.items():
+            if node == exclude or node == exe.node or node in self.quarantined:
+                continue
+            for tid_text, cls in table.items():
+                if cls == device_class:
+                    out.append((node, int(tid_text)))
+        return sorted(out)
+
+    def failover(self, node: int, *, policy: str = "rebind") -> dict[str, int]:
+        """A peer died: re-bind or park every route leading to it.
+
+        With ``policy="rebind"`` each affected proxy is pointed at a
+        surviving replica of the same device class, chosen by the
+        ``select_replacement`` hook (routes whose class has no replica
+        are parked).  With ``policy="park"`` every route is parked:
+        senders receive I2O failure replies — the paper's
+        default-handler fault story — instead of silent stalls.
+        """
+        if policy not in ("rebind", "park"):
+            raise DiscoveryError(f"unknown failover policy {policy!r}")
+        exe = self._require_live()
+        self.quarantined.add(node)
+        dead_lct = self.tables.get(node, {})
+        summary = {"rebound": 0, "parked": 0}
+        for proxy_tid in exe.routes_to(node):
+            route = exe.route_for(proxy_tid)
+            replacement = None
+            if policy == "rebind":
+                cls = dead_lct.get(str(route.remote_tid))
+                if cls is not None:
+                    replacement = self.select_replacement(
+                        node, route.remote_tid, cls,
+                        self.candidates_for(cls, exclude=node),
+                    )
+            if replacement is not None:
+                exe.rebind_route(
+                    proxy_tid, replacement[0], replacement[1],
+                    transport=route.transport,
+                )
+                summary["rebound"] += 1
+                self.rebinds += 1
+            else:
+                exe.park_route(proxy_tid)
+                summary["parked"] += 1
+                self.parks += 1
+        logger.info(
+            "node %s: failover for dead node %s: %s", exe.node, node, summary
+        )
+        return summary
+
+    def readmit(self, node: int) -> int:
+        """A dead peer rejoined: lift the quarantine and un-park its
+        routes (rebound routes stay rebound — the replicas own the
+        state built up meanwhile).  Returns the unparked count."""
+        exe = self._require_live()
+        self.quarantined.discard(node)
+        unparked = 0
+        for proxy_tid in exe.routes_to(node, include_parked=True):
+            route = exe.route_for(proxy_tid)
+            if route is not None and route.parked:
+                exe.unpark_route(proxy_tid)
+                unparked += 1
+        return unparked
+
+    def export_counters(self) -> dict[str, object]:
+        return {
+            "known_tables": len(self.tables),
+            "quarantined": len(self.quarantined),
+            "rebinds": self.rebinds,
+            "parks": self.parks,
+        }

@@ -79,11 +79,17 @@ class Route:
     (paper §4: "As it is possible to configure each device instance
     with a route, we can use multiple transports to send and receive in
     parallel"); ``None`` lets the PTA pick its default for the node.
+
+    A ``parked`` route belongs to a peer declared DEAD by the
+    supervision layer and no replica could take it over: frames sent
+    to it are dead-lettered, so the initiator receives the standard
+    I2O failure reply instead of waiting forever.
     """
 
     node: int
     remote_tid: Tid
     transport: str | None = None
+    parked: bool = False
 
 
 class _ExecutiveDevice(Listener):
@@ -122,6 +128,9 @@ class _ExecutiveDevice(Listener):
                     "devices": str(len(exe.devices())),
                     "dispatched": str(exe.dispatched),
                     "dropped": str(exe.dropped),
+                    "rebinds": str(exe.rebinds),
+                    "parks": str(exe.parks),
+                    "peers_dead": str(len(exe.peers.dead_nodes())),
                 }
             ),
         )
@@ -238,9 +247,16 @@ class Executive:
         self.pta: "PeerTransportAgent | None" = None
         self._pollable: list[object] = []  # polling-mode PTs, set by the PTA
 
+        # Peer liveness table (fed by a HeartbeatService, if installed).
+        from repro.core.liveness import PeerTable
+
+        self.peers = PeerTable()
+
         self.dispatched = 0
         self.dropped = 0
         self.handler_errors = 0
+        self.rebinds = 0
+        self.parks = 0
         self._halt_requested = False
         self._thread: threading.Thread | None = None
         self._thread_stop = threading.Event()
@@ -268,12 +284,14 @@ class Executive:
         return tid
 
     def uninstall(self, tid: Tid) -> Listener:
-        """Remove a device (ExecDdmDestroy); drops its queued frames."""
+        """Remove a device (ExecDdmDestroy); drops its queued frames
+        and disarms every timer the device still owns."""
         device = self._devices.pop(tid, None)
         if device is None:
             raise AddressingError(f"no device at TiD {tid}")
         for frame in self.scheduler.drop_device(tid):
             self._release_frame(frame)
+        self.timers.cancel_owned(tid)
         device.unplug()
         self.tids.release(tid)
         self.registry.forget(tid)
@@ -338,6 +356,71 @@ class Executive:
 
     def route_for(self, tid: Tid) -> Route | None:
         return self._routes.get(tid)
+
+    def routes_to(self, node: int, *, include_parked: bool = False) -> list[Tid]:
+        """Proxy TiDs whose route currently leads to ``node``."""
+        return sorted(
+            tid for tid, route in self._routes.items()
+            if route.node == node and (include_parked or not route.parked)
+        )
+
+    def rebind_route(
+        self,
+        proxy_tid: Tid,
+        node: int,
+        remote_tid: Tid,
+        transport: str | None = None,
+    ) -> Route:
+        """Point an existing proxy at a different remote device.
+
+        This is the failover primitive: every frame already addressed
+        to ``proxy_tid`` — pending replies included — now reaches the
+        replacement device, without any sender learning a new TiD.
+        """
+        old = self._routes.get(proxy_tid)
+        if old is None:
+            raise AddressingError(f"TiD {proxy_tid} is not a proxy")
+        check_tid(remote_tid)
+        if node == self.node:
+            raise AddressingError("cannot rebind a route to the local node")
+        self._proxies.pop((old.node, old.remote_tid, old.transport), None)
+        new = Route(node=node, remote_tid=remote_tid, transport=transport)
+        self._routes[proxy_tid] = new
+        # Keep proxy idempotency pointing at the earliest binding.
+        self._proxies.setdefault((node, remote_tid, transport), proxy_tid)
+        self.rebinds += 1
+        self.probes.bump("route_rebinds")
+        logger.info(
+            "node %s: rebound proxy %d: %s:%d -> %s:%d",
+            self.node, proxy_tid, old.node, old.remote_tid, node, remote_tid,
+        )
+        return new
+
+    def park_route(self, proxy_tid: Tid) -> Route:
+        """Mark a proxy's route unusable; senders get failure replies."""
+        old = self._routes.get(proxy_tid)
+        if old is None:
+            raise AddressingError(f"TiD {proxy_tid} is not a proxy")
+        if not old.parked:
+            self._routes[proxy_tid] = Route(
+                node=old.node, remote_tid=old.remote_tid,
+                transport=old.transport, parked=True,
+            )
+            self.parks += 1
+            self.probes.bump("route_parks")
+        return self._routes[proxy_tid]
+
+    def unpark_route(self, proxy_tid: Tid) -> Route:
+        """Restore a parked route (the peer rejoined)."""
+        old = self._routes.get(proxy_tid)
+        if old is None:
+            raise AddressingError(f"TiD {proxy_tid} is not a proxy")
+        if old.parked:
+            self._routes[proxy_tid] = Route(
+                node=old.node, remote_tid=old.remote_tid,
+                transport=old.transport,
+            )
+        return self._routes[proxy_tid]
 
     def is_local(self, tid: Tid) -> bool:
         return tid in self._devices
@@ -499,11 +582,17 @@ class Executive:
         elif target in self._devices:
             self.scheduler.push(frame)
         elif target in self._routes:
-            if self.pta is None:
+            route = self._routes[target]
+            if route.parked:
+                self._dead_letter(
+                    frame,
+                    f"route parked: node {route.node} is dead",
+                )
+            elif self.pta is None:
                 self._dead_letter(frame, "no peer transport agent installed")
             else:
                 try:
-                    self.pta.forward(frame, self._routes[target])
+                    self.pta.forward(frame, route)
                 except I2OError as exc:
                     self._dead_letter(frame, f"transport failure: {exc}")
         else:

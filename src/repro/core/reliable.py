@@ -9,9 +9,21 @@ provides:
 * sequencing and acknowledgements are ordinary private messages;
 * retransmission deadlines use the **I2O timer facility** (expirations
   arrive as frames through the same queues, paper §3.2);
+* every data and ack frame carries a CRC32 over its payload, so a
+  corrupted frame is discarded instead of delivering garbage or —
+  worse — acknowledging a sequence number that was never received;
 * duplicate suppression keeps at-most-once delivery to the consumer,
   so the combination is exactly-once as long as the wire eventually
-  delivers (tested against the fault-injecting transport).
+  delivers (tested against the fault-injecting transport);
+* with ``ordered=True`` the endpoint additionally delivers *in
+  sequence* per sending peer: out-of-order arrivals are parked in a
+  hold-back buffer until the gap closes (the gap's retransmission is
+  already scheduled on the sender).
+
+When the supervision layer declares a peer DEAD, the endpoint's
+``on_peer_dead`` hook aborts every in-flight retransmission toward
+that node — retrying into a black hole only wastes wire and timers —
+and reports each aborted message through ``on_failed``.
 
 xfunctions 0xF0xx are reserved framework space (below the RMI method
 hash range).
@@ -20,6 +32,7 @@ hash range).
 from __future__ import annotations
 
 import struct
+import zlib
 from collections import OrderedDict
 from typing import Callable
 
@@ -31,14 +44,30 @@ from repro.i2o.tid import Tid
 XF_REL_DATA = 0xF001
 XF_REL_ACK = 0xF002
 
-_SEQ = struct.Struct("<Q")
+#: seq (u64) + CRC32 of the bytes that follow (u32)
+_HEADER = struct.Struct("<QI")
+
+
+def _data_crc(seq: int, payload: bytes) -> int:
+    """CRC over the sequence number *and* the payload."""
+    return zlib.crc32(payload, zlib.crc32(_HEADER.pack(seq, 0)))
 
 Consumer = Callable[[Tid, bytes], None]
 FailureHandler = Callable[[int, Tid, bytes], None]
 
 
 class ReliableEndpoint(Listener):
-    """Sequenced, acknowledged, deduplicated messaging endpoint."""
+    """Sequenced, acknowledged, checksummed, deduplicated endpoint.
+
+    Sequence numbers are global to the endpoint (not per target): an
+    ack only carries the seq, and the proxy TiD an ack arrives from
+    need not equal the proxy the data was sent to (transports rewrite
+    initiators at ingest), so the seq alone must identify the pending
+    entry.  Consequently ``ordered=True`` assumes the peer-pair usage
+    pattern — one remote endpoint per sender — because a receiver
+    reconstructs each sender's sequence independently and a sender
+    interleaving targets would create permanent gaps.
+    """
 
     device_class = "reliable_endpoint"
 
@@ -49,6 +78,7 @@ class ReliableEndpoint(Listener):
         retransmit_ns: int = 1_000_000,
         max_retries: int = 25,
         dedup_window: int = 4096,
+        ordered: bool = False,
     ) -> None:
         super().__init__(name)
         if max_retries < 0:
@@ -56,17 +86,24 @@ class ReliableEndpoint(Listener):
         self.retransmit_ns = retransmit_ns
         self.max_retries = max_retries
         self.dedup_window = dedup_window
+        self.ordered = ordered
         self.consumer: Consumer | None = None
         self.on_failed: FailureHandler | None = None
         self._next_seq = 1
         #: seq -> (target, payload, retries_left, timer_id)
         self._pending: dict[int, tuple[Tid, bytes, int, int]] = {}
-        #: (initiator, seq) -> None, LRU-bounded
+        #: (initiator, seq) -> None, LRU-bounded (unordered mode)
         self._seen: OrderedDict[tuple[Tid, int], None] = OrderedDict()
+        #: ordered mode: initiator -> next seq to deliver
+        self._expected: dict[Tid, int] = {}
+        #: ordered mode: initiator -> {future seq: payload}
+        self._holdback: dict[Tid, dict[int, bytes]] = {}
         self.delivered = 0
         self.duplicates_suppressed = 0
         self.retransmissions = 0
         self.failures = 0
+        self.aborted = 0
+        self.corrupt_discarded = 0
 
     def on_plugin(self) -> None:
         self.bind(XF_REL_DATA, self._on_data)
@@ -84,37 +121,77 @@ class ReliableEndpoint(Listener):
         return seq
 
     def _transmit(self, seq: int, target: Tid, payload: bytes) -> None:
-        self.send(target, _SEQ.pack(seq) + payload, xfunction=XF_REL_DATA)
+        header = _HEADER.pack(seq, _data_crc(seq, payload))
+        self.send(target, header + payload, xfunction=XF_REL_DATA)
 
     @property
     def in_flight(self) -> int:
         return len(self._pending)
 
+    @property
+    def held_back(self) -> int:
+        return sum(len(h) for h in self._holdback.values())
+
     # -- receive path -----------------------------------------------------
     def _on_data(self, frame: Frame) -> None:
         if frame.is_reply:
-            return
-        if frame.payload_size < _SEQ.size:
+            return  # e.g. a parked route's failure reply to our send
+        if frame.payload_size < _HEADER.size:
             return  # corrupt beyond recognition; let retransmit handle it
-        (seq,) = _SEQ.unpack_from(frame.payload, 0)
-        payload = bytes(frame.payload[_SEQ.size:])
+        seq, crc = _HEADER.unpack_from(frame.payload, 0)
+        payload = bytes(frame.payload[_HEADER.size:])
+        if _data_crc(seq, payload) != crc:
+            # A flipped bit anywhere (seq, crc or body) lands here;
+            # dropping it leaves recovery to the sender's timer.  The
+            # CRC is seeded with the seq so a damaged sequence number
+            # cannot deliver (and ack) intact bytes at the wrong
+            # position in the stream.
+            self.corrupt_discarded += 1
+            return
         # Always ack - the previous ack may have been lost.
-        self.send(frame.initiator, _SEQ.pack(seq), xfunction=XF_REL_ACK)
-        key = (frame.initiator, seq)
+        ack = _HEADER.pack(seq, zlib.crc32(_HEADER.pack(seq, 0)))
+        self.send(frame.initiator, ack, xfunction=XF_REL_ACK)
+        if self.ordered:
+            self._deliver_ordered(frame.initiator, seq, payload)
+        else:
+            self._deliver_unordered(frame.initiator, seq, payload)
+
+    def _deliver_unordered(self, source: Tid, seq: int, payload: bytes) -> None:
+        key = (source, seq)
         if key in self._seen:
             self.duplicates_suppressed += 1
             return
         self._seen[key] = None
         while len(self._seen) > self.dedup_window:
             self._seen.popitem(last=False)
+        self._consume(source, payload)
+
+    def _deliver_ordered(self, source: Tid, seq: int, payload: bytes) -> None:
+        expected = self._expected.get(source, 1)
+        held = self._holdback.setdefault(source, {})
+        if seq < expected or seq in held:
+            self.duplicates_suppressed += 1
+            return
+        held[seq] = payload
+        while expected in held:
+            self._consume(source, held.pop(expected))
+            expected += 1
+        self._expected[source] = expected
+
+    def _consume(self, source: Tid, payload: bytes) -> None:
         self.delivered += 1
         if self.consumer is not None:
-            self.consumer(frame.initiator, payload)
+            self.consumer(source, payload)
 
     def _on_ack(self, frame: Frame) -> None:
-        if frame.is_reply or frame.payload_size < _SEQ.size:
+        if frame.is_reply or frame.payload_size < _HEADER.size:
             return
-        (seq,) = _SEQ.unpack_from(frame.payload, 0)
+        seq, crc = _HEADER.unpack_from(frame.payload, 0)
+        if zlib.crc32(_HEADER.pack(seq, 0)) != crc:
+            # A corrupted ack could otherwise cancel an arbitrary
+            # pending seq and lose that message forever.
+            self.corrupt_discarded += 1
+            return
         entry = self._pending.pop(seq, None)
         if entry is not None:
             self.cancel_timer(entry[3])
@@ -136,3 +213,42 @@ class ReliableEndpoint(Listener):
         timer_id = self.start_timer(self.retransmit_ns, context=seq)
         self._pending[seq] = (target, payload, retries_left - 1, timer_id)
         self._transmit(seq, target, payload)
+
+    # -- failover ------------------------------------------------------------
+    def abort_node(self, node: int) -> int:
+        """Abort every in-flight message routed to ``node``.
+
+        The supervision layer calls this (via ``on_peer_dead``) when a
+        peer is declared DEAD: the retransmit timers are disarmed and
+        each aborted message is reported through ``on_failed`` exactly
+        like an exhausted retry.  Returns the abort count.
+        """
+        exe = self._require_live()
+        doomed = []
+        for seq, (target, _, _, _) in self._pending.items():
+            route = exe.route_for(target)
+            if route is not None and route.node == node:
+                doomed.append(seq)
+        for seq in doomed:
+            target, payload, _, timer_id = self._pending.pop(seq)
+            self.cancel_timer(timer_id)
+            self.aborted += 1
+            self.failures += 1
+            if self.on_failed is not None:
+                self.on_failed(seq, target, payload)
+        return len(doomed)
+
+    # The supervision cascade's uniform hook name.
+    on_peer_dead = abort_node
+
+    def export_counters(self) -> dict[str, object]:
+        return {
+            "delivered": self.delivered,
+            "duplicates_suppressed": self.duplicates_suppressed,
+            "retransmissions": self.retransmissions,
+            "failures": self.failures,
+            "aborted": self.aborted,
+            "corrupt_discarded": self.corrupt_discarded,
+            "in_flight": len(self._pending),
+            "held_back": self.held_back,
+        }

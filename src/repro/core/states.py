@@ -30,6 +30,21 @@ class DeviceState(enum.Enum):
     HALTED = "halted"  # removed from service
 
 
+class PeerState(enum.Enum):
+    """Liveness states a node assigns to its peers (supervision layer).
+
+    A peer starts ALIVE, degrades to SUSPECT after consecutive missed
+    heartbeats, and to DEAD after further misses (triggering failover).
+    A DEAD peer must deliver several consecutive heartbeats before it
+    is readmitted — the backoff that keeps a flapping node from
+    thrashing the failover machinery.
+    """
+
+    ALIVE = "alive"
+    SUSPECT = "suspect"
+    DEAD = "dead"
+
+
 #: Legal transitions; anything else raises :class:`StateError`.
 _TRANSITIONS: dict[DeviceState, frozenset[DeviceState]] = {
     DeviceState.INITIALISED: frozenset(

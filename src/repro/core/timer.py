@@ -64,6 +64,19 @@ class TimerService:
         """Disarm; returns False if the timer already fired or never was."""
         return self._live.pop(timer_id, None) is not None
 
+    def cancel_owned(self, owner: Tid) -> int:
+        """Disarm every timer owned by ``owner``; returns the count.
+
+        Called on device uninstall so a removed device cannot keep
+        receiving expiry frames (which would be dead-lettered)."""
+        doomed = [
+            timer_id for timer_id, (tid, _, _) in self._live.items()
+            if tid == owner
+        ]
+        for timer_id in doomed:
+            del self._live[timer_id]
+        return len(doomed)
+
     def next_deadline_ns(self) -> int | None:
         """Earliest live deadline (lets a sleeping loop size its wait)."""
         while self._heap and self._heap[0][1] not in self._live:

@@ -40,6 +40,7 @@ class BuilderUnit(Listener):
         self.built = 0
         self.bytes_built = 0
         self.corrupt = 0
+        self.readouts_dropped = 0
         #: completed events kept for inspection (bounded)
         self.completed: list[tuple[int, int]] = []  # (event_id, size)
         self.keep_completed = 1024
@@ -89,7 +90,9 @@ class BuilderUnit(Listener):
         if fragments is None:
             return  # duplicate or stale reply
         fragments[header.ru_id] = data
-        if len(fragments) == len(self.ru_tids):
+        # >= rather than ==: the readout set may shrink (supervision
+        # dropping a dead node) while fragments were already collected.
+        if len(fragments) >= len(self.ru_tids):
             self._complete(header.event_id, fragments)
 
     def _complete(self, event_id: int, fragments: dict[int, bytes]) -> None:
@@ -106,6 +109,32 @@ class BuilderUnit(Listener):
                 xfunction=XF_EVENT_DONE,
                 organization=DAQ_ORG,
             )
+
+    # -- supervision hook ---------------------------------------------------
+    def on_peer_dead(self, node: int) -> None:
+        """Drop readout units that became unreachable (their routes are
+        parked or still lead to the dead node after discovery's
+        failover pass), then re-check every pending event: an event
+        that was only waiting for the dead slice completes with the
+        fragments the surviving units supplied."""
+        exe = self.executive
+        if exe is None:
+            return
+        dead = []
+        for ru_id, tid in self.ru_tids.items():
+            route = exe.route_for(tid)
+            if route is not None and (route.parked or route.node == node):
+                dead.append(ru_id)
+        if not dead:
+            return
+        for ru_id in dead:
+            del self.ru_tids[ru_id]
+        self.readouts_dropped += len(dead)
+        if not self.ru_tids:
+            return
+        for event_id, fragments in list(self._pending.items()):
+            if len(fragments) >= len(self.ru_tids):
+                self._complete(event_id, fragments)
 
     def export_counters(self) -> dict[str, object]:
         return {

@@ -67,6 +67,8 @@ class EventManager(Listener):
         self._deadlines: dict[int, int] = {}  # event_id -> timer_id
         self._attempts: dict[int, int] = {}  # event_id -> assignments so far
         self.reassignments = 0
+        self.readouts_dropped = 0
+        self.builders_dropped = 0
         self.lost_events: list[int] = []
         self.triggers = 0
         self.completed = 0
@@ -177,6 +179,52 @@ class EventManager(Listener):
             self.send(ru_tid, payload, xfunction=XF_CLEAR, organization=DAQ_ORG)
         self._release_throttled()
 
+    # -- supervision hook -------------------------------------------------
+    def on_peer_dead(self, node: int) -> None:
+        """Degrade gracefully when a peer node dies.
+
+        Called by the supervision cascade *after* discovery has run its
+        failover, so a successfully re-bound proxy no longer routes to
+        the dead node and is kept.  What still points there (or was
+        parked) is removed: dead readout units shrink the event format,
+        dead builder units leave the ring and their in-flight events
+        are relaunched immediately rather than waiting for the timeout.
+        """
+        exe = self.executive
+        if exe is None:
+            return
+
+        def unreachable(tid: Tid) -> bool:
+            route = exe.route_for(tid)
+            return route is not None and (route.parked or route.node == node)
+
+        dead_rus = [ru for ru, tid in self.ru_tids.items() if unreachable(tid)]
+        for ru_id in dead_rus:
+            del self.ru_tids[ru_id]
+        self.readouts_dropped += len(dead_rus)
+
+        dead_bus = [bu for bu, tid in self.bu_tids.items() if unreachable(tid)]
+        for bu_id in dead_bus:
+            del self.bu_tids[bu_id]
+        self.builders_dropped += len(dead_bus)
+        if dead_bus:
+            self._rr = sorted(self.bu_tids)
+            self._rr_index = 0
+            orphans = sorted(
+                ev for ev, bu in self._assigned.items() if bu in dead_bus
+            )
+            for event_id in orphans:
+                self._assigned.pop(event_id)
+                timer_id = self._deadlines.pop(event_id, None)
+                if timer_id is not None:
+                    self.cancel_timer(timer_id)
+                if self._rr:
+                    self.reassignments += 1
+                    self._launch(event_id)
+                else:
+                    self.lost_events.append(event_id)
+                    self._attempts.pop(event_id, None)
+
     def _release_throttled(self) -> None:
         """Back-pressure release: a freed slot admits a queued trigger."""
         if self._throttled and (
@@ -193,6 +241,8 @@ class EventManager(Listener):
             "throttled": len(self._throttled),
             "reassignments": self.reassignments,
             "lost": len(self.lost_events),
+            "readouts_dropped": self.readouts_dropped,
+            "builders_dropped": self.builders_dropped,
         }
 
     @property

@@ -11,7 +11,12 @@ loopback medium with deterministic, seeded fault injection:
 * **corrupt** — one byte of the frame body is flipped (the receiver's
   validation or the application's CRC must catch it);
 * **delay** — the message is re-queued behind later traffic
-  (reordering).
+  (reordering);
+* **partition** — a whole node (or set of nodes) is cut off: nothing
+  this endpoint sends reaches them and nothing they sent is ingested.
+  ``partition()`` with no arguments isolates this endpoint entirely —
+  the node-death injection the supervision layer is tested against.
+  ``heal()`` reconnects.
 
 Faults are driven by a named RNG substream, so a failing test replays
 identically.
@@ -25,6 +30,9 @@ from repro.sim.rng import RngStreams
 from repro.transports.loopback import LoopbackNetwork, LoopbackTransport
 from repro.transports.wire import decode_wire, encode_wire
 from repro.i2o.frame import Frame
+
+#: Sentinel for "partitioned from every peer".
+ALL_NODES = object()
 
 
 @dataclass(frozen=True)
@@ -62,14 +70,40 @@ class FaultyLoopbackTransport(LoopbackTransport):
         self.duplicated = 0
         self.corrupted = 0
         self.delayed = 0
+        self.partition_dropped = 0
         self._delayed_queue: list[tuple[int, bytes]] = []
+        self._partitioned: set[int] | object = set()
 
+    # -- partition fault ---------------------------------------------------
+    def partition(self, *nodes: int) -> None:
+        """Cut the link to ``nodes`` in both directions; with no
+        arguments, isolate this endpoint from the whole cluster
+        (models this node's death as seen by everyone else)."""
+        if not nodes:
+            self._partitioned = ALL_NODES
+        elif self._partitioned is not ALL_NODES:
+            self._partitioned.update(nodes)  # type: ignore[union-attr]
+
+    def heal(self, *nodes: int) -> None:
+        """Reconnect ``nodes`` (or everything, with no arguments)."""
+        if not nodes or self._partitioned is ALL_NODES:
+            self._partitioned = set()
+        else:
+            self._partitioned.difference_update(nodes)  # type: ignore[union-attr]
+
+    def is_cut(self, node: int) -> bool:
+        return self._partitioned is ALL_NODES or node in self._partitioned  # type: ignore[operator]
+
+    # -- transmit-side faults ----------------------------------------------
     def transmit(self, frame: Frame, route) -> None:
         exe = self._require_live()
         dest = self.network.endpoint(route.node)
         data = encode_wire(exe.node, frame)
         self.account_sent(frame.total_size)
         exe.frame_free(frame)
+        if self.is_cut(route.node):
+            self.partition_dropped += 1
+            return
         src_node, frame_bytes = decode_wire(data)
         plan = self.plan
         draw = self._rng.random
@@ -97,17 +131,43 @@ class FaultyLoopbackTransport(LoopbackTransport):
         self.network.messages += 1
 
     def _delay_stage(self, src_node: int, frame_bytes: bytes) -> None:
-        """Hold one message back until after the next poll round."""
+        """Hold one message back until the next poll round."""
         self._delayed_queue.append((src_node, bytes(frame_bytes)))
 
+    # -- receive side ------------------------------------------------------
     def poll(self) -> bool:
-        got = super().poll()
-        if self._delayed_queue and not self._staged:
-            # Release delayed traffic one poll round later.
+        """Ingest staged traffic, then promote delayed traffic so it is
+        delivered on the *next* round — unconditionally, so a delayed
+        message cannot starve behind a continuous stream of later
+        arrivals, and an idle wire still drains within one extra poll.
+        """
+        if self.suspended:
+            return False
+        got = False
+        staged, self._staged = self._staged, []
+        for src_node, frame_bytes in staged:
+            if self.is_cut(src_node):
+                self.partition_dropped += 1
+                got = True  # consumed (dropped) — the queue did move
+                continue
+            self.ingest_frame_bytes(src_node, frame_bytes)
+            got = True
+        if self._delayed_queue:
             self._staged.extend(self._delayed_queue)
             self._delayed_queue.clear()
-            return True
+            got = True
         return got
+
+    def flush(self) -> bool:
+        """Idle-drain: deliver everything — including delayed traffic —
+        right now instead of one poll round later.  Drivers that stop
+        pumping on idle call this to guarantee no message is stranded
+        in the delay queue."""
+        if not (self._staged or self._delayed_queue):
+            return False
+        self._staged.extend(self._delayed_queue)
+        self._delayed_queue.clear()
+        return self.poll()
 
     @property
     def has_pending(self) -> bool:

@@ -70,6 +70,47 @@ class TestExecutiveIntegration:
         exe.pool.check_conservation()
         assert exe.pool.in_flight == 0
 
+    def test_preemptive_mode_interrupts_spin_through_executive(self):
+        """A handler that never returns (hard spin, no cooperative
+        check-in) must still be cut off when dispatched by the
+        *executive*, the device FAILED, and the frames queued behind
+        the offender dropped by the quarantine."""
+
+        class HardSpinner(Listener):
+            def __init__(self):
+                super().__init__("hardspin")
+                self.calls = 0
+
+            def on_plugin(self):
+                self.bind(0x01, self._spin)
+
+            def _spin(self, frame):
+                if frame.is_reply:
+                    return
+                self.calls += 1
+                while True:  # would never return cooperatively
+                    sum(range(100))
+
+        exe = Executive(
+            node=0,
+            watchdog=HandlerWatchdog(limit_ns=20_000_000, preemptive=True),
+        )
+        offender = HardSpinner()
+        victim_tid = exe.install(offender)
+        sender = Listener("sender")
+        exe.install(sender)
+        sender.send(victim_tid, b"", xfunction=0x01)
+        sender.send(victim_tid, b"", xfunction=0x01)  # queued behind
+        t0 = time.monotonic()
+        exe.run_until_idle()
+        # Cut off near the 20 ms budget, not hung forever.
+        assert time.monotonic() - t0 < 5.0
+        assert offender.state is DeviceState.FAILED
+        assert offender.calls == 1  # second frame dropped, not dispatched
+        assert exe.watchdog.overruns == 1
+        exe.pool.check_conservation()
+        assert exe.pool.in_flight == 0
+
     def test_healthy_devices_unaffected(self):
         exe = Executive(node=0, watchdog=HandlerWatchdog(limit_ns=10**9))
         dev = Spinner()

@@ -1,0 +1,86 @@
+"""One contract, every peer transport.
+
+The paper's §6 portability claim: applications address each other by
+TiD and never see which peer transport carries the frames.  That only
+holds if every transport honours the same delivery contract, so this
+module runs one parametrized suite against all of them — the
+in-process loopbacks, the fault-injection wrapper (clean plan), the
+queue-pair mesh, real TCP sockets, and the three simulation-plane
+hardware models (Myrinet/GM, InfiniBand verbs, PCI host↔IOP).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.i2o.frame import MAX_PAYLOAD_SIZE
+from repro.mem.pool import PoolError
+
+from tests.transports.harness import FACTORIES, Caller, Echo
+
+
+@pytest.fixture(params=sorted(FACTORIES))
+def harness(request):
+    h = FACTORIES[request.param]()
+    yield h
+    h.finish()
+
+
+def _wire(harness):
+    echo_tid = harness.exes[1].install(Echo())
+    caller = Caller()
+    harness.exes[0].install(caller)
+    proxy = harness.exes[0].create_proxy(1, echo_tid)
+    return caller, proxy
+
+
+class TestTransportContract:
+    def test_round_trip(self, harness):
+        caller, proxy = _wire(harness)
+        caller.send(proxy, b"payload", xfunction=0x1)
+        assert harness.run_until(lambda: caller.replies == [b"payload"])
+
+    def test_burst_delivered_exactly_once(self, harness):
+        caller, proxy = _wire(harness)
+        payloads = [f"msg-{i:03d}".encode() for i in range(harness.burst)]
+        for p in payloads:
+            caller.send(proxy, p, xfunction=0x1)
+        assert harness.run_until(
+            lambda: len(caller.replies) >= len(payloads)
+        ), f"{harness.name}: {len(caller.replies)}/{len(payloads)} delivered"
+        if harness.ordered:
+            assert caller.replies == payloads
+        else:
+            assert sorted(caller.replies) == payloads
+
+    def test_large_payload_intact(self, harness):
+        caller, proxy = _wire(harness)
+        big = bytes(range(256)) * (harness.big_size // 256)
+        caller.send(proxy, big, xfunction=0x1)
+        assert harness.run_until(lambda: bool(caller.replies))
+        assert caller.replies == [big]
+
+    def test_oversize_rejected_before_wire(self, harness):
+        caller, proxy = _wire(harness)
+        with pytest.raises(PoolError):
+            caller.send(proxy, b"\0" * (MAX_PAYLOAD_SIZE + 1), xfunction=0x1)
+        assert harness.pts[0].frames_sent == 0
+
+    def test_unknown_tid_yields_failure_reply(self, harness):
+        caller, _ = _wire(harness)
+        stray = harness.exes[0].create_proxy(1, 0x3F)  # nothing lives there
+        caller.send(stray, b"anyone?", xfunction=0x2)
+        assert harness.run_until(lambda: caller.failures == [True])
+
+    def test_counters_balance(self, harness):
+        caller, proxy = _wire(harness)
+        for _ in range(3):
+            caller.send(proxy, b"abc", xfunction=0x1)
+        assert harness.run_until(lambda: len(caller.replies) == 3)
+        pt0, pt1 = harness.pts[0], harness.pts[1]
+        assert pt0.frames_sent == 3 and pt1.frames_sent == 3
+        assert harness.run_until(
+            lambda: pt1.frames_received == 3 and pt0.frames_received == 3
+        )
+        assert pt0.bytes_sent == pt1.bytes_received
+        assert pt1.bytes_sent == pt0.bytes_received

@@ -128,3 +128,98 @@ class TestFaults:
         assert sorted(sink.payloads) == [bytes([i]) for i in range(30)]
         assert sink.payloads != [bytes([i]) for i in range(30)]  # reordered
         assert exes[0].pta.transport("faulty").delayed > 0
+
+
+class TestDelayedDrain:
+    def test_last_message_delayed_is_not_stranded(self):
+        """Regression: a delayed message with no later traffic behind
+        it used to sit in the delay queue forever because promotion
+        only happened when fresh arrivals were staged.  An idle wire
+        must still drain within the normal pump loop."""
+        exes, sender, sink, proxy = build(FaultPlan(delay_rate=1.0))
+        sender.send(proxy, b"last", xfunction=0x1)
+        pump(exes)
+        assert sink.payloads == [b"last"]
+        pt = exes[1].pta.transport("faulty")
+        assert not pt.has_pending
+        assert exes[0].pool.in_flight == 0
+
+    def test_every_message_delayed_still_all_delivered(self):
+        exes, sender, sink, proxy = build(FaultPlan(delay_rate=1.0))
+        for i in range(10):
+            sender.send(proxy, bytes([i]), xfunction=0x1)
+        pump(exes)
+        assert sorted(sink.payloads) == [bytes([i]) for i in range(10)]
+
+    def test_flush_delivers_delayed_traffic_immediately(self):
+        exes, sender, sink, proxy = build(FaultPlan(delay_rate=1.0))
+        sender.send(proxy, b"held", xfunction=0x1)
+        exes[0].step()  # transmit: lands in node 1's delay queue
+        pt = exes[1].pta.transport("faulty")
+        assert pt.has_pending
+        assert pt.flush() is True
+        pump(exes)
+        assert sink.payloads == [b"held"]
+
+    def test_flush_on_idle_wire_is_a_noop(self):
+        exes, *_ = build(FaultPlan())
+        assert exes[1].pta.transport("faulty").flush() is False
+
+
+class TestPartition:
+    def test_self_partition_cuts_both_directions(self):
+        exes, sender, sink, proxy = build(FaultPlan())
+        pt1 = exes[1].pta.transport("faulty")
+        pt1.partition()  # node 1 falls off the network entirely
+        for _ in range(3):
+            sender.send(proxy, b"void", xfunction=0x1)
+        pump(exes)
+        assert sink.payloads == []
+        assert pt1.partition_dropped == 3  # ingress dropped at poll
+        assert pt1.is_cut(0)
+        exes[0].pool.check_conservation()
+        assert exes[0].pool.in_flight == 0
+
+    def test_egress_partition_drops_at_transmit(self):
+        exes, sender, sink, proxy = build(FaultPlan())
+        pt0 = exes[0].pta.transport("faulty")
+        pt0.partition(1)
+        sender.send(proxy, b"x", xfunction=0x1)
+        pump(exes)
+        assert sink.payloads == []
+        assert pt0.partition_dropped == 1
+        assert exes[0].pool.in_flight == 0
+
+    def test_heal_restores_delivery(self):
+        exes, sender, sink, proxy = build(FaultPlan())
+        pt1 = exes[1].pta.transport("faulty")
+        pt1.partition()
+        sender.send(proxy, b"lost", xfunction=0x1)
+        pump(exes)
+        pt1.heal()
+        sender.send(proxy, b"found", xfunction=0x1)
+        pump(exes)
+        assert sink.payloads == [b"found"]
+        assert not pt1.is_cut(0)
+
+    def test_partial_partition_only_cuts_named_nodes(self):
+        network = LoopbackNetwork()
+        exes = {}
+        for node in range(3):
+            exe = Executive(node=node)
+            PeerTransportAgent.attach(exe).register(
+                FaultyLoopbackTransport(network, FaultPlan(), seed=node),
+                default=True,
+            )
+            exes[node] = exe
+        sinks = {n: Sink(f"sink{n}") for n in (1, 2)}
+        tids = {n: exes[n].install(sinks[n]) for n in (1, 2)}
+        sender = Listener("sender")
+        exes[0].install(sender)
+        exes[0].pta.transport("faulty").partition(2)
+        for n in (1, 2):
+            sender.send(exes[0].create_proxy(n, tids[n]), b"hi",
+                        xfunction=0x1)
+        pump(exes)
+        assert sinks[1].payloads == [b"hi"]
+        assert sinks[2].payloads == []

@@ -4,42 +4,17 @@ from __future__ import annotations
 
 import pytest
 
-from repro.core.device import Listener
 from repro.core.executive import Executive
 from repro.transports.agent import PeerTransportAgent
 from repro.transports.base import TransportError
 from repro.transports.loopback import LoopbackNetwork, LoopbackTransport
 
-from tests.conftest import assert_no_leaks, make_loopback_cluster, pump
+from tests.conftest import assert_no_leaks, pump
+from tests.transports.harness import Caller, Echo
 
-
-class Echo(Listener):
-    def on_plugin(self):
-        self.bind(0x1, self._h)
-
-    def _h(self, frame):
-        if not frame.is_reply:
-            self.reply(frame, frame.payload)
-
-
-class Caller(Listener):
-    def __init__(self, name="caller"):
-        super().__init__(name)
-        self.replies = []
-
-    def on_plugin(self):
-        self.bind(0x1, lambda f: self.replies.append(bytes(f.payload))
-                  if f.is_reply else None)
-
-
-def test_round_trip(two_nodes):
-    echo_tid = two_nodes[1].install(Echo())
-    caller = Caller()
-    two_nodes[0].install(caller)
-    proxy = two_nodes[0].create_proxy(1, echo_tid)
-    caller.send(proxy, b"payload", xfunction=0x1)
-    pump(two_nodes)
-    assert caller.replies == [b"payload"]
+# Round-trip, burst, large-payload, counter and oversize semantics are
+# covered for every transport by tests/transports/test_conformance.py;
+# this module keeps only what is loopback-specific.
 
 
 def test_duplicate_node_rejected():
@@ -56,13 +31,10 @@ def test_duplicate_node_rejected():
 def test_unknown_destination_becomes_failure_reply(two_nodes):
     caller = Caller()
     two_nodes[0].install(caller)
-    failures = []
-    caller.bind(0x2, lambda f: failures.append(f.is_failure)
-                if f.is_reply else None)
     proxy = two_nodes[0].create_proxy(99, 0x20)  # node 99 doesn't exist
     caller.send(proxy, b"x", xfunction=0x2)
     pump(two_nodes)
-    assert failures == [True]
+    assert caller.failures == [True]
 
 
 def test_immediate_mode_delivers_synchronously():
@@ -94,21 +66,6 @@ def test_has_pending_reflects_staged_data(two_nodes):
     assert not two_nodes[1].idle
     pump(two_nodes)
     assert not pt.has_pending
-
-
-def test_counters(two_nodes):
-    echo_tid = two_nodes[1].install(Echo())
-    caller = Caller()
-    two_nodes[0].install(caller)
-    proxy = two_nodes[0].create_proxy(1, echo_tid)
-    for _ in range(3):
-        caller.send(proxy, b"abc", xfunction=0x1)
-    pump(two_nodes)
-    pt0 = two_nodes[0].pta.transport("loopback")
-    pt1 = two_nodes[1].pta.transport("loopback")
-    assert pt0.frames_sent == 3 and pt1.frames_received == 3
-    assert pt1.frames_sent == 3 and pt0.frames_received == 3  # replies
-    assert pt0.bytes_sent == pt1.bytes_received
 
 
 def test_wide_cluster_any_to_any(five_nodes):

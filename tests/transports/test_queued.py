@@ -6,30 +6,16 @@ import time
 
 import pytest
 
-from repro.core.device import Listener
 from repro.core.executive import Executive
 from repro.transports.agent import PeerTransportAgent
 from repro.transports.base import TransportError
 from repro.transports.queued import QueuePair, QueueTransport
 
+from tests.transports.harness import Caller, Echo
 
-class Echo(Listener):
-    def on_plugin(self):
-        self.bind(0x1, self._h)
-
-    def _h(self, frame):
-        if not frame.is_reply:
-            self.reply(frame, frame.payload)
-
-
-class Caller(Listener):
-    def __init__(self, name="caller"):
-        super().__init__(name)
-        self.replies = []
-
-    def on_plugin(self):
-        self.bind(0x1, lambda f: self.replies.append(bytes(f.payload))
-                  if f.is_reply else None)
+# Polling-mode round-trip and in-order burst semantics are covered by
+# tests/transports/test_conformance.py; this module keeps queue-pair
+# validation and the threaded task mode.
 
 
 def build_pair(mode: str):
@@ -62,39 +48,6 @@ class TestQueuePair:
         pta = PeerTransportAgent.attach(exe)
         with pytest.raises(TransportError, match="endpoint"):
             pta.register(QueueTransport(pair), default=True)
-
-
-class TestPollingMode:
-    def test_round_trip(self):
-        exes = build_pair("polling")
-        echo_tid = exes[1].install(Echo())
-        caller = Caller()
-        exes[0].install(caller)
-        caller.send(exes[0].create_proxy(1, echo_tid), b"hi", xfunction=0x1)
-        for _ in range(50):
-            exes[0].step()
-            exes[1].step()
-            if caller.replies:
-                break
-        assert caller.replies == [b"hi"]
-        for exe in exes.values():
-            exe.pool.check_conservation()
-            assert exe.pool.in_flight == 0
-
-    def test_many_messages_in_order(self):
-        exes = build_pair("polling")
-        echo_tid = exes[1].install(Echo())
-        caller = Caller()
-        exes[0].install(caller)
-        proxy = exes[0].create_proxy(1, echo_tid)
-        for i in range(20):
-            caller.send(proxy, f"m{i}".encode(), xfunction=0x1)
-        for _ in range(500):
-            exes[0].step()
-            exes[1].step()
-            if len(caller.replies) == 20:
-                break
-        assert caller.replies == [f"m{i}".encode() for i in range(20)]
 
 
 class TestTaskMode:

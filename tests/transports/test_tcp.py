@@ -6,30 +6,16 @@ import time
 
 import pytest
 
-from repro.core.device import Listener
 from repro.core.executive import Executive
 from repro.transports.agent import PeerTransportAgent
 from repro.transports.base import TransportError
 from repro.transports.tcp import TcpTransport
 
+from tests.transports.harness import Caller, Echo
 
-class Echo(Listener):
-    def on_plugin(self):
-        self.bind(0x1, self._h)
-
-    def _h(self, frame):
-        if not frame.is_reply:
-            self.reply(frame, frame.payload)
-
-
-class Caller(Listener):
-    def __init__(self, name="caller"):
-        super().__init__(name)
-        self.replies = []
-
-    def on_plugin(self):
-        self.bind(0x1, lambda f: self.replies.append(bytes(f.payload))
-                  if f.is_reply else None)
+# Round-trip, burst, large-payload and counter semantics are covered
+# for every transport by tests/transports/test_conformance.py; this
+# module keeps only what is TCP-specific (socket learning, dialing).
 
 
 @pytest.fixture
@@ -65,15 +51,6 @@ def wait_for(predicate, timeout=10.0):
 
 
 class TestTcp:
-    def test_round_trip(self, tcp_cluster):
-        exes, _ = tcp_cluster
-        echo_tid = exes[1].install(Echo())
-        caller = Caller()
-        exes[0].install(caller)
-        caller.send(exes[0].create_proxy(1, echo_tid), b"over tcp",
-                    xfunction=0x1)
-        assert wait_for(lambda: caller.replies == [b"over tcp"])
-
     def test_reverse_path_learned_from_accepted_connection(self, tcp_cluster):
         """The reply comes back over the same socket the request used,
         even though node 1 never dialled node 0."""
@@ -85,27 +62,6 @@ class TestTcp:
         caller.send(exes[0].create_proxy(1, echo_tid), b"learned",
                     xfunction=0x1)
         assert wait_for(lambda: caller.replies == [b"learned"])
-
-    def test_large_payload_crosses_stream_reframing(self, tcp_cluster):
-        exes, _ = tcp_cluster
-        echo_tid = exes[1].install(Echo())
-        caller = Caller()
-        exes[0].install(caller)
-        big = bytes(range(256)) * 256  # 64 KiB
-        caller.send(exes[0].create_proxy(1, echo_tid), big, xfunction=0x1)
-        assert wait_for(lambda: caller.replies == [big])
-
-    def test_many_interleaved_messages(self, tcp_cluster):
-        exes, _ = tcp_cluster
-        echo_tid = exes[1].install(Echo())
-        caller = Caller()
-        exes[0].install(caller)
-        proxy = exes[0].create_proxy(1, echo_tid)
-        payloads = [f"msg-{i}".encode() for i in range(50)]
-        for p in payloads:
-            caller.send(proxy, p, xfunction=0x1)
-        assert wait_for(lambda: len(caller.replies) == 50)
-        assert sorted(caller.replies) == sorted(payloads)
 
     def test_unconfigured_peer_raises(self):
         exe = Executive(node=0)
