@@ -75,6 +75,12 @@ def _daqscale() -> str:
     return run_daqscale().report()
 
 
+def _telemetry() -> str:
+    from repro.bench.telemetry import run_telemetry
+
+    return run_telemetry().report()
+
+
 EXPERIMENTS: dict[str, tuple[str, Callable[[], str]]] = {
     "fig6": ("Figure 6: blackbox ping-pong latencies", _fig6),
     "tab1": ("Table 1: whitebox stage breakdown", _tab1),
@@ -86,6 +92,7 @@ EXPERIMENTS: dict[str, tuple[str, Callable[[], str]]] = {
     "multirail": ("X4: multi-rail transports", _multirail),
     "native": ("N1: native-plane honesty check", _native),
     "daqscale": ("X5: event-builder throughput at cluster scale", _daqscale),
+    "telemetry": ("X6: observability overhead on the dispatch path", _telemetry),
 }
 
 

@@ -67,6 +67,10 @@ class Cluster:
     devices: dict[str, tuple[int, Tid, Listener]] = field(default_factory=dict)
     #: node -> its HeartbeatService, when the spec asked for supervision
     heartbeats: dict[int, "Listener"] = field(default_factory=dict)
+    #: node -> its TelemetryAgent, when the spec asked for telemetry
+    telemetry_agents: dict[int, "Listener"] = field(default_factory=dict)
+    #: the TelemetryCollector, when the spec asked for one
+    collector: "Listener | None" = None
 
     def executive(self, node: int) -> Executive:
         exe = self.executives.get(node)
@@ -194,6 +198,9 @@ def bootstrap(spec: dict[str, Any]) -> Cluster:
     supervision = spec.get("supervision")
     if supervision is not None:
         _wire_supervision(cluster, dict(supervision))
+    telemetry = spec.get("telemetry")
+    if telemetry is not None:
+        _wire_telemetry(cluster, dict(telemetry))
     return cluster
 
 
@@ -236,3 +243,62 @@ def _wire_supervision(cluster: Cluster, conf: dict[str, Any]) -> None:
                 peer,
                 cluster.executives[node].create_proxy(peer, peer_hb.tid),
             )
+
+
+def _wire_telemetry(cluster: Cluster, conf: dict[str, Any]) -> None:
+    """Install per-node tracing/metrics and the telemetry collector.
+
+    Spec section (all keys optional)::
+
+        "telemetry": {
+            "tracing": True,            # install a FrameTracer per node
+            "trace_capacity": 1024,     # span ring size per node
+            "metrics_timing": False,    # dispatch-latency histogram
+            "collector": True,          # agents + collector devices
+            "collector_node": 0,        # defaults to the lowest node
+            "sweep_interval_ns": 0,     # 0 = manual sweeps only
+            "keep_spans": 8192,         # collector-side span bound
+        }
+    """
+    from repro.core.telemetry import TelemetryAgent, TelemetryCollector
+    from repro.core.tracing import FrameTracer
+
+    nodes = sorted(cluster.executives)
+    known = {
+        "tracing", "trace_capacity", "metrics_timing", "collector",
+        "collector_node", "sweep_interval_ns", "keep_spans",
+    }
+    unknown = set(conf) - known
+    if unknown:
+        raise BootstrapError(f"unknown telemetry keys {sorted(unknown)}")
+    tracing = bool(conf.get("tracing", True))
+    capacity = int(conf.get("trace_capacity", 1024))
+    collector_node = int(conf.get("collector_node", nodes[0]))
+    if collector_node not in cluster.executives:
+        raise BootstrapError(f"collector_node {collector_node} is not a node")
+    for node in nodes:
+        exe = cluster.executives[node]
+        if tracing:
+            exe.tracer = FrameTracer(node=node, capacity=capacity)
+        if conf.get("metrics_timing"):
+            exe.metrics.timing = True
+    if not conf.get("collector", True):
+        return
+    for node in nodes:
+        agent = TelemetryAgent(name=f"telemetry-agent{node}")
+        cluster.executives[node].install(agent)
+        cluster.devices[agent.name] = (node, agent.tid, agent)
+        cluster.telemetry_agents[node] = agent
+    collector = TelemetryCollector(
+        name="telemetry-collector",
+        keep_spans=int(conf.get("keep_spans", 8192)),
+    )
+    interval = int(conf.get("sweep_interval_ns", 0))
+    if interval:
+        collector.parameters["sweep_interval_ns"] = str(interval)
+    exe = cluster.executives[collector_node]
+    exe.install(collector)
+    cluster.devices[collector.name] = (collector_node, collector.tid, collector)
+    cluster.collector = collector
+    for node, agent in cluster.telemetry_agents.items():
+        collector.watch(node, exe.create_proxy(node, agent.tid))

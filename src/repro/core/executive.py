@@ -28,7 +28,9 @@ from typing import TYPE_CHECKING, Callable, Iterable
 
 from repro.core.device import RETAIN, Listener
 from repro.core.interrupts import InterruptController
+from repro.core.metrics import MetricsRegistry
 from repro.core.probes import Probes
+from repro.core.tracing import FrameTracer
 from repro.core.queues import MessagingInstance
 from repro.core.registry import ModuleRegistry
 from repro.core.scheduler import PriorityScheduler
@@ -42,6 +44,7 @@ from repro.i2o.frame import (
     FLAG_FAIL,
     FLAG_REPLY,
     HEADER_SIZE,
+    NUM_PRIORITIES,
     Frame,
 )
 from repro.i2o.function_codes import (
@@ -69,6 +72,13 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.transports.agent import PeerTransportAgent
 
 logger = logging.getLogger(__name__)
+
+#: Upper bounds (ns) for the optional dispatch-latency histogram.
+#: Spaced to resolve both the paper's µs-scale framework overheads and
+#: pathological multi-ms handlers.
+DISPATCH_LATENCY_BUCKETS_NS: tuple[int, ...] = (
+    1_000, 5_000, 10_000, 50_000, 100_000, 500_000, 1_000_000, 10_000_000,
+)
 
 
 @dataclass(frozen=True)
@@ -225,6 +235,8 @@ class Executive:
         probes: Probes | None = None,
         watchdog: HandlerWatchdog | None = None,
         max_dispatch_per_step: int = 16,
+        metrics: MetricsRegistry | None = None,
+        tracer: FrameTracer | None = None,
     ) -> None:
         self.node = node
         self.pool = pool if pool is not None else BufferPool()
@@ -232,6 +244,12 @@ class Executive:
         self.probes = probes if probes is not None else Probes("off")
         self.watchdog = watchdog
         self.max_dispatch_per_step = max_dispatch_per_step
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        if tracer is not None and tracer.node is None:
+            tracer.node = node
+        #: ``None`` disables tracing entirely: the hot path pays one
+        #: ``is not None`` test per hook, nothing else.
+        self.tracer = tracer
 
         self.tids = TidAllocator()
         self.scheduler = PriorityScheduler()
@@ -266,6 +284,43 @@ class Executive:
         self._self_device = _ExecutiveDevice(self)
         self._self_device.plugin(self, EXECUTIVE_TID)
         self._devices[EXECUTIVE_TID] = self._self_device
+
+        self._dispatch_hist = self.metrics.histogram(
+            "exe_dispatch_ns", DISPATCH_LATENCY_BUCKETS_NS
+        )
+        self._register_core_metrics()
+
+    def _register_core_metrics(self) -> None:
+        """Expose hot-path state through callback gauges.
+
+        The dispatch loop keeps bumping plain ints; the registry only
+        reads them when a snapshot is taken, so being observable costs
+        the hot path nothing.
+        """
+        m = self.metrics
+        m.gauge("exe_dispatched_total", lambda: self.dispatched)
+        m.gauge("exe_dropped_total", lambda: self.dropped)
+        m.gauge("exe_handler_errors_total", lambda: self.handler_errors)
+        m.gauge("exe_route_rebinds_total", lambda: self.rebinds)
+        m.gauge("exe_route_parks_total", lambda: self.parks)
+        m.gauge("exe_devices", lambda: len(self._devices))
+        m.gauge("exe_scheduler_depth", lambda: len(self.scheduler))
+        for priority in range(NUM_PRIORITIES):
+            m.gauge(
+                f"exe_fifo_depth_p{priority}",
+                lambda p=priority: self.scheduler.depth_of(p),
+            )
+        m.gauge("exe_scheduler_pushed_total", lambda: self.scheduler.pushed)
+        m.gauge("pool_blocks_in_flight", lambda: self.pool.in_flight)
+        m.gauge("timer_fired_total", lambda: self.timers.fired)
+        m.gauge(
+            "exe_watchdog_trips_total",
+            lambda: self.watchdog.overruns if self.watchdog is not None else 0,
+        )
+        m.gauge(
+            "trace_spans_dropped_total",
+            lambda: self.tracer.dropped if self.tracer is not None else 0,
+        )
 
     # ------------------------------------------------------------------
     # device management
@@ -389,7 +444,6 @@ class Executive:
         # Keep proxy idempotency pointing at the earliest binding.
         self._proxies.setdefault((node, remote_tid, transport), proxy_tid)
         self.rebinds += 1
-        self.probes.bump("route_rebinds")
         logger.info(
             "node %s: rebound proxy %d: %s:%d -> %s:%d",
             self.node, proxy_tid, old.node, old.remote_tid, node, remote_tid,
@@ -407,7 +461,6 @@ class Executive:
                 transport=old.transport, parked=True,
             )
             self.parks += 1
-            self.probes.bump("route_parks")
         return self._routes[proxy_tid]
 
     def unpark_route(self, proxy_tid: Tid) -> Route:
@@ -471,6 +524,8 @@ class Executive:
         """
         if frame.block is None:
             frame.validate()
+        if self.tracer is not None:
+            self.tracer.stamp(frame)
         self.msgi.post_outbound(frame)
 
     def frame_free(self, frame: Frame) -> None:
@@ -580,7 +635,7 @@ class Executive:
         if target == TID_BROADCAST:
             self._broadcast(frame)
         elif target in self._devices:
-            self.scheduler.push(frame)
+            self._enqueue(frame)
         elif target in self._routes:
             route = self._routes[target]
             if route.parked:
@@ -615,7 +670,7 @@ class Executive:
             clone.payload[:] = frame.payload
             clone.initiator_context = frame.initiator_context
             clone.transaction_context = frame.transaction_context
-            self.scheduler.push(clone)
+            self._enqueue(clone)
         self._release_frame(frame)
 
     def _dead_letter(self, frame: Frame, reason: str) -> None:
@@ -655,14 +710,28 @@ class Executive:
                 return took
             took = True
             if frame.target in self._devices:
-                self.scheduler.push(frame)
+                self._enqueue(frame)
             else:
                 self._dead_letter(frame, f"inbound for unknown TiD {frame.target}")
+
+    def _enqueue(self, frame: Frame) -> None:
+        """Push a frame for dispatch, noting its queue-entry time when
+        a tracer is installed (queue wait is a per-hop span field)."""
+        if self.tracer is not None:
+            self.tracer.note_enqueue(frame, self.clock.now_ns())
+        self.scheduler.push(frame)
 
     def _dispatch_one(self) -> bool:
         frame = self.scheduler.pop()
         if frame is None:
             return False
+        tracer = self.tracer
+        timed = self.metrics.timing
+        if tracer is not None or timed:
+            start_ns = self.clock.now_ns()
+            token = tracer.begin_dispatch(frame, start_ns) if tracer else None
+        else:
+            start_ns, token = 0, None
         try:
             with self.probes.measure("demultiplex"):
                 device = self._devices.get(frame.target)
@@ -670,6 +739,8 @@ class Executive:
                     # Device vanished between queueing and dispatch.
                     self._release_frame(frame)
                     self.dropped += 1
+                    if tracer is not None:
+                        tracer.end_dispatch(token, self.clock.now_ns())
                     return True
                 functor = device.table.lookup(frame)
             with self.probes.measure("upcall"):
@@ -714,6 +785,12 @@ class Executive:
         with self.probes.measure("postprocess"):
             if result is not RETAIN:
                 self.frame_free(frame)
+        if tracer is not None or timed:
+            end_ns = self.clock.now_ns()
+            if tracer is not None:
+                tracer.end_dispatch(token, end_ns)
+            if timed:
+                self._dispatch_hist.observe(end_ns - start_ns)
         return True
 
     def _send_failure_reply(self, request: Frame) -> None:
@@ -736,6 +813,8 @@ class Executive:
             self._release_frame(frame)
 
     def _release_frame(self, frame: Frame) -> None:
+        if self.tracer is not None:
+            self.tracer.forget(frame)
         if frame.block is not None:
             self.pool.free(frame.block)
             frame.block = None

@@ -343,7 +343,7 @@ class HeartbeatService(SchemaListenerMixin, Listener):
         (node,) = _NODE.unpack_from(frame.payload, 0)
         exe = self._require_live()
         self.beats_received += 1
-        exe.probes.bump("hb_beats_received")
+        exe.metrics.inc("hb_beats_received_total")
         exe.peers.heartbeat_seen(node, exe.clock.now_ns())
         self._seen_since_tick.add(node)
 
@@ -351,7 +351,7 @@ class HeartbeatService(SchemaListenerMixin, Listener):
     def _peer_dead(self, node: int) -> None:
         exe = self._require_live()
         self.peer_deaths += 1
-        exe.probes.bump("peer_dead")
+        exe.metrics.inc("peer_deaths_total")
         policy = self.typed_param("failover_policy")
         if policy == "none":
             return
@@ -385,7 +385,7 @@ class HeartbeatService(SchemaListenerMixin, Listener):
     def _peer_alive(self, node: int) -> None:
         exe = self._require_live()
         self.peer_rejoins += 1
-        exe.probes.bump("peer_rejoin")
+        exe.metrics.inc("peer_rejoins_total")
         if self.typed_param("failover_policy") == "none":
             return
         if self.discovery is not None:

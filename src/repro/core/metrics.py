@@ -1,0 +1,255 @@
+"""The metrics registry: counters, gauges and fixed-bucket histograms.
+
+The paper's system-management claim (§2) is that every component is
+observable "according to one common scheme".  PR 1 grew ad-hoc event
+counters (``Probes.counters``); this module replaces them with typed
+instruments that one ``UtilParamsGet`` sweep can export verbatim:
+
+* :class:`Counter` — a monotonically increasing event count;
+* :class:`Gauge` — a point-in-time value, either set explicitly or
+  sampled from a callback at snapshot time.  Callback gauges are the
+  preferred way to expose hot-path state (queue depths, dispatch
+  totals): the hot path keeps bumping a plain Python int and pays
+  nothing for being observable;
+* :class:`Histogram` — fixed inclusive upper-bound buckets with
+  Prometheus ``le`` semantics (an observation equal to a bound lands
+  in that bound's bucket; exported counts are cumulative).
+
+Naming scheme: ``<subsystem>_<what>[_<unit>][_total]`` with
+``snake_case`` and only ``[a-zA-Z0-9_]`` (use
+:func:`sanitize_metric_name` when interpolating runtime names such as
+transport names).  Subsystem prefixes in use: ``exe_`` (executive),
+``pool_``, ``timer_``, ``pt_`` (peer transports), ``rel_`` (reliable
+endpoint), ``hb_``/``peer_`` (liveness), ``trace_`` (frame tracer).
+"""
+
+from __future__ import annotations
+
+import re
+from bisect import bisect_left
+from typing import Callable, Iterable, Mapping
+
+from repro.i2o.errors import I2OError
+
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def sanitize_metric_name(name: str) -> str:
+    """Map an arbitrary runtime name onto the metric alphabet.
+
+    Transport and device names may contain ``-`` or ``.`` (e.g. the
+    queued PT names itself ``q0-1``); Prometheus metric names may not.
+    """
+    return _NAME_RE.sub("_", name)
+
+
+class Counter:
+    """A monotonically increasing event counter."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, n: int = 1) -> int:
+        self.value += n
+        return self.value
+
+
+class Gauge:
+    """A point-in-time value.
+
+    Either set explicitly with :meth:`set`, or constructed with a
+    zero-argument callback that is invoked lazily — only when the
+    gauge is read (snapshot or :meth:`get`), never on the hot path.
+    """
+
+    __slots__ = ("name", "_value", "_fn")
+
+    def __init__(self, name: str, fn: Callable[[], float] | None = None) -> None:
+        self.name = name
+        self._value: float = 0
+        self._fn = fn
+
+    def set(self, value: float) -> None:
+        self._fn = None
+        self._value = value
+
+    def get(self) -> float:
+        if self._fn is not None:
+            return self._fn()
+        return self._value
+
+
+class Histogram:
+    """Fixed-bucket histogram with inclusive upper bounds.
+
+    ``buckets`` are the finite upper bounds in increasing order; an
+    implicit ``+Inf`` bucket catches the overflow.  ``observe(v)``
+    places ``v`` in the first bucket whose bound is >= v (Prometheus
+    ``le`` semantics), tracked per-bucket; the snapshot export is
+    *cumulative*, matching the Prometheus text format.
+    """
+
+    __slots__ = ("name", "buckets", "counts", "count", "sum")
+
+    def __init__(self, name: str, buckets: Iterable[float]) -> None:
+        bounds = list(buckets)
+        if not bounds or any(b <= a for b, a in zip(bounds[1:], bounds)):
+            raise I2OError(f"histogram {name!r} buckets must strictly increase")
+        self.name = name
+        self.buckets = bounds
+        self.counts = [0] * (len(bounds) + 1)  # last slot is +Inf
+        self.count = 0
+        self.sum = 0.0
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect_left(self.buckets, value)] += 1
+        self.count += 1
+        self.sum += value
+
+    def bucket_count(self, bound: float) -> int:
+        """Non-cumulative count of the bucket with upper bound ``bound``."""
+        index = bisect_left(self.buckets, bound)
+        if index == len(self.buckets) or self.buckets[index] != bound:
+            raise I2OError(f"histogram {self.name!r} has no bucket le={bound}")
+        return self.counts[index]
+
+    def export(self) -> dict[str, float]:
+        """Flatten to snapshot keys with cumulative bucket counts."""
+        out: dict[str, float] = {}
+        running = 0
+        for bound, n in zip(self.buckets, self.counts):
+            running += n
+            out[f"{self.name}_bucket_le_{_fmt_bound(bound)}"] = running
+        out[f"{self.name}_bucket_le_inf"] = self.count
+        out[f"{self.name}_count"] = self.count
+        out[f"{self.name}_sum"] = self.sum
+        return out
+
+
+def _fmt_bound(bound: float) -> str:
+    if float(bound).is_integer():
+        return str(int(bound))
+    return repr(float(bound)).replace(".", "p").replace("-", "m")
+
+
+class MetricsRegistry:
+    """One node's metric instruments, keyed by name.
+
+    Every :class:`~repro.core.executive.Executive` owns one; devices
+    and transports register instruments against it, and the
+    telemetry agent exports :meth:`snapshot` over ``UtilParamsGet``.
+
+    ``timing`` gates the per-dispatch latency histogram in the
+    executive — the only instrument that would force a clock read on
+    the hot path — and defaults off so observability costs nothing
+    unless asked for.
+    """
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+        self.timing = False
+
+    # -- registration -------------------------------------------------------
+    def counter(self, name: str) -> Counter:
+        found = self._counters.get(name)
+        if found is None:
+            found = self._counters[name] = Counter(name)
+        return found
+
+    def gauge(self, name: str, fn: Callable[[], float] | None = None) -> Gauge:
+        """Get-or-create a gauge; passing ``fn`` (re)binds its callback."""
+        found = self._gauges.get(name)
+        if found is None:
+            found = self._gauges[name] = Gauge(name, fn)
+        elif fn is not None:
+            found._fn = fn
+        return found
+
+    def histogram(self, name: str, buckets: Iterable[float]) -> Histogram:
+        found = self._histograms.get(name)
+        if found is None:
+            found = self._histograms[name] = Histogram(name, buckets)
+        return found
+
+    # -- convenience --------------------------------------------------------
+    def inc(self, name: str, n: int = 1) -> int:
+        """Bump a counter, creating it on first use."""
+        return self.counter(name).inc(n)
+
+    def value(self, name: str) -> float:
+        """Current value of a counter or gauge by name."""
+        counter = self._counters.get(name)
+        if counter is not None:
+            return counter.value
+        gauge = self._gauges.get(name)
+        if gauge is not None:
+            return gauge.get()
+        raise I2OError(f"no metric named {name!r}")
+
+    # -- export -------------------------------------------------------------
+    def snapshot(self) -> dict[str, float]:
+        """Flatten every instrument to ``name -> number``, sampling
+        callback gauges and expanding histograms to cumulative
+        ``_bucket_le_*`` / ``_count`` / ``_sum`` keys."""
+        out: dict[str, float] = {}
+        for name, counter in self._counters.items():
+            out[name] = counter.value
+        for name, gauge in self._gauges.items():
+            out[name] = gauge.get()
+        for histogram in self._histograms.values():
+            out.update(histogram.export())
+        return out
+
+    def render_prometheus(self, labels: Mapping[str, object] | None = None) -> str:
+        """This registry's snapshot in the Prometheus text format."""
+        return "\n".join(prometheus_lines(self.snapshot(), labels or {})) + "\n"
+
+
+def prometheus_lines(
+    flat: Mapping[str, float], labels: Mapping[str, object]
+) -> list[str]:
+    """Render a flat snapshot as ``repro_<name>{labels} value`` lines.
+
+    Histogram keys produced by :meth:`Histogram.export` are folded back
+    into a proper ``le`` label so Prometheus tooling sees a native
+    histogram series.
+    """
+    base = ",".join(f'{k}="{v}"' for k, v in labels.items())
+    lines: list[str] = []
+    for key in sorted(flat, key=_bucket_sort_key):
+        value = flat[key]
+        name, sep, bound = key.partition("_bucket_le_")
+        if sep:
+            le = "+Inf" if bound == "inf" else bound.replace("p", ".").replace("m", "-")
+            labelset = f'{base},le="{le}"' if base else f'le="{le}"'
+            lines.append(f"repro_{name}_bucket{{{labelset}}} {_fmt_value(value)}")
+        else:
+            suffix = f"{{{base}}}" if base else ""
+            lines.append(f"repro_{key}{suffix} {_fmt_value(value)}")
+    return lines
+
+
+def _bucket_sort_key(key: str) -> tuple[str, float, str]:
+    """Sort plain metrics lexically but bucket series by ascending bound."""
+    name, sep, bound = key.partition("_bucket_le_")
+    if not sep:
+        return (key, float("-inf"), "")
+    if bound == "inf":
+        return (name, float("inf"), "")
+    try:
+        return (name, float(bound.replace("p", ".").replace("m", "-")), "")
+    except ValueError:  # pragma: no cover - defensive
+        return (name, float("inf"), bound)
+
+
+def _fmt_value(value: float) -> str:
+    if isinstance(value, bool):
+        return str(int(value))
+    if isinstance(value, int) or float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))

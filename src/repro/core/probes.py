@@ -214,6 +214,7 @@ class Probes:
 
     def reset(self) -> None:
         self._samples.clear()
+        self.counters.clear()
         self._accrued_ns = 0
 
 

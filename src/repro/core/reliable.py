@@ -108,6 +108,16 @@ class ReliableEndpoint(Listener):
     def on_plugin(self) -> None:
         self.bind(XF_REL_DATA, self._on_data)
         self.bind(XF_REL_ACK, self._on_ack)
+        from repro.core.metrics import sanitize_metric_name
+
+        metrics = self._require_live().metrics
+        prefix = f"rel_{sanitize_metric_name(self.name)}"
+        for attr in (
+            "delivered", "duplicates_suppressed", "retransmissions",
+            "failures", "aborted", "corrupt_discarded", "in_flight",
+            "held_back",
+        ):
+            metrics.gauge(f"{prefix}_{attr}", lambda a=attr: getattr(self, a))
 
     # -- sending ----------------------------------------------------------
     def send_reliable(self, target: Tid, payload: bytes) -> int:

@@ -1,0 +1,363 @@
+"""Cluster telemetry over the standard utility message scheme.
+
+Paper §2 claims system management needs no side channel: every
+component is observable "according to one common scheme" — the
+standard executive/utility messages.  This module holds that line for
+whole-cluster observability:
+
+* :class:`TelemetryAgent` — one per node; exports the node's
+  :class:`~repro.core.metrics.MetricsRegistry` snapshot and the
+  :class:`~repro.core.tracing.FrameTracer` span ring as an ordinary
+  ``UtilParamsGet`` parameter map.  It adds no private verbs.
+* :class:`TelemetryCollector` — installed on one node; sweeps every
+  agent through proxies with ``UtilParamsGet`` (exactly like
+  :class:`~repro.daq.monitor.DaqMonitor`), aggregates per-node metric
+  snapshots and cluster totals, stitches cross-node spans into
+  end-to-end trace timelines, and renders Prometheus-text and JSON
+  dumps.
+* :class:`PeriodicSweeper` — a mixin turning any device with a
+  ``sweep()`` method into a self-clocked one via the I2O timer
+  facility (expirations arrive as frames through the ordinary queues,
+  paper §3.2).  Shared by the collector and ``DaqMonitor``.
+
+The collector's only view of a remote node is the byte payload of a
+``UtilParamsGet`` reply: no private function codes, no cross-node
+Python object access — the acceptance criterion of the observability
+tentpole.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import re
+
+from repro.core.device import Listener, decode_params, encode_params
+from repro.core.tracing import Span
+from repro.i2o.errors import I2OError
+from repro.i2o.frame import Frame
+from repro.i2o.function_codes import UTIL_PARAMS_GET
+from repro.i2o.tid import Tid
+from repro.core.metrics import prometheus_lines
+
+#: Timer context the sweeper arms its periodic timer with.  Small and
+#: untagged, so the tracer never mistakes it for a trace id.
+SWEEP_CONTEXT = 0x5EE9
+
+#: Agent parameter keys carrying encoded spans: ``s<span_id>``.
+_SPAN_KEY = re.compile(r"^s\d+$")
+
+_SPAN_FIELDS = 9
+
+
+def encode_span(span: Span) -> str:
+    """One span as a compact ``;``-joined record (params-safe)."""
+    return ";".join(
+        (
+            format(span.trace_id, "x"),
+            str(span.span_id),
+            str(span.node),
+            str(span.tid),
+            str(span.function),
+            str(span.xfunction),
+            str(span.start_ns),
+            str(span.queue_wait_ns),
+            str(span.dispatch_ns),
+        )
+    )
+
+
+def decode_span(text: str) -> Span:
+    parts = text.split(";")
+    if len(parts) != _SPAN_FIELDS:
+        raise I2OError(f"malformed span record {text!r}")
+    return Span(
+        trace_id=int(parts[0], 16),
+        span_id=int(parts[1]),
+        node=int(parts[2]),
+        tid=int(parts[3]),
+        function=int(parts[4]),
+        xfunction=int(parts[5]),
+        start_ns=int(parts[6]),
+        queue_wait_ns=int(parts[7]),
+        dispatch_ns=int(parts[8]),
+    )
+
+
+class PeriodicSweeper:
+    """Mixin: drive ``self.sweep()`` from a periodic I2O timer.
+
+    The interval comes from the device parameter named by
+    ``sweep_param`` (nanoseconds; 0 or unset keeps the device
+    manual-only, the pre-PR behaviour).  The timer is armed on enable
+    and disarmed on quiesce, so a paused device stops generating
+    monitoring traffic.
+    """
+
+    sweep_param = "sweep_interval_ns"
+    _sweep_timer_id: int | None = None
+
+    def sweep(self) -> int:  # pragma: no cover - satisfied by the host class
+        raise NotImplementedError
+
+    def sweep_interval_ns(self) -> int:
+        raw = self.parameters.get(self.sweep_param, "0")  # type: ignore[attr-defined]
+        try:
+            return int(raw or "0")
+        except ValueError:
+            raise I2OError(f"bad {self.sweep_param} value {raw!r}")
+
+    def on_enable(self) -> None:
+        super().on_enable()  # type: ignore[misc]
+        interval = self.sweep_interval_ns()
+        if interval > 0 and self._sweep_timer_id is None:
+            self._sweep_timer_id = self.start_timer(  # type: ignore[attr-defined]
+                interval, context=SWEEP_CONTEXT, period_ns=interval
+            )
+
+    def on_quiesce(self) -> None:
+        super().on_quiesce()  # type: ignore[misc]
+        if self._sweep_timer_id is not None:
+            self.cancel_timer(self._sweep_timer_id)  # type: ignore[attr-defined]
+            self._sweep_timer_id = None
+
+    def on_timer(self, context: int, frame: Frame) -> None:
+        if context == SWEEP_CONTEXT:
+            self.sweep()
+        else:
+            super().on_timer(context, frame)  # type: ignore[misc]
+
+
+class TelemetryAgent(Listener):
+    """Per-node exporter of metrics and trace spans.
+
+    Answers ``UtilParamsGet`` with a *fresh* map on every request
+    (overriding the accumulate-into-``parameters`` default: span keys
+    churn every sweep and must not pile up as stale parameters).
+    """
+
+    device_class = "telemetry_agent"
+
+    def __init__(self, name: str = "telemetry-agent") -> None:
+        super().__init__(name)
+        self.exports = 0
+
+    def local_snapshot(self) -> dict[str, str]:
+        exe = self._require_live()
+        out = {
+            key: _fmt_number(value)
+            for key, value in exe.metrics.snapshot().items()
+        }
+        out["node"] = str(exe.node)
+        tracer = exe.tracer
+        out["trace_enabled"] = "1" if tracer is not None else "0"
+        if tracer is not None:
+            for span in tracer.snapshot_spans():
+                out[f"s{span.span_id}"] = encode_span(span)
+        return out
+
+    def _on_params_get(self, frame: Frame) -> None:
+        if frame.is_reply:
+            return
+        self.exports += 1
+        snapshot = self.local_snapshot()
+        if frame.payload_size:
+            keys = decode_params(frame.payload).keys()
+            snapshot = {k: snapshot.get(k, "") for k in keys}
+        self.reply(frame, encode_params(snapshot))
+
+    def export_counters(self) -> dict[str, object]:
+        return {"exports": self.exports}
+
+
+class TelemetryCollector(PeriodicSweeper, Listener):
+    """Cluster-wide snapshot aggregation and trace stitching.
+
+    ``watch(node, proxy_tid)`` registers one agent per node; every
+    :meth:`sweep` (manual, or periodic via :class:`PeriodicSweeper`)
+    pulls each agent's snapshot with a correlated ``UtilParamsGet``.
+    Spans are deduplicated by ``(node, span_id)`` — the agent exports
+    its whole ring each time — and indexed by trace id; ``keep_spans``
+    bounds collector memory the same way the per-node ring bounds the
+    tracer's.
+    """
+
+    device_class = "telemetry_collector"
+
+    def __init__(self, name: str = "telemetry", *, keep_spans: int = 8192) -> None:
+        super().__init__(name)
+        self.keep_spans = keep_spans
+        self.watched: dict[int, Tid] = {}
+        #: node -> latest numeric metric snapshot
+        self.node_metrics: dict[int, dict[str, float]] = {}
+        #: node -> non-numeric reply values (e.g. state strings)
+        self.node_info: dict[int, dict[str, str]] = {}
+        self._contexts = itertools.count(1)
+        self._context_node: dict[int, int] = {}
+        self._spans: list[Span] = []
+        self._by_trace: dict[int, list[Span]] = {}
+        self._seen: set[tuple[int, int]] = set()
+        self.sweeps = 0
+        self.spans_collected = 0
+
+    def on_plugin(self) -> None:
+        self.table.bind(UTIL_PARAMS_GET, self._on_params_traffic)
+
+    # -- sweeping -----------------------------------------------------------
+    def watch(self, node: int, agent_tid: Tid) -> None:
+        """Register ``node``'s telemetry agent, reachable at
+        ``agent_tid`` (normally a local proxy)."""
+        self.watched[node] = agent_tid
+
+    def sweep(self) -> int:
+        for node, tid in sorted(self.watched.items()):
+            context = next(self._contexts)
+            self._context_node[context] = node
+            self.send(tid, function=UTIL_PARAMS_GET, initiator_context=context)
+        self.sweeps += 1
+        return len(self.watched)
+
+    def _on_params_traffic(self, frame: Frame) -> None:
+        if not frame.is_reply:
+            # Someone is observing the observer through the same scheme.
+            counters = {k: str(v) for k, v in self.export_counters().items()}
+            self.reply(frame, encode_params({**self.parameters, **counters}))
+            return
+        node = self._context_node.pop(frame.initiator_context, None)
+        if node is None or frame.is_failure:
+            return
+        metrics: dict[str, float] = {}
+        info: dict[str, str] = {}
+        for key, value in decode_params(frame.payload).items():
+            if _SPAN_KEY.match(key):
+                self._ingest_span(decode_span(value))
+                continue
+            number = _parse_number(value)
+            if number is None:
+                info[key] = value
+            else:
+                metrics[key] = number
+        self.node_metrics[node] = metrics
+        self.node_info[node] = info
+
+    def _ingest_span(self, span: Span) -> None:
+        key = (span.node, span.span_id)
+        if key in self._seen:
+            return
+        self._seen.add(key)
+        self._spans.append(span)
+        self._by_trace.setdefault(span.trace_id, []).append(span)
+        self.spans_collected += 1
+        while len(self._spans) > self.keep_spans:
+            old = self._spans.pop(0)
+            self._seen.discard((old.node, old.span_id))
+            per_trace = self._by_trace.get(old.trace_id)
+            if per_trace is not None:
+                per_trace.remove(old)
+                if not per_trace:
+                    del self._by_trace[old.trace_id]
+
+    # -- stitched traces ----------------------------------------------------
+    def trace_ids(self) -> list[int]:
+        return sorted(self._by_trace)
+
+    def trace(self, trace_id: int) -> list[Span]:
+        """All collected spans of one trace, in start-time order.
+
+        Cross-node ordering is meaningful on both planes: natively all
+        nodes read the same ``perf_counter_ns`` domain, and in
+        simulation all executives share the simulated clock.
+        """
+        return sorted(
+            self._by_trace.get(trace_id, ()),
+            key=lambda s: (s.start_ns, s.node, s.span_id),
+        )
+
+    def timeline(self, trace_id: int) -> list[dict[str, int]]:
+        """One trace as an end-to-end list of hop records."""
+        return [
+            {
+                "node": span.node,
+                "tid": span.tid,
+                "function": span.function,
+                "xfunction": span.xfunction,
+                "start_ns": span.start_ns,
+                "queue_wait_ns": span.queue_wait_ns,
+                "dispatch_ns": span.dispatch_ns,
+            }
+            for span in self.trace(trace_id)
+        ]
+
+    # -- aggregation and export ---------------------------------------------
+    def cluster_totals(self) -> dict[str, float]:
+        """Sum of every numeric metric across swept nodes."""
+        totals: dict[str, float] = {}
+        for metrics in self.node_metrics.values():
+            for key, value in metrics.items():
+                totals[key] = totals.get(key, 0) + value
+        return totals
+
+    def render_prometheus(self) -> str:
+        """The latest cluster snapshot in the Prometheus text format."""
+        lines = ["# repro cluster telemetry (one block per swept node)"]
+        for node in sorted(self.node_metrics):
+            lines.extend(
+                prometheus_lines(self.node_metrics[node], {"node": node})
+            )
+        lines.extend(
+            prometheus_lines(
+                {
+                    "collector_sweeps": self.sweeps,
+                    "collector_spans": len(self._spans),
+                    "collector_traces": len(self._by_trace),
+                },
+                {"node": self._node_label()},
+            )
+        )
+        return "\n".join(lines) + "\n"
+
+    def render_json(self) -> str:
+        return json.dumps(
+            {
+                "nodes": {
+                    str(node): metrics
+                    for node, metrics in sorted(self.node_metrics.items())
+                },
+                "totals": self.cluster_totals(),
+                "traces": {
+                    format(trace_id, "x"): self.timeline(trace_id)
+                    for trace_id in self.trace_ids()
+                },
+            },
+            sort_keys=True,
+        )
+
+    def _node_label(self) -> int:
+        return self.executive.node if self.executive is not None else -1
+
+    def export_counters(self) -> dict[str, object]:
+        return {
+            "sweeps": self.sweeps,
+            "nodes_watched": len(self.watched),
+            "nodes_reporting": len(self.node_metrics),
+            "spans": len(self._spans),
+            "traces": len(self._by_trace),
+        }
+
+
+def _fmt_number(value: float) -> str:
+    if isinstance(value, int):
+        return str(value)
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def _parse_number(text: str) -> float | None:
+    try:
+        return int(text)
+    except ValueError:
+        try:
+            return float(text)
+        except ValueError:
+            return None

@@ -14,13 +14,20 @@ import itertools
 from typing import Callable
 
 from repro.core.device import Listener, decode_params
+from repro.core.telemetry import PeriodicSweeper
 from repro.i2o.frame import Frame
 from repro.i2o.function_codes import UTIL_PARAMS_GET
 from repro.i2o.tid import Tid
 
 
-class DaqMonitor(Listener):
-    """Collects parameter snapshots from a set of watched TiDs."""
+class DaqMonitor(PeriodicSweeper, Listener):
+    """Collects parameter snapshots from a set of watched TiDs.
+
+    :meth:`sweep` is manual by default; setting the
+    ``sweep_interval_ns`` parameter before enable turns on periodic
+    sweeping via the I2O timer facility (the same
+    :class:`~repro.core.telemetry.PeriodicSweeper` mechanism the
+    telemetry collector uses)."""
 
     device_class = "daq_monitor"
 

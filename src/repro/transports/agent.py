@@ -72,6 +72,13 @@ class PeerTransportAgent(Listener):
             self._default = transport
         if transport.mode == "polling":
             exe._pollable.append(transport)
+        from repro.core.metrics import sanitize_metric_name
+
+        prefix = f"pt_{sanitize_metric_name(transport.name)}"
+        for attr in ("frames_sent", "frames_received", "bytes_sent", "bytes_received"):
+            exe.metrics.gauge(
+                f"{prefix}_{attr}", lambda pt=transport, a=attr: getattr(pt, a)
+            )
         return transport
 
     def transport(self, name: str) -> PeerTransport:

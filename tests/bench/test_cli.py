@@ -10,7 +10,8 @@ from repro.bench.__main__ import EXPERIMENTS, main
 def test_experiment_registry_covers_design_index():
     """Every experiment id from DESIGN.md's table has a runner."""
     for exp_id in ("fig6", "tab1", "alloc", "orb", "ptmodes", "dispatch",
-                   "pcififo", "multirail", "native", "daqscale"):
+                   "pcififo", "multirail", "native", "daqscale",
+                   "telemetry"):
         assert exp_id in EXPERIMENTS
 
 
@@ -20,6 +21,28 @@ def test_cli_runs_one_experiment(capsys):
     assert "Table 1" in out
     assert "frameAlloc" in out
     assert "done in" in out
+
+
+def test_telemetry_overhead_gate(capsys):
+    """The X6 benchmark runs standalone and enforces its ratio gate."""
+    from repro.bench.telemetry import main as telemetry_main
+
+    code = telemetry_main(["--messages", "400", "--repeats", "1",
+                           "--max-ratio", "1000"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "off/floor ratio" in out
+    for column in ("floor", "off", "traced", "timed"):
+        assert column in out
+
+
+def test_telemetry_gate_trips_when_exceeded(capsys):
+    from repro.bench.telemetry import main as telemetry_main
+
+    # An impossible threshold: any measured ratio exceeds 0.
+    code = telemetry_main(["--messages", "200", "--repeats", "1",
+                           "--max-ratio", "0"])
+    assert code == 1
 
 
 def test_cli_rejects_unknown_experiment():

@@ -184,7 +184,7 @@ class TestHeartbeatService:
                 n for n in cluster if n != node
             ]
         assert hbs[0].beats_received > 0
-        assert cluster[0].probes.counters["hb_beats_received"] > 0
+        assert cluster[0].metrics.value("hb_beats_received_total") > 0
 
     def test_partitioned_peer_detected_within_miss_window(self):
         cluster, clock, hbs, faulty, _ = build_supervised(
@@ -219,7 +219,7 @@ class TestHeartbeatService:
         tick(cluster, clock, 3)
         assert cluster[0].peers.state(1) is PeerState.ALIVE
         assert hbs[0].peer_rejoins == 1
-        assert cluster[0].probes.counters["peer_rejoin"] == 1
+        assert cluster[0].metrics.value("peer_rejoins_total") == 1
 
     def test_stop_disarms_timer(self):
         cluster, clock, hbs, _, _ = build_supervised(2)
@@ -287,7 +287,7 @@ class TestFailoverCascade:
         assert not route.parked
         assert cluster[0].rebinds >= 1
         assert discovery.rebinds >= 1
-        assert cluster[0].probes.counters["route_rebinds"] >= 1
+        assert cluster[0].metrics.value("exe_route_rebinds_total") >= 1
         assert 2 in discovery.quarantined
 
     def test_park_policy_fails_senders_fast(self):

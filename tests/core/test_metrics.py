@@ -1,0 +1,140 @@
+"""The metrics registry: counters, gauges, histogram bucket edges."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.metrics import (
+    Histogram,
+    MetricsRegistry,
+    prometheus_lines,
+    sanitize_metric_name,
+)
+from repro.i2o.errors import I2OError
+
+
+class TestCounters:
+    def test_inc_creates_and_accumulates(self):
+        m = MetricsRegistry()
+        assert m.inc("events") == 1
+        assert m.inc("events", 4) == 5
+        assert m.value("events") == 5
+
+    def test_unknown_metric_raises(self):
+        with pytest.raises(I2OError):
+            MetricsRegistry().value("nope")
+
+
+class TestGauges:
+    def test_set_and_read(self):
+        m = MetricsRegistry()
+        m.gauge("depth").set(7)
+        assert m.value("depth") == 7
+
+    def test_callback_sampled_lazily(self):
+        m = MetricsRegistry()
+        state = {"n": 1}
+        calls = []
+
+        def sample():
+            calls.append(1)
+            return state["n"]
+
+        m.gauge("live", sample)
+        assert calls == []  # registering costs nothing
+        state["n"] = 42
+        assert m.snapshot()["live"] == 42
+
+    def test_rebinding_callback_replaces(self):
+        m = MetricsRegistry()
+        m.gauge("g", lambda: 1)
+        m.gauge("g", lambda: 2)
+        assert m.value("g") == 2
+
+
+class TestHistogramBucketEdges:
+    def test_value_equal_to_bound_lands_in_that_bucket(self):
+        # Prometheus `le` semantics: the bound is inclusive.
+        h = Histogram("lat", [10, 20, 30])
+        h.observe(10)
+        h.observe(10.5)
+        h.observe(30)
+        h.observe(31)
+        assert h.bucket_count(10) == 1
+        assert h.bucket_count(20) == 1
+        assert h.bucket_count(30) == 1
+        assert h.counts[-1] == 1  # +Inf overflow
+        assert h.count == 4
+        assert h.sum == pytest.approx(81.5)
+
+    def test_below_first_bound(self):
+        h = Histogram("lat", [10, 20])
+        h.observe(0)
+        h.observe(-5)
+        assert h.bucket_count(10) == 2
+
+    def test_export_is_cumulative(self):
+        h = Histogram("lat", [10, 20])
+        for v in (5, 15, 25):
+            h.observe(v)
+        flat = h.export()
+        assert flat["lat_bucket_le_10"] == 1
+        assert flat["lat_bucket_le_20"] == 2
+        assert flat["lat_bucket_le_inf"] == 3
+        assert flat["lat_count"] == 3
+        assert flat["lat_sum"] == 45
+
+    def test_buckets_must_strictly_increase(self):
+        with pytest.raises(I2OError):
+            Histogram("bad", [10, 10])
+        with pytest.raises(I2OError):
+            Histogram("bad", [20, 10])
+        with pytest.raises(I2OError):
+            Histogram("bad", [])
+
+    def test_unknown_bucket_bound_rejected(self):
+        h = Histogram("lat", [10, 20])
+        with pytest.raises(I2OError):
+            h.bucket_count(15)
+
+
+class TestSnapshotAndRendering:
+    def test_snapshot_flattens_all_instruments(self):
+        m = MetricsRegistry()
+        m.inc("sent", 3)
+        m.gauge("depth", lambda: 2)
+        m.histogram("lat", [100]).observe(50)
+        flat = m.snapshot()
+        assert flat["sent"] == 3
+        assert flat["depth"] == 2
+        assert flat["lat_bucket_le_100"] == 1
+        assert flat["lat_bucket_le_inf"] == 1
+
+    def test_prometheus_text_shape(self):
+        m = MetricsRegistry()
+        m.inc("frames_total", 2)
+        m.histogram("lat", [1000]).observe(10)
+        text = m.render_prometheus({"node": 3})
+        assert 'repro_frames_total{node="3"} 2' in text
+        assert 'repro_lat_bucket{node="3",le="1000"} 1' in text
+        assert 'repro_lat_bucket{node="3",le="+Inf"} 1' in text
+
+    def test_bucket_lines_sorted_by_bound(self):
+        m = MetricsRegistry()
+        h = m.histogram("lat", [5, 50, 1000])
+        h.observe(3)
+        lines = prometheus_lines(m.snapshot(), {})
+        bucket_lines = [l for l in lines if "_bucket{" in l]
+        assert [l.split('le="')[1].split('"')[0] for l in bucket_lines] == [
+            "5", "50", "1000", "+Inf",
+        ]
+
+    def test_timing_flag_defaults_off(self):
+        assert MetricsRegistry().timing is False
+
+
+class TestSanitize:
+    def test_replaces_forbidden_characters(self):
+        assert sanitize_metric_name("q0-1") == "q0_1"
+        assert sanitize_metric_name("tcp.9001") == "tcp_9001"
+        assert sanitize_metric_name("ok_name") == "ok_name"

@@ -1,0 +1,155 @@
+"""The distributed frame tracer: id tagging, spans, ring bounds."""
+
+from __future__ import annotations
+
+from repro.core.device import FunctionalListener, Listener
+from repro.core.executive import Executive
+from repro.core.tracing import (
+    FrameTracer,
+    TRACE_TAG,
+    is_trace_context,
+    make_trace_id,
+    trace_root_node,
+)
+from repro.i2o.frame import Frame
+
+from tests.conftest import make_loopback_cluster, pump
+
+
+class _ManualClock:
+    def __init__(self) -> None:
+        self.t = 0
+
+    def now_ns(self) -> int:
+        return self.t
+
+
+class _Echo(Listener):
+    def on_plugin(self) -> None:
+        self.bind(0x1, self._on_ping)
+
+    def _on_ping(self, frame: Frame) -> None:
+        if not frame.is_reply:
+            self.reply(frame, bytes(frame.payload))
+
+
+def _traced_pair(capacity: int = 64):
+    cluster = make_loopback_cluster(2)
+    for node, exe in cluster.items():
+        exe.tracer = FrameTracer(node=node, capacity=capacity)
+    echo = _Echo(name="echo")
+    echo_tid = cluster[1].install(echo)
+    caller = FunctionalListener(name="caller")
+    cluster[0].install(caller)
+    proxy = cluster[0].create_proxy(1, echo_tid)
+    return cluster, caller, proxy
+
+
+class TestTraceIds:
+    def test_tag_scheme(self):
+        tid = make_trace_id(7, 42)
+        assert is_trace_context(tid)
+        assert trace_root_node(tid) == 7
+        assert tid >> 52 == TRACE_TAG
+
+    def test_ordinary_contexts_are_not_traces(self):
+        for ctx in (0, 1, 0x5EE9, 2**40, 2**52 - 1):
+            assert not is_trace_context(ctx)
+
+    def test_ids_are_unique_per_root(self):
+        tracer = FrameTracer(node=1)
+        frames = [Frame.build(target=2, initiator=1) for _ in range(3)]
+        for f in frames:
+            tracer.stamp(f)
+        contexts = {f.transaction_context for f in frames}
+        assert len(contexts) == 3
+        assert all(is_trace_context(c) for c in contexts)
+
+    def test_stamp_never_overwrites(self):
+        tracer = FrameTracer(node=1)
+        frame = Frame.build(target=2, initiator=1, transaction_context=0x77)
+        tracer.stamp(frame)
+        assert frame.transaction_context == 0x77
+
+
+class TestOffMode:
+    def test_no_tracer_means_zero_contexts_and_no_spans(self, two_nodes):
+        echo = _Echo(name="echo")
+        echo_tid = two_nodes[1].install(echo)
+        caller = FunctionalListener(name="caller")
+        two_nodes[0].install(caller)
+        proxy = two_nodes[0].create_proxy(1, echo_tid)
+        caller.send(proxy, b"x", xfunction=0x1)
+        pump(two_nodes)
+        assert all(exe.tracer is None for exe in two_nodes.values())
+
+
+class TestSpans:
+    def test_request_and_reply_share_one_trace(self):
+        cluster, caller, proxy = _traced_pair()
+        caller.send(proxy, b"ping", xfunction=0x1)
+        pump(cluster)
+        spans0 = cluster[0].tracer.snapshot_spans()
+        spans1 = cluster[1].tracer.snapshot_spans()
+        assert spans0 and spans1
+        ids = {s.trace_id for s in spans0} | {s.trace_id for s in spans1}
+        assert len(ids) == 1
+        trace_id = ids.pop()
+        assert is_trace_context(trace_id)
+        assert trace_root_node(trace_id) == 0
+
+    def test_span_fields(self):
+        cluster, caller, proxy = _traced_pair()
+        caller.send(proxy, b"ping", xfunction=0x1)
+        pump(cluster)
+        (span,) = cluster[1].tracer.snapshot_spans()
+        assert span.node == 1
+        assert span.xfunction == 0x1
+        assert span.queue_wait_ns >= 0
+        assert span.dispatch_ns >= 0
+
+    def test_ring_is_bounded(self):
+        cluster, caller, proxy = _traced_pair(capacity=4)
+        tracer = cluster[1].tracer
+        for _ in range(10):
+            caller.send(proxy, b"p", xfunction=0x1)
+        pump(cluster)
+        assert len(tracer.spans) == 4
+        assert tracer.dropped == 6
+
+    def test_queue_wait_measured_against_the_executive_clock(self):
+        clock = _ManualClock()
+        exe = Executive(node=0, clock=clock, tracer=FrameTracer(capacity=16))
+        sink = FunctionalListener(name="sink", handlers={0x1: lambda f: None})
+        tid = exe.install(sink)
+        sink.send(tid, b"x", xfunction=0x1)
+        exe._route_outbound()  # enqueue at t=0
+        clock.t = 5_000
+        exe.step()
+        (span,) = exe.tracer.snapshot_spans()
+        assert span.queue_wait_ns == 5_000
+        assert span.start_ns == 5_000
+
+    def test_forget_on_release_leaves_no_stale_entries(self):
+        exe = Executive(node=0, tracer=FrameTracer(capacity=16))
+        sink = FunctionalListener(name="sink", handlers={0x1: lambda f: None})
+        tid = exe.install(sink)
+        for _ in range(3):
+            sink.send(tid, b"x", xfunction=0x1)
+        exe._route_outbound()
+        exe.uninstall(tid)  # drops the queued frames without dispatch
+        assert exe.tracer._enqueued == {}
+
+    def test_timer_contexts_survive_untraced(self):
+        exe = Executive(node=0, tracer=FrameTracer(capacity=16))
+        fired = []
+
+        class _Timed(Listener):
+            def on_timer(self, context: int, frame: Frame) -> None:
+                fired.append(context)
+
+        dev = _Timed(name="timed")
+        exe.install(dev)
+        dev.start_timer(0, context=0x123)
+        exe.run_until_idle()
+        assert fired == [0x123]

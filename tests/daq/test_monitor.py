@@ -41,6 +41,42 @@ def test_sweep_counts_watched(five_nodes):
     pump(five_nodes)
 
 
+def test_periodic_sweeps_via_timer_facility():
+    """sweep_interval_ns turns the monitor self-clocked: the I2O timer
+    facility fires sweeps until quiesce disarms it."""
+    from repro.core.executive import Executive
+
+    class _ManualClock:
+        def __init__(self):
+            self.t = 0
+
+        def now_ns(self):
+            return self.t
+
+    clock = _ManualClock()
+    exe = Executive(node=0, clock=clock)
+    evm = EventManager()
+    evm_tid = exe.install(evm)
+    monitor = DaqMonitor()
+    monitor.parameters["sweep_interval_ns"] = "1000"
+    exe.install(monitor)
+    monitor.watch(evm_tid)
+    monitor.on_enable()
+    exe.run_until_idle()
+    assert monitor.sweeps == 0  # nothing before the first expiry
+    clock.t = 1_000
+    exe.run_until_idle()
+    assert monitor.sweeps == 1
+    assert "triggers" in monitor.snapshot(evm_tid)
+    clock.t = 2_500
+    exe.run_until_idle()
+    assert monitor.sweeps == 2  # periodic re-arm
+    monitor.on_quiesce()
+    clock.t = 100_000
+    exe.run_until_idle()
+    assert monitor.sweeps == 2
+
+
 def test_repeated_sweeps_refresh(five_nodes):
     evm, trigger, rus, bus = wire_daq(five_nodes)
     monitor = DaqMonitor()

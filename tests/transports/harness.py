@@ -48,18 +48,24 @@ class Echo(Listener):
 
 
 class Caller(Listener):
-    """Records echo replies (0x1) and failure verdicts (0x2)."""
+    """Records echo replies (0x1) and failure verdicts (0x2), plus the
+    ``transaction_context`` each reply carried (trace propagation)."""
 
     def __init__(self, name="caller"):
         super().__init__(name)
         self.replies: list[bytes] = []
         self.failures: list[bool] = []
+        self.reply_contexts: list[int] = []
 
     def on_plugin(self):
-        self.bind(0x1, lambda f: self.replies.append(bytes(f.payload))
-                  if f.is_reply else None)
+        self.bind(0x1, self._on_echo_reply)
         self.bind(0x2, lambda f: self.failures.append(f.is_failure)
                   if f.is_reply else None)
+
+    def _on_echo_reply(self, frame):
+        if frame.is_reply:
+            self.replies.append(bytes(frame.payload))
+            self.reply_contexts.append(frame.transaction_context)
 
 
 @dataclass
@@ -81,6 +87,18 @@ class TransportHarness:
 
     def run_until(self, predicate: Callable[[], bool]) -> bool:
         return self._run_until(predicate)
+
+    def enable_tracing(self, capacity: int = 256) -> dict[int, "FrameTracer"]:
+        """Install a FrameTracer on every executive; returns them by
+        node so tests can inspect the recorded spans."""
+        from repro.core.tracing import FrameTracer
+
+        tracers = {}
+        for node, exe in self.exes.items():
+            tracers[node] = exe.tracer = FrameTracer(
+                node=node, capacity=capacity
+            )
+        return tracers
 
     def finish(self) -> None:
         self._cleanup()

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import pytest
 
+from repro.core.tracing import is_trace_context, trace_root_node
 from repro.i2o.frame import MAX_PAYLOAD_SIZE
 from repro.mem.pool import PoolError
 
@@ -71,6 +72,39 @@ class TestTransportContract:
         stray = harness.exes[0].create_proxy(1, 0x3F)  # nothing lives there
         caller.send(stray, b"anyone?", xfunction=0x2)
         assert harness.run_until(lambda: caller.failures == [True])
+
+    def test_transaction_context_round_trips_the_wire(self, harness):
+        # The 64-bit context fields must cross every transport intact
+        # and come back in the reply — the carrier the tracer rides on.
+        caller, proxy = _wire(harness)
+        context = 0x0123_4567_89AB_CDEF
+        caller.send(proxy, b"ctx", xfunction=0x1, transaction_context=context)
+        assert harness.run_until(lambda: caller.replies == [b"ctx"])
+        assert caller.reply_contexts == [context]
+
+    def test_trace_context_propagates_across_transport(self, harness):
+        tracers = harness.enable_tracing()
+        caller, proxy = _wire(harness)
+        caller.send(proxy, b"trace-me", xfunction=0x1)
+        assert harness.run_until(lambda: caller.replies == [b"trace-me"])
+        # The send was auto-rooted at node 0; the reply carries its id.
+        (trace_id,) = caller.reply_contexts
+        assert is_trace_context(trace_id)
+        assert trace_root_node(trace_id) == 0
+        # Both sides recorded hops of the same trace: the echo dispatch
+        # on node 1 and the reply dispatch back on node 0.
+        def spans_of(node):
+            return [
+                s for s in tracers[node].snapshot_spans()
+                if s.trace_id == trace_id
+            ]
+        assert harness.run_until(lambda: spans_of(0) and spans_of(1))
+        assert {s.xfunction for s in spans_of(1)} == {0x1}
+        for node in (0, 1):
+            for span in spans_of(node):
+                assert span.node == node
+                assert span.queue_wait_ns >= 0
+                assert span.dispatch_ns >= 0
 
     def test_counters_balance(self, harness):
         caller, proxy = _wire(harness)
