@@ -92,3 +92,29 @@ def test_zero_copy_wins_at_daq_payloads(exe):
     )
     publish("zerocopy", report)
     assert copying > 1.5 * loaned
+
+
+# -- X7: end-to-end copy counting ------------------------------------------
+#
+# The A2 ablation above times the *send path* in isolation; these tests
+# assert the cross-executive guarantee by the transports' own counters:
+# intra-process delivery moves the pool block itself (0 copies), TCP
+# pays exactly the one receive-side copy off the wire per node.
+
+
+@pytest.mark.parametrize("transport", ["loopback", "queued"])
+def test_intraprocess_delivery_is_zero_copy(transport):
+    from repro.bench.zerocopy import measure_copies
+
+    stats = measure_copies(transport, frames=32)
+    assert stats.frames == 32
+    assert stats.tx_copies == 0
+    assert stats.rx_copies == 0
+
+
+def test_tcp_delivery_is_one_copy_per_node():
+    from repro.bench.zerocopy import measure_copies
+
+    stats = measure_copies("tcp", frames=32)
+    assert stats.tx_copies == 0  # sendmsg puts the pool buffer on the wire
+    assert stats.rx_copies == 32  # recv_into the receiver's pool block

@@ -81,6 +81,12 @@ def _telemetry() -> str:
     return run_telemetry().report()
 
 
+def _zerocopy() -> str:
+    from repro.bench.zerocopy import run_zerocopy
+
+    return run_zerocopy().report()
+
+
 EXPERIMENTS: dict[str, tuple[str, Callable[[], str]]] = {
     "fig6": ("Figure 6: blackbox ping-pong latencies", _fig6),
     "tab1": ("Table 1: whitebox stage breakdown", _tab1),
@@ -93,6 +99,7 @@ EXPERIMENTS: dict[str, tuple[str, Callable[[], str]]] = {
     "native": ("N1: native-plane honesty check", _native),
     "daqscale": ("X5: event-builder throughput at cluster scale", _daqscale),
     "telemetry": ("X6: observability overhead on the dispatch path", _telemetry),
+    "zerocopy": ("X7: copies per frame on the zero-copy path", _zerocopy),
 }
 
 

@@ -206,6 +206,44 @@ class Listener:
         exe.frame_send(frame)
         return frame
 
+    def send_into(
+        self,
+        target: Tid,
+        payload_size: int,
+        writer: Callable[[memoryview], None],
+        *,
+        xfunction: int = 0,
+        function: int = PRIVATE,
+        priority: int = DEFAULT_PRIORITY,
+        transaction_context: int = 0,
+        initiator_context: int = 0,
+        organization: int = 0,
+    ) -> Frame:
+        """frameSend, zero-copy form: ``writer`` builds the payload
+        directly in the loaned frame instead of handing over assembled
+        bytes.  ``writer`` raising frees the frame; nothing is posted.
+        """
+        exe = self._require_live()
+        frame = exe.frame_alloc(
+            payload_size,
+            target=target,
+            initiator=self.tid,
+            function=function,
+            xfunction=xfunction,
+            priority=priority,
+            organization=organization,
+        )
+        try:
+            if payload_size:
+                writer(frame.payload)
+            frame.transaction_context = transaction_context
+            frame.initiator_context = initiator_context
+        except BaseException:
+            exe.frame_free(frame)
+            raise
+        exe.frame_send(frame)
+        return frame
+
     def reply(
         self,
         request: Frame,
@@ -229,6 +267,38 @@ class Listener:
             frame.payload[:] = payload
         frame.initiator_context = request.initiator_context
         frame.transaction_context = request.transaction_context
+        exe.frame_send(frame)
+        return frame
+
+    def reply_into(
+        self,
+        request: Frame,
+        payload_size: int,
+        writer: Callable[[memoryview], None],
+        *,
+        fail: bool = False,
+    ) -> Frame:
+        """frameReply, zero-copy form: like :meth:`send_into` but
+        echoing ``request``'s addressing and contexts."""
+        exe = self._require_live()
+        frame = exe.frame_alloc(
+            payload_size,
+            target=request.initiator,
+            initiator=self.tid,
+            function=request.function,
+            xfunction=request.xfunction,
+            priority=request.priority,
+            flags=FLAG_REPLY | (FLAG_FAIL if fail else 0),
+            organization=request.organization,
+        )
+        try:
+            if payload_size:
+                writer(frame.payload)
+            frame.initiator_context = request.initiator_context
+            frame.transaction_context = request.transaction_context
+        except BaseException:
+            exe.frame_free(frame)
+            raise
         exe.frame_send(frame)
         return frame
 

@@ -46,6 +46,7 @@ from repro.i2o.frame import (
     HEADER_SIZE,
     NUM_PRIORITIES,
     Frame,
+    SharedFrame,
 )
 from repro.i2o.function_codes import (
     EXEC_DDM_DESTROY,
@@ -260,6 +261,10 @@ class Executive:
         self.state = DeviceState.INITIALISED
 
         self._devices: dict[Tid, Listener] = {}
+        #: name → TiD index behind ``find_device`` (bootstrap and
+        #: telemetry sweeps look devices up by name per device, so the
+        #: O(n) scan was quadratic across a sweep)
+        self._names: dict[str, Tid] = {}
         self._routes: dict[Tid, Route] = {}
         self._proxies: dict[tuple[int, Tid, str | None], Tid] = {}
         self.pta: "PeerTransportAgent | None" = None
@@ -284,6 +289,7 @@ class Executive:
         self._self_device = _ExecutiveDevice(self)
         self._self_device.plugin(self, EXECUTIVE_TID)
         self._devices[EXECUTIVE_TID] = self._self_device
+        self._names[self._self_device.name] = EXECUTIVE_TID
 
         self._dispatch_hist = self.metrics.histogram(
             "exe_dispatch_ns", DISPATCH_LATENCY_BUCKETS_NS
@@ -312,6 +318,10 @@ class Executive:
             )
         m.gauge("exe_scheduler_pushed_total", lambda: self.scheduler.pushed)
         m.gauge("pool_blocks_in_flight", lambda: self.pool.in_flight)
+        m.gauge(
+            "pool_bytes_internal_fragmentation",
+            lambda: self.pool.internal_fragmentation,
+        )
         m.gauge("timer_fired_total", lambda: self.timers.fired)
         m.gauge(
             "exe_watchdog_trips_total",
@@ -334,6 +344,9 @@ class Executive:
         else:
             self.tids.reserve(tid)
         self._devices[tid] = device
+        # First installation wins a contested name, matching the old
+        # scan-in-insertion-order lookup.
+        self._names.setdefault(device.name, tid)
         device.plugin(self, tid)
         logger.debug("node %s: installed %s at TiD %d", self.node, device.name, tid)
         return tid
@@ -344,6 +357,14 @@ class Executive:
         device = self._devices.pop(tid, None)
         if device is None:
             raise AddressingError(f"no device at TiD {tid}")
+        if self._names.get(device.name) == tid:
+            del self._names[device.name]
+            # Promote the next device carrying the same name, if any —
+            # again in insertion order, like the old scan.
+            for other_tid, other in self._devices.items():
+                if other.name == device.name:
+                    self._names[device.name] = other_tid
+                    break
         for frame in self.scheduler.drop_device(tid):
             self._release_frame(frame)
         self.timers.cancel_owned(tid)
@@ -362,10 +383,12 @@ class Executive:
         return dict(self._devices)
 
     def find_device(self, name: str) -> Listener:
-        for dev in self._devices.values():
-            if dev.name == name:
-                return dev
-        raise AddressingError(f"no device named {name!r} on node {self.node}")
+        tid = self._names.get(name)
+        if tid is None:
+            raise AddressingError(
+                f"no device named {name!r} on node {self.node}"
+            )
+        return self._devices[tid]
 
     def _set_all_states(self, target: DeviceState) -> list[Tid]:
         """Drive every application device to ``target``; returns failures."""
@@ -654,23 +677,23 @@ class Executive:
             self._dead_letter(frame, f"unroutable TiD {target}")
 
     def _broadcast(self, frame: Frame) -> None:
-        """Deliver a copy to every local device except the initiator."""
+        """Deliver one shared, refcounted frame to every local device
+        except the initiator.
+
+        The paper's buffer loaning applied to fan-out: instead of N
+        alloc+copy clones, every listener gets a :class:`SharedFrame`
+        aliasing the same pool block (one ``addref`` per delivery);
+        the block recycles when the last dispatch — or a RETAINing
+        handler's eventual ``frame_free`` — drops its reference.
+        """
+        block = frame.block
+        view = frame.view
         for tid in list(self._devices):
             if tid == frame.initiator:
                 continue
-            clone = self.frame_alloc(
-                frame.payload_size,
-                target=tid,
-                initiator=frame.initiator,
-                function=frame.function,
-                xfunction=frame.xfunction,
-                priority=frame.priority,
-                flags=frame.flags,
-            )
-            clone.payload[:] = frame.payload
-            clone.initiator_context = frame.initiator_context
-            clone.transaction_context = frame.transaction_context
-            self._enqueue(clone)
+            if block is not None:
+                block.addref()
+            self._enqueue(SharedFrame(view, block=block, target=tid))
         self._release_frame(frame)
 
     def _dead_letter(self, frame: Frame, reason: str) -> None:

@@ -131,8 +131,15 @@ class ReliableEndpoint(Listener):
         return seq
 
     def _transmit(self, seq: int, target: Tid, payload: bytes) -> None:
-        header = _HEADER.pack(seq, _data_crc(seq, payload))
-        self.send(target, header + payload, xfunction=XF_REL_DATA)
+        # Header and payload are written straight into the loaned
+        # frame — no intermediate header+payload concatenation.
+        def write(view: memoryview) -> None:
+            _HEADER.pack_into(view, 0, seq, _data_crc(seq, payload))
+            view[_HEADER.size:] = payload
+
+        self.send_into(
+            target, _HEADER.size + len(payload), write, xfunction=XF_REL_DATA
+        )
 
     @property
     def in_flight(self) -> int:
@@ -159,8 +166,12 @@ class ReliableEndpoint(Listener):
             self.corrupt_discarded += 1
             return
         # Always ack - the previous ack may have been lost.
-        ack = _HEADER.pack(seq, zlib.crc32(_HEADER.pack(seq, 0)))
-        self.send(frame.initiator, ack, xfunction=XF_REL_ACK)
+        def write_ack(view: memoryview) -> None:
+            _HEADER.pack_into(view, 0, seq, zlib.crc32(_HEADER.pack(seq, 0)))
+
+        self.send_into(
+            frame.initiator, _HEADER.size, write_ack, xfunction=XF_REL_ACK
+        )
         if self.ordered:
             self._deliver_ordered(frame.initiator, seq, payload)
         else:

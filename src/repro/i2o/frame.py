@@ -146,6 +146,8 @@ class Frame:
         """Wrap and validate received bytes (copying only if immutable)."""
         if isinstance(data, bytes):
             data = bytearray(data)
+        elif isinstance(data, memoryview) and data.readonly:
+            data = bytearray(data)
         frame = cls(data, block=block)
         frame.validate()
         return frame
@@ -294,6 +296,13 @@ class Frame:
     def total_size(self) -> int:
         return HEADER_SIZE + self.payload_size
 
+    @property
+    def view(self) -> memoryview:
+        """Zero-copy view of the whole frame (header + payload) — the
+        iovec a scatter-gather transport puts on the wire.  Aliases the
+        frame's buffer: it must be consumed before the block is freed."""
+        return self._buf[: self.total_size]
+
     def tobytes(self) -> bytes:
         """Serialise header + payload for the wire (this is the one copy
         a byte-stream transport like TCP must make)."""
@@ -347,3 +356,38 @@ class Frame:
             f"xfunc=0x{self.xfunction:04X} size={self.payload_size} "
             f"flags=0x{self.flags:02X}>"
         )
+
+
+class SharedFrame(Frame):
+    """One delivery of a frame whose buffer is shared between deliveries.
+
+    ``Executive._broadcast`` fans a single refcounted pool block out to
+    every local listener.  Each delivery needs its own ``target`` (the
+    scheduler keys its FIFOs by it) but the 32-byte header is shared by
+    all of them, so the override lives on the instance instead of being
+    written into the buffer.  Everything else — payload, contexts,
+    initiator — reads through to the shared buffer."""
+
+    __slots__ = ("_target",)
+
+    def __init__(
+        self,
+        buffer: memoryview | bytearray,
+        block: Any = None,
+        *,
+        target: int,
+    ) -> None:
+        super().__init__(buffer, block=block)
+        if not 0 <= target <= MAX_TID:
+            raise FrameFormatError(f"target TiD {target} out of range")
+        self._target = target
+
+    @property
+    def target(self) -> int:
+        return self._target
+
+    @target.setter
+    def target(self, tid: int) -> None:
+        if not 0 <= tid <= MAX_TID:
+            raise FrameFormatError(f"target TiD {tid} out of range")
+        self._target = tid

@@ -31,7 +31,10 @@ class PoolBlock:
     :meth:`repro.mem.pool.BufferPool.alloc`.
     """
 
-    __slots__ = ("memory", "capacity", "index", "size_class", "_owner", "_refcount")
+    __slots__ = (
+        "memory", "capacity", "index", "size_class", "requested",
+        "_owner", "_refcount",
+    )
 
     def __init__(
         self,
@@ -47,6 +50,9 @@ class PoolBlock:
         self.capacity = len(memory)
         self.index = index
         self.size_class = size_class
+        #: bytes the current loan asked for (<= capacity); the gap is
+        #: the block's internal fragmentation while in flight
+        self.requested = 0
         self._owner = owner
         self._refcount = 0
 

@@ -60,6 +60,7 @@ class Allocator(ABC):
     def __init__(self) -> None:
         self.stats = PoolStats()
         self._in_flight = 0
+        self._frag_bytes = 0
         self.lock = threading.Lock()
 
     # -- subclass contract -------------------------------------------------
@@ -93,7 +94,9 @@ class Allocator(ABC):
                 self.stats.failed_allocs += 1
                 raise
             block._loan()
+            block.requested = size
             self._in_flight += 1
+            self._frag_bytes += block.capacity - size
             self.stats.allocs += 1
             self.stats.bytes_requested += size
             self.stats.per_class[block.size_class] = (
@@ -103,16 +106,24 @@ class Allocator(ABC):
                 self.stats.high_watermark = self._in_flight
             return block
 
-    def note_free(self) -> None:
+    def note_free(self, block: PoolBlock | None = None) -> None:
         """Bookkeeping hook invoked from ``_recycle`` implementations."""
         self._in_flight -= 1
         self.stats.frees += 1
+        if block is not None:
+            self._frag_bytes -= block.capacity - block.requested
         if self._in_flight < 0:
             raise PoolError("more frees than allocs — conservation violated")
 
     @property
     def in_flight(self) -> int:
         return self._in_flight
+
+    @property
+    def internal_fragmentation(self) -> int:
+        """Block capacity minus requested bytes, summed over the blocks
+        currently in flight: the size-class table's standing waste."""
+        return self._frag_bytes
 
 
 class OriginalAllocator(Allocator):
@@ -162,7 +173,7 @@ class OriginalAllocator(Allocator):
         )
 
     def _recycle(self, block: PoolBlock) -> None:
-        self.note_free()
+        self.note_free(block)
 
     @property
     def free_blocks(self) -> int:
@@ -250,7 +261,7 @@ class TableAllocator(Allocator):
 
     def _recycle(self, block: PoolBlock) -> None:
         self._free[_size_class_bits(block.capacity)].append(block)
-        self.note_free()
+        self.note_free(block)
 
     @property
     def free_blocks(self) -> int:
@@ -287,6 +298,10 @@ class BufferPool:
     @property
     def in_flight(self) -> int:
         return self.allocator.in_flight
+
+    @property
+    def internal_fragmentation(self) -> int:
+        return self.allocator.internal_fragmentation
 
     def check_conservation(self) -> None:
         """Assert the pool invariant; used liberally in tests."""

@@ -90,11 +90,36 @@ def _encode(value: Any, out: list[bytes], depth: int) -> None:
         raise MarshalError(f"cannot marshal {type(value).__name__}")
 
 
-def marshal(value: Any) -> bytes:
-    """Serialise one value tree."""
+def marshal_parts(value: Any) -> list[bytes]:
+    """Serialise one value tree into its chunk list.
+
+    The chunks are ready to be written contiguously into a loaned
+    frame's payload (:func:`write_parts`) without first joining them
+    into an intermediate ``bytes`` object.
+    """
     out: list[bytes] = []
     _encode(value, out, 0)
-    return b"".join(out)
+    return out
+
+
+def parts_size(parts: list[bytes]) -> int:
+    """Payload size of a chunk list from :func:`marshal_parts`."""
+    return sum(len(p) for p in parts)
+
+
+def write_parts(parts: list[bytes], view: memoryview) -> int:
+    """Write the chunks contiguously into ``view``; returns the size."""
+    pos = 0
+    for part in parts:
+        end = pos + len(part)
+        view[pos:end] = part
+        pos = end
+    return pos
+
+
+def marshal(value: Any) -> bytes:
+    """Serialise one value tree."""
+    return b"".join(marshal_parts(value))
 
 
 def _decode(data: memoryview, pos: int, depth: int) -> tuple[Any, int]:

@@ -15,7 +15,13 @@ from typing import Any, Callable
 
 from repro.core.device import Listener
 from repro.i2o.frame import Frame
-from repro.rmi.marshal import MarshalError, marshal, unmarshal
+from repro.rmi.marshal import (
+    MarshalError,
+    marshal_parts,
+    parts_size,
+    unmarshal,
+    write_parts,
+)
 
 #: xfunction codes 0xF000+ are reserved for framework use; method
 #: hashes stay below.
@@ -70,10 +76,12 @@ class RemoteObject(Listener):
             try:
                 args, kwargs = unmarshal(frame.payload)
                 result = getattr(self, name)(*args, **kwargs)
-                payload = marshal(("ok", result))
+                parts = marshal_parts(("ok", result))
             except Exception as exc:  # noqa: BLE001 - errors cross the wire
-                payload = marshal(("err", f"{type(exc).__name__}: {exc}"))
-            self.reply(frame, payload)
+                parts = marshal_parts(("err", f"{type(exc).__name__}: {exc}"))
+            self.reply_into(
+                frame, parts_size(parts), lambda view: write_parts(parts, view)
+            )
 
         handler.__name__ = f"rmi_{name}"
         return handler

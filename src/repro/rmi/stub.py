@@ -17,7 +17,7 @@ from repro.core.device import Listener
 from repro.i2o.errors import I2OError
 from repro.i2o.frame import Frame
 from repro.i2o.tid import Tid
-from repro.rmi.marshal import marshal, unmarshal
+from repro.rmi.marshal import marshal_parts, parts_size, unmarshal, write_parts
 from repro.rmi.skeleton import method_code
 
 
@@ -110,9 +110,13 @@ class StubDevice(Listener):
         future = CallFuture()
         context = next(self._contexts)
         self._outstanding[context] = future
-        self.send(
+        # Marshal straight into the loaned frame: the chunk list is
+        # written to pool memory without an intermediate join.
+        parts = marshal_parts((list(args), kwargs))
+        self.send_into(
             target,
-            marshal((list(args), kwargs)),
+            parts_size(parts),
+            lambda view: write_parts(parts, view),
             xfunction=method_code(method),
             initiator_context=context,
         )

@@ -21,7 +21,14 @@ from repro.transports.simgm import SimGmTransport
 from repro.transports.simib import SimIbTransport
 from repro.transports.simpci import SimPciTransport
 from repro.transports.tcp import TcpTransport
-from repro.transports.wire import decode_wire, encode_wire
+from repro.transports.wire import (
+    decode_wire,
+    encode_wire,
+    encode_wire_into,
+    encode_wire_parts,
+    read_wire_header,
+    recv_into_exact,
+)
 
 __all__ = [
     "FaultPlan",
@@ -39,4 +46,8 @@ __all__ = [
     "TransportError",
     "decode_wire",
     "encode_wire",
+    "encode_wire_into",
+    "encode_wire_parts",
+    "read_wire_header",
+    "recv_into_exact",
 ]

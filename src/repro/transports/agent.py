@@ -75,7 +75,8 @@ class PeerTransportAgent(Listener):
         from repro.core.metrics import sanitize_metric_name
 
         prefix = f"pt_{sanitize_metric_name(transport.name)}"
-        for attr in ("frames_sent", "frames_received", "bytes_sent", "bytes_received"):
+        for attr in ("frames_sent", "frames_received", "bytes_sent",
+                     "bytes_received", "tx_copies", "rx_copies"):
             exe.metrics.gauge(
                 f"{prefix}_{attr}", lambda pt=transport, a=attr: getattr(pt, a)
             )
@@ -111,6 +112,9 @@ class PeerTransportAgent(Listener):
         Rewrites ``target`` from the sender-local proxy TiD to the TiD
         that is real at the receiver — the wire never carries proxy
         identifiers, which is what makes proxies purely local objects.
+        A failed send restores the original target before re-raising
+        (so the dead-letter path logs and fails the *sender-local*
+        address, not the receiver's) and does not count as forwarded.
         """
         pt = self.resolve(route)
         if pt.suspended:
@@ -118,6 +122,16 @@ class PeerTransportAgent(Listener):
                 f"transport {pt.name!r} is suspended; route to node "
                 f"{route.node} is unavailable"
             )
+        original_target = frame.target
+        owned = frame.block is not None
         frame.target = route.remote_tid
+        try:
+            pt.transmit(frame, route)
+        except Exception:
+            # Restore only while the frame still owns its buffer: if
+            # the transport detached the block before failing, the
+            # memory may already be recycled and is not ours to write.
+            if frame.block is not None or not owned:
+                frame.target = original_target
+            raise
         self.forwarded += 1
-        pt.transmit(frame, route)

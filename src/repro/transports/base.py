@@ -3,16 +3,24 @@
 A peer transport is an ordinary device module (it has a TiD, answers
 utility messages, is configured through UtilParamsSet) whose private
 job is moving frames to other nodes.  Subclasses implement
-:meth:`transmit`; the receive side funnels through :meth:`ingest_wire`,
-which is the probe point for the whitebox stage ``pt_processing``
-("Handling an incoming message in the GM PT accounts for most of the
-time ... most of the PT processing time is spent in the frame
-allocation", paper §5).
+:meth:`transmit`; the receive side funnels through :meth:`ingest_into`
+(pool-block-first: allocate, then let the transport write the wire
+bytes straight into it) or :meth:`ingest_block` (intra-process block
+handoff, zero copies).  Both are the probe point for the whitebox
+stage ``pt_processing`` ("Handling an incoming message in the GM PT
+accounts for most of the time ... most of the PT processing time is
+spent in the frame allocation", paper §5).
+
+Copy accounting: every transport maintains ``tx_copies`` /
+``rx_copies`` — the number of whole-frame payload copies it performed
+on each side.  The X7 benchmark divides these by the frame counters to
+gate the zero-copy guarantees (intra-process 0, wire exactly 1 per
+node).
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Callable
 
 from repro.core.device import Listener
 from repro.i2o.errors import I2OError
@@ -20,6 +28,12 @@ from repro.i2o.frame import Frame
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.executive import Executive, Route
+    from repro.mem.block import PoolBlock
+
+#: A staged in-process delivery: either ``(src_node, block, frame_len)``
+#: — the sender's pool block handed over wholesale (the receiver owns
+#: the reference) — or ``(src_node, frame_bytes)`` for serialised data.
+StagedItem = tuple
 
 
 class TransportError(I2OError):
@@ -48,6 +62,8 @@ class PeerTransport(Listener):
         self.frames_received = 0
         self.bytes_sent = 0
         self.bytes_received = 0
+        self.tx_copies = 0
+        self.rx_copies = 0
         self.suspended = False
 
     # -- subclass contract ---------------------------------------------------
@@ -55,10 +71,14 @@ class PeerTransport(Listener):
         """Move ``frame`` to ``route.node``.
 
         The frame's ``target`` has already been rewritten to the
-        receiver-local TiD by the PTA.  The transport owns the frame's
-        block from this point: it must release it (``frame_free``)
-        once the bytes are on the wire, or hold a reference across an
-        asynchronous send.
+        receiver-local TiD by the PTA.  Ownership transfers only on
+        success: if ``transmit`` raises, the frame (and its block)
+        stay with the caller, so the PTA can restore the frame's
+        original target and dead-letter it truthfully.  Once the send
+        is committed the transport owns the block: it releases it
+        (``frame_free``) when the bytes are on the wire, hands it to
+        the peer executive (:meth:`make_handoff`), or holds a
+        reference across an asynchronous completion.
         """
         raise NotImplementedError
 
@@ -86,30 +106,105 @@ class PeerTransport(Listener):
         self.suspended = False
 
     # -- shared receive path ---------------------------------------------------
-    def ingest_frame_bytes(self, src_node: int, frame_bytes: bytes) -> Frame:
-        """Rebuild an arriving frame in pool memory and post it inbound.
+    def ingest_into(
+        self, src_node: int, frame_len: int, fill: Callable[[memoryview], None]
+    ) -> Frame:
+        """Pool-block-first receive: alloc, let the transport fill, post.
 
         This is the ``pt_processing`` probe span: allocate a pool block
-        (nested ``frame_alloc`` probe), copy the wire bytes in — the
-        single unavoidable copy off the wire — resolve the initiator to
-        a local proxy TiD, and post to the inbound queue.
+        (nested ``frame_alloc`` probe) and hand its view to ``fill``,
+        which writes the wire bytes straight into it — the single
+        unavoidable copy off the wire (e.g. ``recv_into`` for TCP) —
+        then resolve the initiator to a local proxy TiD and post to the
+        inbound queue.  ``fill`` raising (or the frame failing
+        validation) frees the block; nothing leaks.
         """
         exe = self._require_live()
         with exe.probes.measure("pt_processing"):
-            size = len(frame_bytes)
             with exe.probes.measure("frame_alloc"):
-                block = exe.pool.alloc(size)
-            view = block.memory[:size]
-            view[:] = frame_bytes
-            frame = Frame(view, block=block)
-            frame.validate()
-            frame.initiator = exe.create_proxy(
-                src_node, frame.initiator, transport=self.name
-            )
-            self.frames_received += 1
-            self.bytes_received += size
-            exe.post_inbound(frame)
+                block = exe.pool.alloc(frame_len)
+            try:
+                view = block.memory[:frame_len]
+                fill(view)
+                self.rx_copies += 1
+                frame = Frame(view, block=block)
+                frame.validate()
+                return self._post_ingested(exe, src_node, frame)
+            except BaseException:
+                exe.pool.free(block)
+                raise
+
+    def ingest_block(
+        self, src_node: int, block: "PoolBlock", frame_len: int
+    ) -> Frame:
+        """Zero-copy receive: adopt a pool block handed over wholesale.
+
+        Intra-process transports move the sender's block itself across
+        executives (the paper's buffer-loaning, §4); the reference the
+        staged item carried becomes the inbound frame's reference.  On
+        validation failure the reference is dropped here.
+        """
+        exe = self._require_live()
+        with exe.probes.measure("pt_processing"):
+            try:
+                frame = Frame(block.memory[:frame_len], block=block)
+                frame.validate()
+                return self._post_ingested(exe, src_node, frame)
+            except BaseException:
+                block.release()
+                raise
+
+    def ingest_frame_bytes(self, src_node: int, frame_bytes) -> Frame:
+        """Compat shim: rebuild an arriving frame from serialised bytes.
+
+        Kept for transports whose medium genuinely yields a byte string
+        (the simulation planes' packet payloads); the copy into the
+        pool block is counted by :meth:`ingest_into`.
+        """
+
+        def fill(view: memoryview, data=frame_bytes) -> None:
+            view[:] = data
+
+        return self.ingest_into(src_node, len(frame_bytes), fill)
+
+    def _post_ingested(self, exe: "Executive", src_node: int, frame: Frame) -> Frame:
+        frame.initiator = exe.create_proxy(
+            src_node, frame.initiator, transport=self.name
+        )
+        self.frames_received += 1
+        self.bytes_received += frame.total_size
+        exe.post_inbound(frame)
         return frame
+
+    # -- intra-process staging helpers ----------------------------------------
+    def make_handoff(self, frame: Frame) -> StagedItem:
+        """Detach the frame's block for delivery to a peer executive.
+
+        Returns a staged item carrying the block itself when the frame
+        is pool-backed (the sender's reference travels with the item —
+        zero copies), or the serialised bytes otherwise.  Caller has
+        committed to delivery: the frame no longer owns its block.
+        """
+        exe = self._require_live()
+        size = frame.total_size
+        block = frame.block
+        if block is not None:
+            frame.block = None  # ownership moves with the staged item
+            return (exe.node, block, size)
+        self.tx_copies += 1
+        return (exe.node, frame.tobytes())
+
+    def ingest_staged(self, item: StagedItem) -> Frame:
+        """Deliver a staged item through the matching ingest path."""
+        if len(item) == 3:
+            return self.ingest_block(item[0], item[1], item[2])
+        return self.ingest_frame_bytes(item[0], item[1])
+
+    @staticmethod
+    def release_staged(item: StagedItem) -> None:
+        """Drop a staged item undelivered (fault injection, partition)."""
+        if len(item) == 3:
+            item[1].release()
 
     # -- shared transmit-side bookkeeping -----------------------------------
     def account_sent(self, nbytes: int) -> None:

@@ -26,10 +26,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.i2o.frame import HEADER_SIZE, Frame
 from repro.sim.rng import RngStreams
+from repro.transports.base import StagedItem
 from repro.transports.loopback import LoopbackNetwork, LoopbackTransport
-from repro.transports.wire import decode_wire, encode_wire
-from repro.i2o.frame import Frame
 
 #: Sentinel for "partitioned from every peer".
 ALL_NODES = object()
@@ -71,7 +71,7 @@ class FaultyLoopbackTransport(LoopbackTransport):
         self.corrupted = 0
         self.delayed = 0
         self.partition_dropped = 0
-        self._delayed_queue: list[tuple[int, bytes]] = []
+        self._delayed_queue: list[StagedItem] = []
         self._partitioned: set[int] | object = set()
 
     # -- partition fault ---------------------------------------------------
@@ -96,43 +96,61 @@ class FaultyLoopbackTransport(LoopbackTransport):
 
     # -- transmit-side faults ----------------------------------------------
     def transmit(self, frame: Frame, route) -> None:
-        exe = self._require_live()
+        src_size = frame.total_size
         dest = self.network.endpoint(route.node)
-        data = encode_wire(exe.node, frame)
-        self.account_sent(frame.total_size)
-        exe.frame_free(frame)
+        self.account_sent(src_size)
+        # A clean delivery hands the block over zero-copy like the
+        # plain loopback; faults that mutate or multiply the message
+        # are copy-on-mutate, so injection can never scribble on a
+        # buffer the sender's pool already recycled.
+        item = self.make_handoff(frame)
         if self.is_cut(route.node):
             self.partition_dropped += 1
+            self.release_staged(item)
             return
-        src_node, frame_bytes = decode_wire(data)
         plan = self.plan
         draw = self._rng.random
         if draw() < plan.drop_rate:
             self.dropped += 1
+            self.release_staged(item)
             return
-        if draw() < plan.corrupt_rate and len(frame_bytes) > 32:
+        if draw() < plan.corrupt_rate and src_size > HEADER_SIZE:
             # Flip a payload byte: the frame still parses, so only an
             # end-to-end integrity check (application CRC) catches it.
             self.corrupted += 1
-            mutable = bytearray(frame_bytes)
-            index = 32 + int(self._rng.integers(0, len(mutable) - 32))
+            mutable = bytearray(self._staged_bytes(item))
+            index = HEADER_SIZE + int(
+                self._rng.integers(0, src_size - HEADER_SIZE)
+            )
             mutable[index] ^= 0xFF
-            frame_bytes = bytes(mutable)
+            src_node = item[0]
+            self.release_staged(item)
+            item = (src_node, bytes(mutable))
         copies = 2 if draw() < plan.duplicate_rate else 1
         if copies == 2:
             self.duplicated += 1
-        for _ in range(copies):
-            delay_hook = getattr(dest, "_delay_stage", None)
+        deliveries = [item]
+        if copies == 2:
+            deliveries.append((item[0], self._staged_bytes(item)))
+        delay_hook = getattr(dest, "_delay_stage", None)
+        for delivery in deliveries:
             if delay_hook is not None and draw() < plan.delay_rate:
                 self.delayed += 1
-                delay_hook(src_node, frame_bytes)
+                delay_hook(delivery)
             else:
-                dest._staged.append((src_node, frame_bytes))
+                dest._staged.append(delivery)
         self.network.messages += 1
 
-    def _delay_stage(self, src_node: int, frame_bytes: bytes) -> None:
+    def _staged_bytes(self, item: StagedItem) -> bytes:
+        """Serialise a staged item's frame (the copy-on-mutate copy)."""
+        if len(item) == 3:
+            self.tx_copies += 1
+            return bytes(item[1].memory[: item[2]])
+        return item[1]
+
+    def _delay_stage(self, item: StagedItem) -> None:
         """Hold one message back until the next poll round."""
-        self._delayed_queue.append((src_node, bytes(frame_bytes)))
+        self._delayed_queue.append(item)
 
     # -- receive side ------------------------------------------------------
     def poll(self) -> bool:
@@ -145,12 +163,13 @@ class FaultyLoopbackTransport(LoopbackTransport):
             return False
         got = False
         staged, self._staged = self._staged, []
-        for src_node, frame_bytes in staged:
-            if self.is_cut(src_node):
+        for item in staged:
+            if self.is_cut(item[0]):
                 self.partition_dropped += 1
+                self.release_staged(item)
                 got = True  # consumed (dropped) — the queue did move
                 continue
-            self.ingest_frame_bytes(src_node, frame_bytes)
+            self.ingest_staged(item)
             got = True
         if self._delayed_queue:
             self._staged.extend(self._delayed_queue)

@@ -1,9 +1,11 @@
 """In-process loopback transport.
 
 Connects executives living in the same Python process with no wire at
-all: the frame's *bytes* are re-staged into the destination node's own
-pool through the standard ``ingest_frame_bytes`` path, so the receive
-side exercises exactly the same code (and probes) as any real
+all: the frame's *pool block* is handed to the destination endpoint
+wholesale — the sender's reference travels with the staged item and
+becomes the inbound frame's reference (the paper's buffer loaning,
+with zero copies).  The receive side still runs the standard ingest
+path, so it exercises exactly the same code (and probes) as any real
 transport.  Used heavily by tests and by the quickstart example; also
 the lowest-latency option in the native plane.
 """
@@ -13,11 +15,10 @@ from __future__ import annotations
 from typing import TYPE_CHECKING
 
 from repro.i2o.frame import Frame
-from repro.transports.base import PeerTransport, TransportError
-from repro.transports.wire import decode_wire, encode_wire
+from repro.transports.base import PeerTransport, StagedItem, TransportError
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
-    from repro.core.executive import Executive, Route
+    from repro.core.executive import Route
 
 
 class LoopbackNetwork:
@@ -43,13 +44,13 @@ class LoopbackNetwork:
 
 
 class LoopbackTransport(PeerTransport):
-    """Zero-wire transport over a :class:`LoopbackNetwork`.
+    """Zero-wire, zero-copy transport over a :class:`LoopbackNetwork`.
 
-    Polling mode by default: delivery deposits the wire bytes into the
-    destination endpoint's staging list, drained by the destination
-    executive's next ``poll``.  With ``immediate=True`` the frame is
-    ingested synchronously at transmit time (handy for single-threaded
-    tests that drive both executives by hand).
+    Polling mode by default: delivery deposits the block-handoff item
+    into the destination endpoint's staging list, drained by the
+    destination executive's next ``poll``.  With ``immediate=True`` the
+    frame is ingested synchronously at transmit time (handy for
+    single-threaded tests that drive both executives by hand).
     """
 
     def __init__(
@@ -62,32 +63,29 @@ class LoopbackTransport(PeerTransport):
         super().__init__(name=name, mode="polling")
         self.network = network
         self.immediate = immediate
-        self._staged: list[tuple[int, bytes]] = []
+        self._staged: list[StagedItem] = []
 
     def on_plugin(self) -> None:
         exe = self._require_live()
         self.network.join(exe.node, self)
 
     def transmit(self, frame: Frame, route: "Route") -> None:
-        exe = self._require_live()
         dest = self.network.endpoint(route.node)  # resolve before taking
         # ownership of the frame, so failures leave it with the caller
-        data = encode_wire(exe.node, frame)
         self.account_sent(frame.total_size)
-        exe.frame_free(frame)
+        item = self.make_handoff(frame)
         self.network.messages += 1
-        src_node, frame_bytes = decode_wire(data)
         if dest.immediate:
-            dest.ingest_frame_bytes(src_node, frame_bytes)
+            dest.ingest_staged(item)
         else:
-            dest._staged.append((src_node, frame_bytes))
+            dest._staged.append(item)
 
     def poll(self) -> bool:
         if not self._staged or self.suspended:
             return False
         staged, self._staged = self._staged, []
-        for src_node, frame_bytes in staged:
-            self.ingest_frame_bytes(src_node, frame_bytes)
+        for item in staged:
+            self.ingest_staged(item)
         return True
 
     @property

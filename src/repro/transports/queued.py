@@ -1,9 +1,11 @@
 """Queue-pair transport for threaded (native-plane) executives.
 
-Two executives running in their own threads exchange wire messages
+Two executives running in their own threads exchange staged deliveries
 through a pair of thread-safe queues — the software analogue of the
-inbound/outbound hardware FIFOs of paper figure 2.  Supports both PT
-operation modes:
+inbound/outbound hardware FIFOs of paper figure 2.  What travels on
+the queue is the sender's *pool block* itself (buffer loaning, zero
+copies); the block's refcount is guarded by its allocator's lock, so
+the cross-thread handoff is safe.  Supports both PT operation modes:
 
 * **polling** — the executive's loop drains the receive queue each
   quantum (non-blocking);
@@ -19,8 +21,7 @@ import threading
 from typing import TYPE_CHECKING
 
 from repro.i2o.frame import Frame
-from repro.transports.base import PeerTransport, TransportError
-from repro.transports.wire import decode_wire, encode_wire
+from repro.transports.base import PeerTransport, StagedItem, TransportError
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.executive import Route
@@ -33,18 +34,18 @@ class QueuePair:
         if node_a == node_b:
             raise TransportError("queue pair endpoints must differ")
         self.nodes = (node_a, node_b)
-        self._queues: dict[int, queue.Queue[bytes]] = {
+        self._queues: dict[int, queue.Queue[object]] = {
             node_a: queue.Queue(),
             node_b: queue.Queue(),
         }
 
-    def send_to(self, node: int, data: bytes) -> None:
+    def send_to(self, node: int, item: object) -> None:
         q = self._queues.get(node)
         if q is None:
             raise TransportError(f"queue pair does not reach node {node}")
-        q.put(data)
+        q.put(item)
 
-    def receive_queue(self, node: int) -> "queue.Queue[bytes]":
+    def receive_queue(self, node: int) -> "queue.Queue[object]":
         q = self._queues.get(node)
         if q is None:
             raise TransportError(f"node {node} is not an endpoint")
@@ -68,7 +69,7 @@ class QueueTransport(PeerTransport):
         #: reproduce the paper's "a slow PT ... would negate the
         #: benefits" claim about mixing PTs in polling mode.
         self.artificial_delay_s = artificial_delay_s
-        self._rx: "queue.Queue[bytes] | None" = None
+        self._rx: "queue.Queue[object] | None" = None
         self._reader: threading.Thread | None = None
         self._stop = threading.Event()
 
@@ -94,18 +95,17 @@ class QueueTransport(PeerTransport):
             self._stop.set()
             # Unblock the reader with a sentinel.
             assert self._rx is not None
-            self._rx.put(b"")
+            self._rx.put(None)
             self._reader.join(timeout=5)
             self._reader = None
 
     # -- transmit ---------------------------------------------------------
     def transmit(self, frame: Frame, route: "Route") -> None:
-        exe = self._require_live()
-        peer = route.node
-        data = encode_wire(exe.node, frame)
+        # Resolve the receive queue before taking ownership of the
+        # frame, so an unreachable peer leaves it with the caller.
+        rx = self.pair.receive_queue(route.node)
         self.account_sent(frame.total_size)
-        exe.frame_free(frame)
-        self.pair.send_to(peer, data)
+        rx.put(self.make_handoff(frame))
 
     # -- receive: polling mode ----------------------------------------------
     def poll(self) -> bool:
@@ -120,11 +120,13 @@ class QueueTransport(PeerTransport):
         got = False
         while True:
             try:
-                data = self._rx.get_nowait()
+                item = self._rx.get_nowait()
             except queue.Empty:
                 return got
+            if item is None:  # shutdown sentinel
+                continue
             got = True
-            self._ingest(data)
+            self.ingest_staged(item)
 
     @property
     def has_pending(self) -> bool:
@@ -138,15 +140,11 @@ class QueueTransport(PeerTransport):
     def _reader_loop(self) -> None:
         assert self._rx is not None
         while not self._stop.is_set():
-            data = self._rx.get()
-            if not data:  # shutdown sentinel
+            item = self._rx.get()
+            if item is None:  # shutdown sentinel
                 continue
             if self.artificial_delay_s:
                 import time
 
                 time.sleep(self.artificial_delay_s)
-            self._ingest(data)
-
-    def _ingest(self, data: bytes) -> None:
-        src_node, frame_bytes = decode_wire(data)
-        self.ingest_frame_bytes(src_node, frame_bytes)
+            self.ingest_staged(item)

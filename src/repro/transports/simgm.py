@@ -49,7 +49,9 @@ class SimGmTransport(PeerTransport):
         self._send_tokens = send_tokens
         self._recv_tokens = recv_tokens
         self.port: GmPort | None = None
-        self._staged: list[tuple[int, bytes]] = []
+        #: (src_node, frame view into the packet's payload) — copied
+        #: into pool memory by ``ingest_frame_bytes`` at poll time
+        self._staged: list[tuple[int, memoryview]] = []
         #: frames awaiting a free send token (GM back-pressure):
         #: (wire bytes, destination node, pool block)
         self._tx_backlog: list[tuple[bytes, int, object]] = []
@@ -72,6 +74,7 @@ class SimGmTransport(PeerTransport):
         exe = self._require_live()
         assert self.port is not None, "transport not plugged in"
         data = encode_wire(exe.node, frame)
+        self.tx_copies += 1  # host-side staging copy into the DMA region
         self.account_sent(frame.total_size)
         block = frame.block
         frame.block = None  # ownership moves to the send completion

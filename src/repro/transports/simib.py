@@ -44,7 +44,7 @@ class SimIbTransport(PeerTransport):
         self._send_depth = send_depth
         self._recv_depth = recv_depth
         self.qp: QueuePairEndpoint | None = None
-        self._staged: list[tuple[int, bytes]] = []
+        self._staged: list[tuple[int, memoryview]] = []
         self._tx_backlog: list[tuple[bytes, int, object]] = []
         #: blocks of posted sends, FIFO: the HCA's single DMA engine
         #: completes sends in post order, so the oldest block is the
@@ -65,6 +65,7 @@ class SimIbTransport(PeerTransport):
         exe = self._require_live()
         assert self.qp is not None, "transport not plugged in"
         data = encode_wire(exe.node, frame)
+        self.tx_copies += 1  # host-side staging copy into the send WR
         self.account_sent(frame.total_size)
         block = frame.block
         frame.block = None

@@ -66,6 +66,7 @@ class SimPciTransport(PeerTransport):
                 f"PCI PT reaches only node {self.peer_node}, not {route.node}"
             )
         data = encode_wire(exe.node, frame)
+        self.tx_copies += 1  # staging copy DMA'd across the PCI segment
         self.account_sent(frame.total_size)
         exe.frame_free(frame)
         # Queue-management CPU cost: ~free with hardware FIFOs, real

@@ -4,38 +4,47 @@ The paper's benchmark setup ran *"another PT thread ... handling TCP
 communication for configuration and control purposes"* alongside the
 Myrinet/GM data PT — the classic control/data plane split.  This
 transport provides that role in the native plane: real sockets on
-localhost (or anywhere), length-prefixed wire messages, lazy outbound
-connections, and a task-mode accept/reader thread per peer.
+localhost (or anywhere), lazy outbound connections, and a task-mode
+accept/reader thread per peer.
+
+Both directions take the zero-copy path: transmit puts the frame's
+pool buffer on the wire with vectored ``sendmsg`` (no serialisation
+copy), and receive re-frames on the 12-byte wire header, allocates the
+receiving pool block first, and ``recv_into``s the frame straight into
+it — exactly one copy per node, the one off the wire.
 """
 
 from __future__ import annotations
 
 import socket
-import struct
 import threading
 from typing import TYPE_CHECKING
 
+from repro.i2o.errors import FrameFormatError
 from repro.i2o.frame import Frame
 from repro.transports.base import PeerTransport, TransportError
-from repro.transports.wire import WIRE_HEADER_SIZE, decode_wire, encode_wire
+from repro.transports.wire import (
+    encode_wire_parts,
+    read_wire_header,
+    recv_into_exact,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.executive import Route
 
-_LEN = struct.Struct("<I")
 
-
-def _recv_exact(sock: socket.socket, count: int) -> bytes | None:
-    """Read exactly ``count`` bytes or None on orderly shutdown."""
-    chunks: list[bytes] = []
-    remaining = count
-    while remaining:
-        data = sock.recv(remaining)
-        if not data:
-            return None
-        chunks.append(data)
-        remaining -= len(data)
-    return b"".join(chunks)
+def _sendmsg_all(sock: socket.socket, parts: list) -> None:
+    """Vectored send of all ``parts``, looping on partial writes."""
+    views = [memoryview(p) for p in parts]
+    while views:
+        sent = sock.sendmsg(views)
+        while sent:
+            if sent >= len(views[0]):
+                sent -= len(views[0])
+                views.pop(0)
+            else:
+                views[0] = views[0][sent:]
+                sent = 0
 
 
 class TcpTransport(PeerTransport):
@@ -114,15 +123,18 @@ class TcpTransport(PeerTransport):
     # -- transmit ---------------------------------------------------------------
     def transmit(self, frame: Frame, route: "Route") -> None:
         exe = self._require_live()
-        data = encode_wire(exe.node, frame)
-        self.account_sent(frame.total_size)
-        exe.frame_free(frame)
         sock = self._connection_to(route.node)
+        # Scatter-gather: [wire header, frame's pool buffer].  The
+        # frame stays with the caller until the send succeeds, then the
+        # block is released — no serialisation copy on this side.
+        parts = encode_wire_parts(exe.node, frame)
         try:
-            sock.sendall(_LEN.pack(len(data)) + data)
+            _sendmsg_all(sock, list(parts))
         except OSError as exc:
             self._drop_connection(route.node)
             raise TransportError(f"send to node {route.node} failed: {exc}") from exc
+        self.account_sent(frame.total_size)
+        exe.frame_free(frame)
 
     def _connection_to(self, node: int) -> socket.socket:
         with self._conn_lock:
@@ -172,20 +184,22 @@ class TcpTransport(PeerTransport):
     def _reader_loop(self, sock: socket.socket) -> None:
         while not self._stop.is_set():
             try:
-                header = _recv_exact(sock, _LEN.size)
-                if header is None:
-                    return
-                (length,) = _LEN.unpack(header)
-                if length < WIRE_HEADER_SIZE:
-                    raise TransportError(f"implausible wire length {length}")
-                data = _recv_exact(sock, length)
-                if data is None:
-                    return
-            except OSError:
+                parsed = read_wire_header(sock.recv_into)
+            except (OSError, FrameFormatError):
                 return
-            src_node, frame_bytes = decode_wire(data)
+            if parsed is None:
+                return  # orderly shutdown at a message boundary
+            src_node, frame_len = parsed
             # Learn the reverse path: an accepted connection can serve
             # replies to its originating node.
             with self._conn_lock:
                 self._conns.setdefault(src_node, sock)
-            self.ingest_frame_bytes(src_node, frame_bytes)
+
+            def fill(view: memoryview, _sock: socket.socket = sock) -> None:
+                if not recv_into_exact(_sock.recv_into, view):
+                    raise TransportError("connection closed mid-frame")
+
+            try:
+                self.ingest_into(src_node, frame_len, fill)
+            except (OSError, TransportError, FrameFormatError):
+                return

@@ -15,11 +15,25 @@ Layout (little-endian)::
        4      4   source node id
        8      4   frame length (header + payload)
       12      ..  the I2O frame bytes
+
+Zero-copy forms (paper §4: "All communication employs a zero-copy
+scheme as the message buffers are taken from the executive's memory
+pool"):
+
+* :func:`encode_wire_parts` returns ``(wire_header, frame_view)``
+  iovecs for ``sendmsg``-style vectored writers — the frame's pool
+  buffer goes on the wire without serialisation;
+* :func:`decode_wire` returns a :class:`memoryview` of the frame bytes
+  instead of forcing a copy;
+* :func:`read_wire_header` / :func:`recv_into_exact` re-frame a byte
+  stream by reading the 12-byte header and then ``recv_into`` the
+  frame straight into a receiver-side pool block.
 """
 
 from __future__ import annotations
 
 import struct
+from typing import Callable
 
 from repro.i2o.errors import FrameFormatError
 from repro.i2o.frame import HEADER_SIZE, MAX_FRAME_SIZE, Frame
@@ -28,28 +42,113 @@ WIRE_MAGIC = 0x58444151
 _WIRE = struct.Struct("<III")
 WIRE_HEADER_SIZE = _WIRE.size  # 12
 
+#: ``socket.recv_into``-shaped reader: fills the given buffer (possibly
+#: partially), returns the byte count, 0 on end of stream.
+ReadInto = Callable[[memoryview], int]
+
+
+def encode_wire_parts(src_node: int, frame: Frame) -> tuple[bytes, memoryview]:
+    """Scatter-gather form of :func:`encode_wire`.
+
+    Returns the 12-byte wire header plus a zero-copy view of the frame,
+    ready for a ``sendmsg``-style vectored writer.  The view aliases
+    the frame's (pool) buffer — it must be consumed before the frame's
+    block is freed.
+    """
+    return _WIRE.pack(WIRE_MAGIC, src_node, frame.total_size), frame.view
+
+
+def encode_wire_into(
+    src_node: int, frame: Frame, out: memoryview | bytearray
+) -> int:
+    """Write the complete wire message into ``out``; returns its size.
+
+    For transports that own a contiguous staging buffer (a DMA region,
+    a ring slot): one copy, no intermediate ``bytes`` objects.
+    """
+    total = frame.total_size
+    needed = WIRE_HEADER_SIZE + total
+    if len(out) < needed:
+        raise FrameFormatError(
+            f"wire buffer of {len(out)} bytes too small for {needed}"
+        )
+    _WIRE.pack_into(out, 0, WIRE_MAGIC, src_node, total)
+    out[WIRE_HEADER_SIZE:needed] = frame.view
+    return needed
+
 
 def encode_wire(src_node: int, frame: Frame) -> bytes:
-    """Serialise a frame for transmission from ``src_node``."""
-    body = frame.tobytes()
-    return _WIRE.pack(WIRE_MAGIC, src_node, len(body)) + body
+    """Serialise a frame for transmission from ``src_node`` (one flat
+    copy; vectored writers use :func:`encode_wire_parts` instead)."""
+    header, body = encode_wire_parts(src_node, frame)
+    return header + bytes(body)
 
 
-def decode_wire(data: bytes | bytearray | memoryview) -> tuple[int, bytes]:
-    """Split a wire message into ``(src_node, frame_bytes)``.
+def decode_wire(data: bytes | bytearray | memoryview) -> tuple[int, memoryview]:
+    """Split a wire message into ``(src_node, frame_view)``.
+
+    The returned view aliases ``data`` — zero-copy.  A caller that
+    keeps the frame beyond the buffer's lifetime must land it in pool
+    memory (``PeerTransport.ingest_into`` does exactly that).
 
     Raises :class:`FrameFormatError` on any structural problem — a
     transport receiving garbage must fail loudly, not deliver it.
     """
-    if len(data) < WIRE_HEADER_SIZE + HEADER_SIZE:
-        raise FrameFormatError(f"wire message of {len(data)} bytes is too short")
-    magic, src_node, length = _WIRE.unpack_from(data, 0)
+    view = memoryview(data)
+    if len(view) < WIRE_HEADER_SIZE + HEADER_SIZE:
+        raise FrameFormatError(f"wire message of {len(view)} bytes is too short")
+    magic, src_node, length = _WIRE.unpack_from(view, 0)
     if magic != WIRE_MAGIC:
         raise FrameFormatError(f"bad wire magic 0x{magic:08X}")
     if length < HEADER_SIZE or length > MAX_FRAME_SIZE:
         raise FrameFormatError(f"implausible frame length {length}")
-    if WIRE_HEADER_SIZE + length != len(data):
+    if WIRE_HEADER_SIZE + length != len(view):
         raise FrameFormatError(
-            f"length field {length} disagrees with message size {len(data)}"
+            f"length field {length} disagrees with message size {len(view)}"
         )
-    return src_node, bytes(data[WIRE_HEADER_SIZE:])
+    return src_node, view[WIRE_HEADER_SIZE:]
+
+
+def read_wire_header(recv_into: ReadInto) -> tuple[int, int] | None:
+    """Read and validate one wire header from a byte stream.
+
+    Returns ``(src_node, frame_len)`` so the caller can allocate the
+    receiving pool block *before* pulling the frame off the stream
+    (see :func:`recv_into_exact`), or ``None`` on a clean end of
+    stream at a message boundary.  An EOF mid-header or a malformed
+    header raises :class:`FrameFormatError`.
+    """
+    header = bytearray(WIRE_HEADER_SIZE)
+    view = memoryview(header)
+    got = recv_into(view)
+    if got == 0:
+        return None
+    pos = got
+    while pos < WIRE_HEADER_SIZE:
+        got = recv_into(view[pos:])
+        if got == 0:
+            raise FrameFormatError("stream ended mid wire header")
+        pos += got
+    magic, src_node, length = _WIRE.unpack(header)
+    if magic != WIRE_MAGIC:
+        raise FrameFormatError(f"bad wire magic 0x{magic:08X}")
+    if length < HEADER_SIZE or length > MAX_FRAME_SIZE:
+        raise FrameFormatError(f"implausible frame length {length}")
+    return src_node, length
+
+
+def recv_into_exact(recv_into: ReadInto, view: memoryview) -> bool:
+    """Fill ``view`` completely from a byte stream; False on EOF.
+
+    This is the stream half of the pool-first receive path: the view
+    is a slice of an already-allocated pool block, so the wire bytes
+    land in their final resting place in one copy.
+    """
+    pos = 0
+    total = len(view)
+    while pos < total:
+        got = recv_into(view[pos:])
+        if got == 0:
+            return False
+        pos += got
+    return True

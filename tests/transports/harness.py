@@ -101,6 +101,9 @@ class TransportHarness:
         return tracers
 
     def finish(self) -> None:
+        # Drain whatever is still staged or queued so the leak check
+        # below judges a settled cluster, not in-transit frames.
+        self.run_until(lambda: all(exe.idle for exe in self.exes.values()))
         self._cleanup()
         for exe in self.exes.values():
             exe.pool.check_conservation()

@@ -109,6 +109,26 @@ class TestForwarding:
         assert pt.sent == [(3, 0x55)]
         assert pta.forwarded == 1
 
+    def test_failed_transmit_restores_target(self, exe_with_pta):
+        """A transmit that raises before taking ownership must leave the
+        frame exactly as the caller handed it over: original target,
+        forwarded counter untouched — the executive retries or
+        dead-letters with the caller's addressing intact."""
+        exe, pta = exe_with_pta
+
+        class RefusingPt(FakePt):
+            def transmit(self, frame, route) -> None:
+                raise TransportError("link down")
+
+        pta.register(RefusingPt("bad"), default=True)
+        frame = exe.frame_alloc(0, target=99, initiator=0)
+        with pytest.raises(TransportError, match="link down"):
+            pta.forward(frame, Route(node=3, remote_tid=0x55))
+        assert frame.target == 99
+        assert pta.forwarded == 0
+        exe.frame_free(frame)
+        exe.pool.check_conservation()
+
     def test_forward_to_suspended_raises(self, exe_with_pta):
         exe, pta = exe_with_pta
         pt = pta.register(FakePt("x"), default=True)
