@@ -1,0 +1,27 @@
+"""Static analysis and runtime sanitizers for the frame-ownership protocol.
+
+PR 3 turned frame ownership into a protocol: the caller owns a loaned
+block until ``transmit`` commits, the transport owns it afterwards, and
+broadcast fans out refcounted :class:`~repro.i2o.frame.SharedFrame`
+views that must be released exactly once.  The paper's whole
+fault-tolerance argument (§3.2) rests on the executive owning *all*
+message memory — a misbehaving device must not be able to corrupt the
+system — so violations of the ownership protocol are correctness bugs
+even when the refcounts happen to balance today.
+
+This package checks the protocol from two sides:
+
+* :mod:`repro.analysis.lint` — an AST-based linter (stdlib ``ast``
+  only) with framework-specific rules: use-after-transmit, missing or
+  doubled ``release()``, unknown function codes in dispatch bindings,
+  raw TiD literals, and swallowed exceptions in dispatch paths.  Run it
+  as ``python -m repro.analysis.lint src tests examples``.
+* :mod:`repro.analysis.sanitize` — an opt-in debug pool
+  (``REPRO_SANITIZE=1``) that poisons blocks on free, verifies canaries
+  on re-allocation, records allocation/transfer sites, and reports
+  leaked blocks with their acquisition tracebacks at shutdown.
+"""
+
+from repro.analysis.violations import Severity, Violation
+
+__all__ = ["Severity", "Violation"]

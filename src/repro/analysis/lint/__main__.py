@@ -1,0 +1,177 @@
+"""CLI: ``python -m repro.analysis.lint src tests examples``.
+
+Exit status: 0 when no *new* findings (everything suppressed or
+baselined), 1 when new findings exist, 2 on parse/usage errors.  With
+``--expect RULE`` the gate inverts: the run succeeds only if every
+expected rule fired at least once (CI uses this to prove the seeded
+fixtures under ``tests/analysis/fixtures`` are still detected).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.analysis import baseline as baseline_mod
+from repro.analysis.lint.engine import lint_paths
+from repro.analysis.violations import RULES, Violation
+
+DEFAULT_BASELINE = "analysis/baseline.json"
+#: seeded-violation fixtures must never pollute a normal run
+DEFAULT_EXCLUDES = ["tests/analysis/fixtures"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis.lint",
+        description="Frame-ownership and framework lint for the repro tree.",
+    )
+    parser.add_argument("paths", nargs="+", help="files or directories")
+    parser.add_argument(
+        "--baseline",
+        default=DEFAULT_BASELINE,
+        help=f"baseline JSON (default: {DEFAULT_BASELINE} if present)",
+    )
+    parser.add_argument(
+        "--no-baseline", action="store_true",
+        help="ignore any baseline; report every finding as new",
+    )
+    parser.add_argument(
+        "--write-baseline", action="store_true",
+        help="write the current findings to --baseline and exit 0 "
+        "(OWN*/DSP* findings are never written; they must be fixed)",
+    )
+    parser.add_argument(
+        "--exclude", action="append", default=None, metavar="PREFIX",
+        help="path prefix to skip (repeatable), in addition to the "
+        f"built-in excludes: {DEFAULT_EXCLUDES}",
+    )
+    parser.add_argument(
+        "--no-default-excludes", action="store_true",
+        help="lint the built-in excluded paths too (CI uses this to "
+        "prove the seeded fixtures are still detected)",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="stdout format",
+    )
+    parser.add_argument(
+        "--out", metavar="FILE",
+        help="also write the full JSON report to FILE (CI artifact)",
+    )
+    parser.add_argument(
+        "--expect", action="append", default=[], metavar="RULE",
+        help="invert the gate: succeed only if RULE fired (repeatable)",
+    )
+    parser.add_argument(
+        "--rules", action="store_true", help="list rules and exit"
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.rules:
+        for rule, (severity, description) in sorted(RULES.items()):
+            print(f"{rule}  [{severity}]  {description}")
+        return 0
+
+    for rule in args.expect:
+        if rule not in RULES:
+            parser.error(f"--expect {rule}: unknown rule")
+
+    excludes = list(args.exclude or [])
+    if not args.no_default_excludes:
+        excludes.extend(DEFAULT_EXCLUDES)
+    reports = lint_paths(args.paths, exclude=excludes)
+    parse_errors = [r.parse_error for r in reports if r.parse_error]
+    violations: list[Violation] = [
+        v for r in reports for v in r.violations
+    ]
+
+    if args.write_baseline:
+        count = baseline_mod.save(args.baseline, violations)
+        print(f"wrote {count} baseline entries to {args.baseline}")
+        unbaselinable = [
+            v for v in violations
+            if not v.suppressed
+            and v.rule.startswith(baseline_mod.NEVER_BASELINE_PREFIXES)
+        ]
+        for v in unbaselinable:
+            print(f"NOT baselined (fix it): {v.render()}")
+        return 0 if not unbaselinable else 1
+
+    budget = None
+    if not args.no_baseline and Path(args.baseline).is_file():
+        try:
+            budget = baseline_mod.load(args.baseline)
+        except (baseline_mod.BaselineError, OSError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    if budget is not None:
+        new = baseline_mod.apply(violations, budget)
+    else:
+        new = [v for v in violations if not v.suppressed]
+
+    checked = len(reports)
+    suppressed = sum(v.suppressed for v in violations)
+    baselined = sum(v.baselined for v in violations)
+    summary = {
+        "files": checked,
+        "findings": len(violations),
+        "suppressed": suppressed,
+        "baselined": baselined,
+        "new": len(new),
+        "parse_errors": parse_errors,
+    }
+
+    if args.out:
+        Path(args.out).parent.mkdir(parents=True, exist_ok=True)
+        Path(args.out).write_text(
+            json.dumps(
+                {"summary": summary,
+                 "violations": [v.to_json() for v in violations]},
+                indent=2,
+            )
+            + "\n",
+            encoding="utf-8",
+        )
+
+    if args.format == "json":
+        print(json.dumps(
+            {"summary": summary,
+             "violations": [v.to_json() for v in violations]},
+            indent=2,
+        ))
+    else:
+        for v in new:
+            print(v.render())
+        for error in parse_errors:
+            print(f"parse error: {error}", file=sys.stderr)
+        print(
+            f"{checked} files, {len(violations)} findings "
+            f"({suppressed} suppressed, {baselined} baselined, "
+            f"{len(new)} new)"
+        )
+
+    if parse_errors:
+        return 2
+    if args.expect:
+        fired = {v.rule for v in violations}
+        missing = [rule for rule in args.expect if rule not in fired]
+        if missing:
+            print(
+                f"expected rules did not fire: {', '.join(missing)}",
+                file=sys.stderr,
+            )
+            return 1
+        return 0
+    return 1 if new else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

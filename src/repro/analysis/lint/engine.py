@@ -1,0 +1,116 @@
+"""Lint driver: parse files, run rules, apply noqa and baselines."""
+
+from __future__ import annotations
+
+import ast
+import re
+from pathlib import Path
+
+from repro.analysis.lint.framework import check_framework
+from repro.analysis.lint.ownership import check_ownership
+from repro.analysis.violations import RULES, FileReport, Violation
+
+#: trailing per-line suppression: `# repro: noqa` or `# repro: noqa OWN001[, OWN002]`
+_NOQA = re.compile(
+    r"#\s*repro:\s*noqa(?P<rules>(?:\s*:?\s*[A-Z]+\d+[,\s]*)+)?", re.ASCII
+)
+
+
+def _noqa_rules(line: str) -> frozenset[str] | None:
+    """Rules suppressed on ``line``: a set, ``ALL`` for bare noqa, or None."""
+    match = _NOQA.search(line)
+    if match is None:
+        return None
+    rules = match.group("rules")
+    if rules is None:
+        return frozenset(RULES)  # bare noqa: everything
+    return frozenset(re.findall(r"[A-Z]+\d+", rules))
+
+
+class _OwnershipVisitor(ast.NodeVisitor):
+    """Runs the OWN checker over every function scope (and the module)."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self.violations: list[Violation] = []
+        self._stack: list[str] = []
+
+    def visit_Module(self, node: ast.Module) -> None:
+        body = [
+            s for s in node.body
+            if not isinstance(s, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                  ast.ClassDef))
+        ]
+        self.violations.extend(check_ownership(self.path, "<module>", body))
+        self.generic_visit(node)
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        self._stack.append(node.name)
+        self.generic_visit(node)
+        self._stack.pop()
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        qualname = ".".join(self._stack + [node.name])
+        self.violations.extend(
+            check_ownership(self.path, qualname, node.body)
+        )
+        self._stack.append(node.name)
+        self.generic_visit(node)
+        self._stack.pop()
+
+    visit_AsyncFunctionDef = visit_FunctionDef  # type: ignore[assignment]
+
+
+def lint_source(source: str, path: str) -> FileReport:
+    """Lint one file's source text; ``path`` is used verbatim in output."""
+    report = FileReport(path=path)
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        report.parse_error = f"{path}:{exc.lineno}: {exc.msg}"
+        return report
+
+    visitor = _OwnershipVisitor(path)
+    visitor.visit(tree)
+    violations = visitor.violations + check_framework(path, tree)
+
+    lines = source.splitlines()
+    for violation in violations:
+        if 1 <= violation.line <= len(lines):
+            suppressed = _noqa_rules(lines[violation.line - 1])
+            if suppressed is not None and violation.rule in suppressed:
+                violation.suppressed = True
+
+    violations.sort(key=lambda v: (v.line, v.col, v.rule))
+    report.violations = violations
+    return report
+
+
+def iter_python_files(paths: list[str | Path], exclude: list[str] = ()) -> list[Path]:
+    """Expand files/directories into sorted .py paths, minus excludes."""
+    exclude_parts = [Path(e).as_posix().rstrip("/") for e in exclude]
+    found: set[Path] = set()
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            found.update(p for p in path.rglob("*.py"))
+        elif path.suffix == ".py":
+            found.add(path)
+
+    def excluded(p: Path) -> bool:
+        posix = p.as_posix()
+        return any(
+            posix == e or posix.startswith(e + "/") for e in exclude_parts
+        )
+
+    return sorted(p for p in found if not excluded(p))
+
+
+def lint_paths(
+    paths: list[str | Path], exclude: list[str] = ()
+) -> list[FileReport]:
+    reports = []
+    for file_path in iter_python_files(paths, exclude):
+        source = file_path.read_text(encoding="utf-8")
+        reports.append(lint_source(source, file_path.as_posix()))
+    return reports

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import logging
 import threading
+import warnings
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Iterable
 
@@ -67,7 +68,7 @@ from repro.i2o.tid import (
     TidAllocator,
     check_tid,
 )
-from repro.mem.pool import BufferPool
+from repro.mem.pool import BufferPool, PoolExhausted
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.transports.agent import PeerTransportAgent
@@ -640,6 +641,25 @@ class Executive:
         if self._thread.is_alive():  # pragma: no cover - defensive
             raise I2OError(f"executive thread on node {self.node} did not stop")
         self._thread = None
+        self._report_pool_leaks()
+
+    def _report_pool_leaks(self) -> None:
+        """Under ``REPRO_SANITIZE=1``, surface any blocks still loaned
+        at shutdown with the tracebacks of the allocations that leaked
+        them.  A warning, not an exception: ``stop()`` runs in teardown
+        paths where raising would mask the original failure — strict
+        callers use :func:`repro.analysis.sanitize.assert_clean`.
+        """
+        from repro.analysis.sanitize import leak_report
+
+        leaks = leak_report(self.pool)
+        if leaks:
+            warnings.warn(
+                f"executive {self.node} shut down with "
+                f"{len(leaks)} leaked pool block(s):\n" + "\n".join(leaks),
+                ResourceWarning,
+                stacklevel=3,
+            )
 
     # ------------------------------------------------------------------
     # internals
@@ -709,18 +729,33 @@ class Executive:
         if not frame.is_reply and (
             initiator in self._devices or initiator in self._routes
         ):
-            failure = self.frame_alloc(
-                0,
-                target=initiator,
-                initiator=EXECUTIVE_TID,
-                function=frame.function,
-                xfunction=frame.xfunction,
-                priority=frame.priority,
-                flags=FLAG_REPLY | FLAG_FAIL,
-            )
-            failure.initiator_context = frame.initiator_context
-            failure.transaction_context = frame.transaction_context
+            # Snapshot the headers the reply needs, then release the
+            # original *before* allocating: if the pool is exhausted the
+            # dropped frame must not leak on top of the lost reply.
+            function = frame.function
+            xfunction = frame.xfunction
+            priority = frame.priority
+            initiator_context = frame.initiator_context
+            transaction_context = frame.transaction_context
             self._release_frame(frame)
+            try:
+                failure = self.frame_alloc(
+                    0,
+                    target=initiator,
+                    initiator=EXECUTIVE_TID,
+                    function=function,
+                    xfunction=xfunction,
+                    priority=priority,
+                    flags=FLAG_REPLY | FLAG_FAIL,
+                )
+            except PoolExhausted:
+                logger.warning(
+                    "node %s: pool exhausted, failure reply to TiD %s lost",
+                    self.node, initiator,
+                )
+                return
+            failure.initiator_context = initiator_context
+            failure.transaction_context = transaction_context
             self._route(failure)
             return
         self._release_frame(frame)

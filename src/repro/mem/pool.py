@@ -78,6 +78,17 @@ class Allocator(ABC):
     def free_blocks(self) -> int:
         """Number of blocks currently on free lists."""
 
+    def _make_block(
+        self, memory: memoryview, *, index: int, size_class: int
+    ) -> PoolBlock:
+        """Create one of this allocator's blocks.
+
+        The single point where blocks are born: the runtime sanitizer
+        (:mod:`repro.analysis.sanitize`) overrides this to substitute
+        instrumented blocks without the allocation schemes knowing.
+        """
+        return PoolBlock(memory, index=index, size_class=size_class, owner=self)
+
     # -- public API ---------------------------------------------------------
     def alloc(self, size: int) -> PoolBlock:
         if size <= 0:
@@ -148,11 +159,10 @@ class OriginalAllocator(Allocator):
         view = memoryview(slab)
         self._slab = slab  # keep alive
         self._blocks = [
-            PoolBlock(
+            self._make_block(
                 view[i * block_size : (i + 1) * block_size],
                 index=i,
                 size_class=block_size,
-                owner=self,
             )
             for i in range(block_count)
         ]
@@ -243,11 +253,10 @@ class TableAllocator(Allocator):
         free_list = self._free[bits]
         for i in range(count):
             free_list.append(
-                PoolBlock(
+                self._make_block(
                     view[i * class_size : (i + 1) * class_size],
                     index=self._block_index,
                     size_class=class_size,
-                    owner=self,
                 )
             )
             self._block_index += 1
@@ -268,6 +277,18 @@ class TableAllocator(Allocator):
         return sum(len(lst) for lst in self._free.values())
 
 
+def _default_allocator() -> Allocator:
+    """A :class:`TableAllocator` — or its instrumented variant when the
+    runtime pool sanitizer is switched on (``REPRO_SANITIZE=1``)."""
+    from repro.analysis.sanitize import sanitizing_enabled
+
+    if sanitizing_enabled():
+        from repro.analysis.sanitize import SanitizingTableAllocator
+
+        return SanitizingTableAllocator()
+    return TableAllocator()
+
+
 class BufferPool:
     """The executive's pool: a thin façade over an allocator.
 
@@ -278,7 +299,7 @@ class BufferPool:
     """
 
     def __init__(self, allocator: Allocator | None = None) -> None:
-        self.allocator = allocator if allocator is not None else TableAllocator()
+        self.allocator = allocator if allocator is not None else _default_allocator()
 
     def alloc(self, size: int) -> PoolBlock:
         """Loan a block with at least ``size`` writable bytes."""

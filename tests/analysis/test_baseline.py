@@ -1,0 +1,79 @@
+"""Baseline semantics: count budgets, fingerprint stability, policy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import baseline
+from repro.analysis.violations import Violation
+
+
+def v(rule="TID001", path="a.py", line=1, context="f", detail="target"):
+    return Violation(
+        rule=rule, path=path, line=line, col=1,
+        message="m", context=context, detail=detail,
+    )
+
+
+class TestApply:
+    def test_budget_consumed_per_fingerprint(self):
+        from collections import Counter
+
+        violations = [v(line=1), v(line=9)]
+        new = baseline.apply(
+            violations, Counter({violations[0].fingerprint: 1})
+        )
+        assert new == [violations[1]]
+        assert violations[0].baselined and not violations[1].baselined
+
+    def test_fingerprint_ignores_line_numbers(self):
+        from collections import Counter
+
+        pinned = v(line=10)
+        moved = v(line=99)  # same code, shifted by an unrelated edit
+        new = baseline.apply([moved], Counter({pinned.fingerprint: 1}))
+        assert new == []
+
+    def test_suppressed_does_not_consume_budget(self):
+        from collections import Counter
+
+        supp, real = v(), v(line=2)
+        supp.suppressed = True
+        new = baseline.apply([supp, real], Counter({real.fingerprint: 1}))
+        assert new == []
+
+
+class TestSaveLoad:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        count = baseline.save(path, [v(), v(line=5), v(context="g")])
+        assert count == 2  # two distinct fingerprints
+        budget = baseline.load(path)
+        assert budget[v().fingerprint] == 2
+        assert budget[v(context="g").fingerprint] == 1
+
+    def test_save_excludes_ownership_rules(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        count = baseline.save(path, [v(rule="OWN001"), v(rule="DSP001")])
+        assert count == 0
+        assert baseline.load(path) == {}
+
+    def test_save_excludes_suppressed(self, tmp_path):
+        supp = v()
+        supp.suppressed = True
+        assert baseline.save(tmp_path / "b.json", [supp]) == 0
+
+    def test_load_rejects_pinned_ownership_rules(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(
+            '{"version": 1, "entries": [{"path": "a.py", "rule": "OWN001",'
+            ' "context": "f", "detail": "frame", "count": 1}]}'
+        )
+        with pytest.raises(baseline.BaselineError, match="must be fixed"):
+            baseline.load(path)
+
+    def test_load_rejects_wrong_version(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"version": 99, "entries": []}')
+        with pytest.raises(baseline.BaselineError):
+            baseline.load(path)

@@ -1,0 +1,108 @@
+"""The ``python -m repro.analysis.lint`` entry point end to end."""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.lint.__main__ import main
+
+CLEAN = "def f(pool):\n    block = pool.alloc(4)\n    block.release()\n"
+LEAKY = "def f(pool):\n    block = pool.alloc(4)\n"
+WARNY = "def f(exe):\n    exe.frame_alloc(0, target=42)\n"
+
+
+def write(tmp_path, name, text):
+    path = tmp_path / name
+    path.write_text(text)
+    return str(path)
+
+
+class TestExitCodes:
+    def test_clean_tree_exits_zero(self, tmp_path):
+        assert main([write(tmp_path, "ok.py", CLEAN), "--no-baseline"]) == 0
+
+    def test_findings_exit_one(self, tmp_path, capsys):
+        assert main([write(tmp_path, "bad.py", LEAKY), "--no-baseline"]) == 1
+        out = capsys.readouterr().out
+        assert "OWN002" in out and "1 new" in out
+
+    def test_parse_error_exits_two(self, tmp_path):
+        assert main([write(tmp_path, "bad.py", "def f(:\n"),
+                     "--no-baseline"]) == 2
+
+
+class TestBaselineFlow:
+    def test_write_then_pass(self, tmp_path):
+        target = write(tmp_path, "warn.py", WARNY)
+        bl = str(tmp_path / "baseline.json")
+        assert main([target, "--baseline", bl, "--write-baseline"]) == 0
+        assert main([target, "--baseline", bl]) == 0
+
+    def test_new_finding_on_top_of_baseline_fails(self, tmp_path):
+        target = write(tmp_path, "warn.py", WARNY)
+        bl = str(tmp_path / "baseline.json")
+        assert main([target, "--baseline", bl, "--write-baseline"]) == 0
+        write(tmp_path, "warn.py", WARNY + WARNY.replace("def f", "def g"))
+        assert main([target, "--baseline", bl]) == 1
+
+    def test_ownership_findings_never_satisfied_by_write(self, tmp_path):
+        target = write(tmp_path, "leak.py", LEAKY)
+        bl = str(tmp_path / "baseline.json")
+        # --write-baseline refuses to pin OWN002 and says so via exit 1
+        assert main([target, "--baseline", bl, "--write-baseline"]) == 1
+        assert main([target, "--baseline", bl]) == 1
+
+
+class TestOutput:
+    def test_json_format(self, tmp_path, capsys):
+        main([write(tmp_path, "bad.py", LEAKY), "--no-baseline",
+              "--format", "json"])
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["summary"]["new"] == 1
+        assert doc["violations"][0]["rule"] == "OWN002"
+
+    def test_out_file_artifact(self, tmp_path):
+        out = tmp_path / "report.json"
+        main([write(tmp_path, "bad.py", LEAKY), "--no-baseline",
+              "--out", str(out)])
+        doc = json.loads(out.read_text())
+        assert doc["summary"]["findings"] == 1
+
+    def test_rules_listing(self, capsys):
+        assert main(["--rules", "unused"]) == 0
+        out = capsys.readouterr().out
+        for rule in ("OWN001", "OWN002", "OWN003", "DSP001", "TID001",
+                     "EXC001"):
+            assert rule in out
+
+
+class TestExpectGate:
+    def test_expect_satisfied(self, tmp_path):
+        assert main([write(tmp_path, "bad.py", LEAKY), "--no-baseline",
+                     "--expect", "OWN002"]) == 0
+
+    def test_expect_missing_fails(self, tmp_path):
+        assert main([write(tmp_path, "ok.py", CLEAN), "--no-baseline",
+                     "--expect", "OWN001"]) == 1
+
+
+class TestSeededFixtures:
+    def test_fixtures_detected(self):
+        """The CI gate: the seeded bugs must keep tripping the checker."""
+        assert main([
+            "tests/analysis/fixtures", "--no-default-excludes",
+            "--no-baseline",
+            "--expect", "OWN001", "--expect", "OWN002", "--expect", "OWN003",
+        ]) == 0
+
+    def test_fixtures_excluded_by_default(self, capsys):
+        assert main(["tests/analysis/fixtures", "--no-baseline"]) == 0
+        assert "0 files" in capsys.readouterr().out
+
+    def test_checked_in_tree_is_clean(self):
+        """`src` must stay free of findings — no baseline needed."""
+        assert main(["src", "--no-baseline"]) == 0
+
+    def test_checked_in_baseline_covers_tests(self):
+        assert main(["src", "tests", "examples",
+                     "--baseline", "analysis/baseline.json"]) == 0

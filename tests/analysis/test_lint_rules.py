@@ -1,0 +1,364 @@
+"""Every lint rule: fires on the bug, stays silent on the idiom,
+yields to a ``# repro: noqa``."""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.analysis.lint import lint_source
+
+
+def run(source: str):
+    report = lint_source(textwrap.dedent(source), "t.py")
+    assert report.parse_error is None
+    return report.violations
+
+
+def rules(source: str) -> list[str]:
+    return [v.rule for v in run(source) if not v.suppressed]
+
+
+class TestOwn001UseAfterTransfer:
+    def test_read_after_transmit(self):
+        assert rules("""
+            def f(transport, pool):
+                frame = pool.alloc(10)
+                transport.transmit(frame)
+                return frame.payload
+        """) == ["OWN001"]
+
+    def test_read_after_release(self):
+        assert rules("""
+            def f(pool):
+                block = pool.alloc(10)
+                block.release()
+                return block.capacity
+        """) == ["OWN001"]
+
+    def test_release_after_transmit(self):
+        assert rules("""
+            def f(transport, pool):
+                frame = pool.alloc(10)
+                transport.transmit(frame)
+                frame.release()
+        """) == ["OWN001"]
+
+    def test_retransmit_after_transmit(self):
+        assert rules("""
+            def f(transport, pool):
+                frame = pool.alloc(10)
+                transport.transmit(frame)
+                transport.transmit(frame)
+        """) == ["OWN001"]
+
+    def test_bare_return_is_not_a_use(self):
+        # The Device.send idiom: hand the alias to the caller.
+        assert rules("""
+            def send(self, pool):
+                frame = pool.alloc(10)
+                self.frame_send(frame)
+                return frame
+        """) == []
+
+    def test_use_before_transmit_is_fine(self):
+        assert rules("""
+            def f(transport, pool):
+                frame = pool.alloc(10)
+                frame.payload[:] = b"x" * 10
+                transport.transmit(frame)
+        """) == []
+
+    def test_failed_transmit_leaves_ownership_with_caller(self):
+        # The PR-3 contract: a transmit that raises did not commit, so
+        # the except handler both releasing and re-reading is legal.
+        assert rules("""
+            def f(transport, pool):
+                frame = pool.alloc(10)
+                try:
+                    transport.transmit(frame)
+                except OSError:
+                    frame.release()
+                    raise
+        """) == []
+
+
+class TestOwn002MissingRelease:
+    def test_leak_at_end_of_function(self):
+        assert rules("""
+            def f(pool):
+                frame = pool.alloc(10)
+                frame.payload[:] = b"0123456789"
+        """) == ["OWN002"]
+
+    def test_leak_on_early_return(self):
+        assert rules("""
+            def f(pool, flag):
+                frame = pool.alloc(10)
+                if flag:
+                    return None
+                frame.release()
+        """) == ["OWN002"]
+
+    def test_leak_on_raise(self):
+        assert rules("""
+            def f(pool, flag):
+                frame = pool.alloc(10)
+                if flag:
+                    raise ValueError("nope")
+                frame.release()
+        """) == ["OWN002"]
+
+    def test_rebind_while_owned(self):
+        assert rules("""
+            def f(pool):
+                frame = pool.alloc(10)
+                frame = pool.alloc(20)
+                frame.release()
+        """) == ["OWN002"]
+
+    def test_escape_via_call_relieves_obligation(self):
+        assert rules("""
+            def f(pool, stash):
+                frame = pool.alloc(10)
+                stash.append(frame)
+        """) == []
+
+    def test_escape_via_constructor_relieves_obligation(self):
+        # The ingest idiom: Frame(view, block=block) takes the block.
+        assert rules("""
+            def f(pool, view):
+                block = pool.alloc(10)
+                return Frame(view, block=block)
+        """) == []
+
+    def test_raise_inside_try_is_not_a_leak(self):
+        assert rules("""
+            def f(pool):
+                frame = pool.alloc(10)
+                try:
+                    if frame.capacity < 10:
+                        raise ValueError("small")
+                finally:
+                    frame.release()
+        """) == []
+
+
+class TestOwn003DoubleRelease:
+    def test_double_release(self):
+        assert rules("""
+            def f(pool):
+                block = pool.alloc(10)
+                block.release()
+                block.release()
+        """) == ["OWN003"]
+
+    def test_release_on_both_branches_then_again(self):
+        assert rules("""
+            def f(pool, flag):
+                block = pool.alloc(10)
+                if flag:
+                    block.release()
+                else:
+                    block.release()
+                block.release()
+        """) == ["OWN003"]
+
+    def test_addref_licenses_an_extra_release(self):
+        assert rules("""
+            def f(pool):
+                block = pool.alloc(10)
+                block.addref()
+                block.release()
+                block.release()
+        """) == []
+
+    def test_addref_does_not_license_two_extra(self):
+        assert rules("""
+            def f(pool):
+                block = pool.alloc(10)
+                block.addref()
+                block.release()
+                block.release()
+                block.release()
+        """) == ["OWN003"]
+
+    def test_release_on_one_branch_only_is_maybe(self):
+        # Divergent states merge to MAYBE: conservative, no report.
+        assert rules("""
+            def f(pool, flag):
+                block = pool.alloc(10)
+                if flag:
+                    block.release()
+                block.release()
+        """) == []
+
+    def test_non_frameish_names_are_not_tracked(self):
+        # Semaphore semantics collide with the method name; unknown-
+        # origin variables are only tracked when they look like blocks.
+        assert rules("""
+            def f(sem):
+                sem.release()
+                sem.release()
+        """) == []
+
+    def test_frameish_unknown_origin_is_tracked(self):
+        assert rules("""
+            def f(frame):
+                frame.release()
+                frame.release()
+        """) == ["OWN003"]
+
+
+class TestPytestRaisesMuting:
+    def test_consumption_inside_raises_does_not_commit(self):
+        assert rules("""
+            def test_bad(pool, pytest):
+                block = pool.alloc(10)
+                block.release()
+                with pytest.raises(BlockStateError):
+                    block.release()
+        """) == []
+
+    def test_use_after_asserted_failure_is_fine(self):
+        assert rules("""
+            def test_failed_send(transport, pool, pytest):
+                frame = pool.alloc(10)
+                with pytest.raises(OSError):
+                    transport.transmit(frame)
+                frame.release()
+        """) == []
+
+
+class TestDsp001DispatchBindings:
+    def test_unknown_uppercase_name(self):
+        assert rules("""
+            def f(self):
+                self.table.bind(EXEC_MADE_UP, handler)
+        """) == ["DSP001"]
+
+    def test_unknown_int_literal(self):
+        assert rules("""
+            def f(self):
+                self.table.bind(0x77, handler)
+        """) == ["DSP001"]
+
+    def test_known_code_clean(self):
+        assert rules("""
+            from repro.i2o.function_codes import EXEC_STATUS_GET
+
+            def f(self):
+                self.table.bind(EXEC_STATUS_GET, handler)
+        """) == []
+
+    def test_lowercase_variable_is_dynamic(self):
+        assert rules("""
+            def f(self, func):
+                self.table.bind(func, handler)
+        """) == []
+
+    def test_non_table_bind_out_of_scope(self):
+        # Listener.bind takes per-application xfunctions, not codes.
+        assert rules("""
+            def f(self):
+                self.bind(0x77, handler)
+        """) == []
+
+
+class TestTid001RawTids:
+    def test_int_literal_target(self):
+        assert rules("""
+            def f(exe):
+                exe.frame_alloc(0, target=42)
+        """) == ["TID001"]
+
+    def test_named_constant_clean(self):
+        assert rules("""
+            def f(exe):
+                exe.frame_alloc(0, target=EXECUTIVE_TID)
+        """) == []
+
+    def test_bool_is_not_an_int_literal(self):
+        # bool is an int subtype; reply=True must not trip the rule.
+        assert rules("""
+            def f(exe):
+                exe.configure(target=EXECUTIVE_TID, strict=True)
+        """) == []
+
+
+class TestExc001BroadExcepts:
+    def test_bare_except(self):
+        assert rules("""
+            def f():
+                try:
+                    work()
+                except:
+                    pass
+        """) == ["EXC001"]
+
+    def test_swallowed_broad_exception(self):
+        assert rules("""
+            def f():
+                try:
+                    work()
+                except Exception:
+                    pass
+        """) == ["EXC001"]
+
+    def test_handled_broad_exception_is_fine(self):
+        assert rules("""
+            def f(self):
+                try:
+                    work()
+                except Exception as exc:
+                    self.log.warning("dispatch failed: %s", exc)
+        """) == []
+
+    def test_specific_exception_is_fine(self):
+        assert rules("""
+            def f():
+                try:
+                    work()
+                except ValueError:
+                    pass
+        """) == []
+
+
+class TestNoqaSuppression:
+    SOURCE = """
+        def f(pool):
+            block = pool.alloc(10)
+            block.release()
+            return block.capacity{noqa}
+    """
+
+    def test_unsuppressed(self):
+        assert rules(self.SOURCE.format(noqa="")) == ["OWN001"]
+
+    def test_rule_specific_noqa(self):
+        violations = run(self.SOURCE.format(noqa="  # repro: noqa OWN001"))
+        assert [v.rule for v in violations] == ["OWN001"]
+        assert violations[0].suppressed
+
+    def test_bare_noqa_suppresses_everything(self):
+        assert rules(self.SOURCE.format(noqa="  # repro: noqa")) == []
+
+    def test_wrong_rule_does_not_suppress(self):
+        assert rules(self.SOURCE.format(noqa="  # repro: noqa TID001")) == [
+            "OWN001"
+        ]
+
+
+class TestModuleLevelCode:
+    def test_module_body_is_checked(self):
+        violations = run("""
+            block = pool.alloc(10)
+            block.release()
+            block.release()
+        """)
+        assert [v.rule for v in violations] == ["OWN003"]
+        assert violations[0].context == "<module>"
+
+    def test_parse_error_reported_not_raised(self):
+        report = lint_source("def broken(:\n", "t.py")
+        assert report.parse_error is not None
+        assert report.violations == []

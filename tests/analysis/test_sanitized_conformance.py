@@ -1,0 +1,36 @@
+"""The full transport conformance suite under the pool sanitizer.
+
+Runs pytest in a subprocess with ``REPRO_SANITIZE=1`` so every
+executive in every harness gets a poisoning, canary-checking pool and
+the harness ``finish()`` leak check includes allocation-site audits.
+Slow (it re-runs a whole test module per transport), so opt-in:
+``pytest -m slow tests/analysis/test_sanitized_conformance.py``.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+pytestmark = pytest.mark.slow
+
+
+def test_conformance_suite_clean_under_sanitizer():
+    env = dict(os.environ, REPRO_SANITIZE="1")
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in ("src", env.get("PYTHONPATH", "")) if p
+    )
+    proc = subprocess.run(
+        [sys.executable, "-m", "pytest", "tests/transports", "-q",
+         "--override-ini", "addopts="],
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert proc.returncode == 0, (
+        f"sanitized conformance run failed:\n{proc.stdout}\n{proc.stderr}"
+    )

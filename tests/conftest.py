@@ -2,11 +2,28 @@
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.core.executive import Executive
 from repro.transports.agent import PeerTransportAgent
 from repro.transports.loopback import LoopbackNetwork, LoopbackTransport
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--sanitize",
+        action="store_true",
+        default=False,
+        help="run the whole suite with the runtime pool sanitizer on "
+        "(equivalent to REPRO_SANITIZE=1)",
+    )
+
+
+def pytest_configure(config):
+    if config.getoption("--sanitize"):
+        os.environ["REPRO_SANITIZE"] = "1"
 
 
 def make_loopback_cluster(n_nodes: int) -> dict[int, Executive]:
@@ -31,11 +48,14 @@ def pump(cluster: dict[int, Executive], max_rounds: int = 100_000) -> int:
 
 
 def assert_no_leaks(cluster: dict[int, Executive]) -> None:
+    from repro.analysis.sanitize import assert_clean
+
     for exe in cluster.values():
         exe.pool.check_conservation()
         assert exe.pool.in_flight == 0, (
             f"node {exe.node} leaked {exe.pool.in_flight} blocks"
         )
+        assert_clean(exe.pool)  # no-op unless REPRO_SANITIZE=1
 
 
 @pytest.fixture

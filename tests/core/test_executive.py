@@ -20,20 +20,30 @@ from repro.i2o.tid import EXECUTIVE_TID, TID_BROADCAST
 from tests.conftest import assert_no_leaks, make_loopback_cluster, pump
 
 
+class Seen:
+    """Snapshot of a delivered frame: the block is recycled (and, under
+    the sanitizer, poisoned) after dispatch, so handlers must copy what
+    they want to keep rather than retain the Frame itself."""
+
+    def __init__(self, frame: Frame) -> None:
+        self.payload = bytes(frame.payload)
+        self.is_failure = frame.is_failure
+
+
 class Sink(Listener):
     def __init__(self, name: str = "sink") -> None:
         super().__init__(name)
-        self.got: list[Frame] = []
-        self.replies: list[Frame] = []
+        self.got: list[Seen] = []
+        self.replies: list[Seen] = []
 
     def on_plugin(self) -> None:
         self.bind(0x01, self._on_msg)
 
     def _on_msg(self, frame: Frame) -> None:
         if frame.is_reply:
-            self.replies.append(frame)
+            self.replies.append(Seen(frame))
         else:
-            self.got.append(frame)
+            self.got.append(Seen(frame))
 
 
 class TestInstallation:
@@ -93,6 +103,24 @@ class TestLocalRouting:
         exe.run_until_idle()
         assert exe.dropped == 1
         assert len(a.replies) == 1 and a.replies[0].is_failure
+
+    def test_dead_letter_with_exhausted_pool_does_not_leak(self):
+        """With a one-block pool, the dead-letter path must release the
+        dropped frame *before* allocating the failure reply — the old
+        order leaked the original when the reply alloc hit an empty
+        pool."""
+        from repro.mem.pool import BufferPool, OriginalAllocator
+
+        pool = BufferPool(OriginalAllocator(block_size=512, block_count=1))
+        exe = Executive(pool=pool)
+        a = Sink("a")
+        exe.install(a)
+        a.send(0x500, b"void", xfunction=0x01)
+        exe.run_until_idle()
+        assert exe.dropped == 1
+        assert len(a.replies) == 1 and a.replies[0].is_failure
+        assert pool.in_flight == 0
+        pool.check_conservation()
 
     def test_broadcast_reaches_all_but_initiator(self):
         exe = Executive()
@@ -188,8 +216,12 @@ class TestExecutiveDevice:
         asker = Sink("asker")
         cluster[0].install(asker)
         answers = []
-        asker.table.bind(function,
-                         lambda f: answers.append(f) if f.is_reply else None)
+        # Snapshot the payload inside the handler: the frame's block is
+        # recycled (and, under the sanitizer, poisoned) after dispatch.
+        asker.table.bind(
+            function,
+            lambda f: answers.append(bytes(f.payload)) if f.is_reply else None,
+        )
         proxy = cluster[0].create_proxy(1, EXECUTIVE_TID)
         asker.send(proxy, function=function)
         pump(cluster)
@@ -198,7 +230,7 @@ class TestExecutiveDevice:
     def test_status_get_over_the_wire(self):
         cluster = make_loopback_cluster(2)
         answers = self._ask(cluster, EXEC_STATUS_GET)
-        status = decode_params(answers[0].payload)
+        status = decode_params(answers[0])
         assert status["node"] == "1"
         assert status["state"] == "initialised"
         assert_no_leaks(cluster)
@@ -207,7 +239,7 @@ class TestExecutiveDevice:
         cluster = make_loopback_cluster(2)
         tid = cluster[1].install(Sink("remote-sink"))
         answers = self._ask(cluster, EXEC_LCT_NOTIFY)
-        table = decode_params(answers[0].payload)
+        table = decode_params(answers[0])
         assert table[str(tid)] == "private"
         assert table["0"] == "executive"
 

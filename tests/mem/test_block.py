@@ -17,12 +17,13 @@ def test_fresh_block_has_one_reference(allocator):
     block = allocator.alloc(100)
     assert block.refcount == 1
     assert block.in_use
+    block.release()
 
 
 def test_release_recycles_at_zero(allocator):
     block = allocator.alloc(100)
     assert block.release() is True
-    assert not block.in_use
+    assert not block.in_use  # post-release state probe  # repro: noqa OWN001
     assert allocator.in_flight == 0
 
 
@@ -52,12 +53,14 @@ def test_capacity_covers_request(allocator):
     block = allocator.alloc(100)
     assert block.capacity >= 100
     assert len(block.memory) == block.capacity
+    block.release()
 
 
 def test_memory_is_writable(allocator):
     block = allocator.alloc(64)
     block.memory[0] = 0xAB
     assert block.memory[0] == 0xAB
+    block.release()
 
 
 def test_recycled_block_identity_reused(allocator):
@@ -66,3 +69,4 @@ def test_recycled_block_identity_reused(allocator):
     block.release()
     again = allocator.alloc(100)
     assert again.index == index  # LIFO free list reuses the hot block
+    again.release()

@@ -148,9 +148,10 @@ class TestOriginalAllocator:
         alloc = OriginalAllocator(block_size=128, block_count=4)
         a = alloc.alloc(10)
         b = alloc.alloc(10)
+        slot = a.index
         a.release()
         c = alloc.alloc(10)
-        assert c.index == a.index  # first free slot is reused
+        assert c.index == slot  # first free slot is reused
         b.release()
         c.release()
 

@@ -101,6 +101,8 @@ class TransportHarness:
         return tracers
 
     def finish(self) -> None:
+        from repro.analysis.sanitize import assert_clean
+
         # Drain whatever is still staged or queued so the leak check
         # below judges a settled cluster, not in-transit frames.
         self.run_until(lambda: all(exe.idle for exe in self.exes.values()))
@@ -110,6 +112,8 @@ class TransportHarness:
             assert exe.pool.in_flight == 0, (
                 f"{self.name}: {exe.pool.in_flight} blocks leaked"
             )
+            # Canary scan + leak tracebacks; no-op unless REPRO_SANITIZE=1.
+            assert_clean(exe.pool)
 
 
 def _stepped(exes: dict[int, Executive], budget: int = 50_000):
