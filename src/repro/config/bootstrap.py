@@ -71,6 +71,10 @@ class Cluster:
     telemetry_agents: dict[int, "Listener"] = field(default_factory=dict)
     #: the TelemetryCollector, when the spec asked for one
     collector: "Listener | None" = None
+    #: device name -> its SegmentStore, when the spec asked for durability
+    journals: dict[str, Any] = field(default_factory=dict)
+    #: device name -> its SnapshotStore, when the spec asked for durability
+    snapshots: dict[str, Any] = field(default_factory=dict)
 
     def executive(self, node: int) -> Executive:
         exe = self.executives.get(node)
@@ -201,6 +205,9 @@ def bootstrap(spec: dict[str, Any]) -> Cluster:
     telemetry = spec.get("telemetry")
     if telemetry is not None:
         _wire_telemetry(cluster, dict(telemetry))
+    durability = spec.get("durability")
+    if durability is not None:
+        _wire_durability(cluster, dict(durability))
     return cluster
 
 
@@ -243,6 +250,66 @@ def _wire_supervision(cluster: Cluster, conf: dict[str, Any]) -> None:
                 peer,
                 cluster.executives[node].create_proxy(peer, peer_hb.tid),
             )
+
+
+def _wire_durability(cluster: Cluster, conf: dict[str, Any]) -> None:
+    """Attach journals and snapshot stores per the spec section.
+
+    Spec section (``dir`` required, the rest optional — see
+    :data:`repro.config.schema.DURABILITY_SCHEMA`)::
+
+        "durability": {
+            "dir": "/var/lib/repro",    # journal/snapshot directory
+            "journals": True,           # reliable_endpoint send journals
+            "snapshots": True,          # daq_eventmanager snapshot stores
+            "flush_every": 1,           # group-commit batch size
+            "fsync": False,             # fsync on flush
+            "compact_min_records": 64,
+            "compact_live_ratio": 0.5,
+        }
+
+    Every ``reliable_endpoint`` device gets ``<dir>/<name>.journal``
+    attached (and, because the device is already installed, recovery
+    runs immediately: a pre-existing journal replays its unacked sends
+    right here).  Every ``daq_eventmanager`` device gets
+    ``<dir>/<name>.snapshot``; EVM restore stays explicit — call
+    ``evm.recover()`` after ``connect()`` — because restoring before
+    the RU/BU wiring exists would relaunch events into the void.
+    """
+    import os
+
+    from repro.config.schema import DURABILITY_SCHEMA, SchemaError
+    from repro.durable.segments import SegmentStore, SnapshotStore
+
+    directory = conf.pop("dir", None)
+    if not directory or not isinstance(directory, (str, os.PathLike)):
+        raise BootstrapError("durability section needs a 'dir' path")
+    try:
+        options = DURABILITY_SCHEMA.validate_update(
+            {key: DURABILITY_SCHEMA.spec(key).format(value)
+             if not isinstance(value, str) else value
+             for key, value in conf.items()}
+        )
+    except SchemaError as exc:
+        raise BootstrapError(f"bad durability section: {exc}") from exc
+    merged = {spec.name: spec.default for spec in DURABILITY_SCHEMA}
+    merged.update(options)
+    os.makedirs(directory, exist_ok=True)
+    for name, (_node, _tid, device) in sorted(cluster.devices.items()):
+        if merged["journals"] and device.device_class == "reliable_endpoint":
+            store = SegmentStore(
+                os.path.join(directory, f"{name}.journal"),
+                flush_every=int(merged["flush_every"]),
+                fsync=bool(merged["fsync"]),
+                compact_min_records=int(merged["compact_min_records"]),
+                compact_live_ratio=float(merged["compact_live_ratio"]),
+            )
+            device.attach_journal(store)  # type: ignore[attr-defined]
+            cluster.journals[name] = store
+        elif merged["snapshots"] and device.device_class == "daq_eventmanager":
+            snaps = SnapshotStore(os.path.join(directory, f"{name}.snapshot"))
+            device.snapshot_store = snaps  # type: ignore[attr-defined]
+            cluster.snapshots[name] = snaps
 
 
 def _wire_telemetry(cluster: Cluster, conf: dict[str, Any]) -> None:

@@ -161,6 +161,29 @@ class ParamSchema:
         return out
 
 
+#: Typed schema for the bootstrap spec's ``durability`` section
+#: (``repro.durable``).  The journal location (``dir``) is deliberately
+#: not a parameter here — it is a required, un-defaultable path that
+#: the bootstrap validates itself.
+DURABILITY_SCHEMA = ParamSchema([
+    ParamSpec("journals", bool, default=True,
+              description="attach a send journal to every "
+                          "reliable_endpoint device"),
+    ParamSpec("snapshots", bool, default=True,
+              description="attach a snapshot store to every "
+                          "daq_eventmanager device"),
+    ParamSpec("flush_every", int, default=1, minimum=1,
+              description="group-commit batch size (records per flush)"),
+    ParamSpec("fsync", bool, default=False,
+              description="fsync the journal file on every flush"),
+    ParamSpec("compact_min_records", int, default=64, minimum=1,
+              description="do not compact below this many records"),
+    ParamSpec("compact_live_ratio", float, default=0.5,
+              minimum=0.0, maximum=1.0,
+              description="compact when live/total falls to this ratio"),
+])
+
+
 class SchemaListenerMixin:
     """Mixin for :class:`~repro.core.device.Listener` subclasses that
     declare a typed schema.

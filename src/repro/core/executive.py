@@ -643,6 +643,44 @@ class Executive:
         self._thread = None
         self._report_pool_leaks()
 
+    def hard_stop(self) -> None:
+        """Kill this executive as a crashed process (``kill -9``).
+
+        The in-process analogue of abrupt node death, for durability
+        and rejoin tests: every frame this executive still holds — in
+        the messaging queues, the scheduler, or staged inside its
+        transports — is released, exactly as the OS reclaims a dead
+        process's memory (staged blocks may belong to *other* nodes'
+        pools; they must not leak).  Timers are disarmed, transports
+        detach from shared media so peers fail fast and a replacement
+        can rejoin under the same node id.  Nothing is flushed and no
+        device hook runs: anything not already journaled or
+        snapshotted is gone — that is the point.  Recovery happens in
+        a *new* executive built from the durable state, never by
+        reusing this object.
+        """
+        if self._thread is not None:
+            self._thread_stop.set()
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        self._halt_requested = True
+        self.timers.cancel_all()
+        detached: set[int] = set()
+        for pt in self._pollable:
+            pt.crash_detach()  # type: ignore[attr-defined]
+            detached.add(id(pt))
+        if self.pta is not None:
+            for pt in self.pta.transports():
+                if id(pt) not in detached:
+                    pt.crash_detach()
+        while (frame := self.msgi.take_outbound()) is not None:
+            self._release_frame(frame)
+        while (frame := self.msgi.take_inbound()) is not None:
+            self._release_frame(frame)
+        while (frame := self.scheduler.pop()) is not None:
+            self._release_frame(frame)
+        self.state = DeviceState.FAILED
+
     def _report_pool_leaks(self) -> None:
         """Under ``REPRO_SANITIZE=1``, surface any blocks still loaned
         at shutdown with the tracebacks of the allocations that leaked
@@ -839,6 +877,15 @@ class Executive:
             if not frame.is_reply and frame.initiator != frame.target:
                 self._send_failure_reply(frame)
             result = None
+        except BaseException:
+            # A non-Exception escape — crash injection
+            # (repro.analysis.crashpoints), KeyboardInterrupt — is
+            # *meant* to take the loop of control down; ``except
+            # Exception`` above deliberately lets it through.  But the
+            # frame being dispatched must still return to its pool, or
+            # the simulated process death leaks a real block.
+            self._release_frame(frame)
+            raise
         self.dispatched += 1
         with self.probes.measure("postprocess"):
             if result is not RETAIN:

@@ -33,6 +33,13 @@ from repro.i2o.errors import I2OError
 
 _NAME_RE = re.compile(r"[^a-zA-Z0-9_]")
 
+#: Upper bounds (ns) for journal-recovery latency histograms.  Replay
+#: is file I/O plus one retransmission per live record, so the range
+#: spans µs-scale empty-journal restarts to deep multi-ms replays.
+RECOVERY_LATENCY_BUCKETS_NS: tuple[int, ...] = (
+    10_000, 100_000, 1_000_000, 10_000_000, 100_000_000, 1_000_000_000,
+)
+
 
 def sanitize_metric_name(name: str) -> str:
     """Map an arbitrary runtime name onto the metric alphabet.

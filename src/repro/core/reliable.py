@@ -25,6 +25,16 @@ When the supervision layer declares a peer DEAD, the endpoint's
 that node — retrying into a black hole only wastes wire and timers —
 and reports each aborted message through ``on_failed``.
 
+An endpoint given a :class:`~repro.durable.segments.SegmentStore`
+journal additionally survives its *own* death: every send is appended
+to the journal (write-ahead: the record is committed before the first
+transmission) and retired on ack, so a restarted endpoint replays the
+unacknowledged tail from disk and resumes its sequence space where it
+left off.  The receiver's dedup window absorbs any overlap between
+the pre-crash transmissions and the replay, keeping delivery exactly
+once across the restart — provided the endpoint is reinstalled at its
+recorded TiD, which the journal enforces.
+
 xfunctions 0xF0xx are reserved framework space (below the RMI method
 hash range).
 """
@@ -32,14 +42,21 @@ hash range).
 from __future__ import annotations
 
 import struct
+import time
 import zlib
 from collections import OrderedDict
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
 from repro.core.device import Listener
+# The journal codec's payload CRC *is* the wire CRC (one integrity
+# discipline end to end: RAM, wire and disk).
+from repro.durable.journal import seeded_crc as _data_crc
 from repro.i2o.errors import I2OError
 from repro.i2o.frame import Frame
 from repro.i2o.tid import Tid
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.durable.segments import SegmentStore
 
 XF_REL_DATA = 0xF001
 XF_REL_ACK = 0xF002
@@ -47,13 +64,17 @@ XF_REL_ACK = 0xF002
 #: seq (u64) + CRC32 of the bytes that follow (u32)
 _HEADER = struct.Struct("<QI")
 
-
-def _data_crc(seq: int, payload: bytes) -> int:
-    """CRC over the sequence number *and* the payload."""
-    return zlib.crc32(payload, zlib.crc32(_HEADER.pack(seq, 0)))
+#: Named crash points for fault-injection tests (see
+#: repro.analysis.crashpoints): the three torn states the journal
+#: write-ahead ordering can leave behind.
+CRASH_PRE_APPEND = "pre-journal-append"
+CRASH_POST_APPEND = "post-append-pre-transmit"
+CRASH_PRE_ACK_RECORD = "post-transmit-pre-ack-record"
 
 Consumer = Callable[[Tid, bytes], None]
 FailureHandler = Callable[[int, Tid, bytes], None]
+#: test hook: called with a crash-point name at instrumented spots
+CrashHook = Callable[[str], None]
 
 
 class ReliableEndpoint(Listener):
@@ -79,6 +100,7 @@ class ReliableEndpoint(Listener):
         max_retries: int = 25,
         dedup_window: int = 4096,
         ordered: bool = False,
+        journal: "SegmentStore | None" = None,
     ) -> None:
         super().__init__(name)
         if max_retries < 0:
@@ -89,6 +111,9 @@ class ReliableEndpoint(Listener):
         self.ordered = ordered
         self.consumer: Consumer | None = None
         self.on_failed: FailureHandler | None = None
+        self.journal = journal
+        #: fault-injection hook (repro.analysis.crashpoints.crash_at)
+        self.crash_hook: CrashHook | None = None
         self._next_seq = 1
         #: seq -> (target, payload, retries_left, timer_id)
         self._pending: dict[int, tuple[Tid, bytes, int, int]] = {}
@@ -104,27 +129,125 @@ class ReliableEndpoint(Listener):
         self.failures = 0
         self.aborted = 0
         self.corrupt_discarded = 0
+        self.replayed = 0
+        self.recoveries = 0
+        self.recovery_ns = 0
 
     def on_plugin(self) -> None:
         self.bind(XF_REL_DATA, self._on_data)
         self.bind(XF_REL_ACK, self._on_ack)
-        from repro.core.metrics import sanitize_metric_name
+        from repro.core.metrics import (
+            RECOVERY_LATENCY_BUCKETS_NS,
+            sanitize_metric_name,
+        )
 
         metrics = self._require_live().metrics
         prefix = f"rel_{sanitize_metric_name(self.name)}"
         for attr in (
             "delivered", "duplicates_suppressed", "retransmissions",
             "failures", "aborted", "corrupt_discarded", "in_flight",
-            "held_back",
+            "held_back", "replayed", "recoveries",
         ):
             metrics.gauge(f"{prefix}_{attr}", lambda a=attr: getattr(self, a))
+        metrics.gauge(f"{prefix}_journal_depth", lambda: self.journal_depth)
+        metrics.gauge(f"{prefix}_recovery_latency_ns", lambda: self.recovery_ns)
+        self._recovery_hist = metrics.histogram(
+            f"{prefix}_recovery_ns", RECOVERY_LATENCY_BUCKETS_NS
+        )
+        if self.journal is not None:
+            self._recover()
+
+    def on_unplug(self) -> None:
+        # Clean uninstall: push buffered journal records to disk so a
+        # later restart replays a complete write-ahead record.  The
+        # store stays open — the endpoint may be re-plugged.
+        if self.journal is not None:
+            self.journal.flush()
+
+    # -- durability --------------------------------------------------------
+    def attach_journal(self, journal: "SegmentStore") -> None:
+        """Bind a journal; recovers immediately if already installed."""
+        if self.journal is not None:
+            raise I2OError(
+                f"endpoint {self.name!r} already has a journal attached"
+            )
+        self.journal = journal
+        if self.executive is not None:
+            self._recover()
+
+    @property
+    def journal_depth(self) -> int:
+        """Unacknowledged records on disk (0 without a journal)."""
+        return self.journal.depth if self.journal is not None else 0
+
+    def _recover(self) -> None:
+        """Replay the journal's unacknowledged tail and resume the
+        sequence space past everything the journal has ever seen."""
+        exe = self._require_live()
+        journal = self.journal
+        assert journal is not None
+        start_ns = time.perf_counter_ns()
+        # Enforce identity before anything else: replaying under a new
+        # TiD would bypass the receiver's dedup keying entirely.
+        journal.ensure_identity(exe.node, int(self.tid))
+        state = journal.recovered
+        if state.next_seq > self._next_seq:
+            self._next_seq = state.next_seq
+        pending = journal.pending()
+        for seq in sorted(pending):
+            record = pending[seq]
+            if record.node == exe.node:
+                target = Tid(record.tid)
+            else:
+                target = exe.create_proxy(record.node, Tid(record.tid))
+            timer_id = self.start_timer(self.retransmit_ns, context=seq)
+            self._pending[seq] = (
+                target, record.payload, self.max_retries, timer_id,
+            )
+            self._transmit(seq, target, record.payload)
+            self.replayed += 1
+        if state.records:
+            self.recoveries += 1
+        self.recovery_ns = time.perf_counter_ns() - start_ns
+        self._recovery_hist.observe(self.recovery_ns)
+
+    def _stable_address(self, target: Tid) -> tuple[int, Tid]:
+        """Resolve ``target`` to ``(node, remote_tid)`` for the journal.
+
+        Proxy TiDs are process-local and do not survive a restart; the
+        route they stand for does.  A local target is recorded under
+        this executive's own node.
+        """
+        exe = self._require_live()
+        route = exe.route_for(target)
+        if route is not None:
+            return route.node, route.remote_tid
+        return exe.node, target
+
+    def _crash(self, point: str) -> None:
+        if self.crash_hook is not None:
+            self.crash_hook(point)
 
     # -- sending ----------------------------------------------------------
-    def send_reliable(self, target: Tid, payload: bytes) -> int:
-        """Queue ``payload`` for guaranteed delivery; returns its seq."""
+    def send_reliable(
+        self, target: Tid, payload: bytes | bytearray | memoryview
+    ) -> int:
+        """Queue ``payload`` for guaranteed delivery; returns its seq.
+
+        The payload bytes are snapshotted at this commit point, so the
+        caller may pass a view into a pool frame it is about to free:
+        retransmissions, the journal record and any eventual
+        ``on_failed`` report all use the private copy, never the
+        caller's (possibly recycled) buffer.
+        """
         seq = self._next_seq
-        self._next_seq += 1
         data = bytes(payload)
+        self._crash(CRASH_PRE_APPEND)
+        if self.journal is not None:
+            node, remote_tid = self._stable_address(target)
+            self.journal.append_send(seq, node, int(remote_tid), data)
+        self._crash(CRASH_POST_APPEND)
+        self._next_seq = seq + 1
         timer_id = self.start_timer(self.retransmit_ns, context=seq)
         self._pending[seq] = (target, data, self.max_retries, timer_id)
         self._transmit(seq, target, data)
@@ -216,6 +339,13 @@ class ReliableEndpoint(Listener):
         entry = self._pending.pop(seq, None)
         if entry is not None:
             self.cancel_timer(entry[3])
+            self._crash(CRASH_PRE_ACK_RECORD)
+            if self.journal is not None:
+                # Crash window: the peer has the message but this ack
+                # record may die unflushed.  Replay then re-transmits
+                # and the receiver's dedup absorbs the duplicate —
+                # at-least-once on the wire, exactly-once delivered.
+                self.journal.append_ack(seq)
 
     # -- retransmission ------------------------------------------------------
     def on_timer(self, context: int, frame: Frame) -> None:
@@ -227,8 +357,13 @@ class ReliableEndpoint(Listener):
         if retries_left <= 0:
             del self._pending[seq]
             self.failures += 1
+            if self.journal is not None:
+                # Permanently failed: retire the record so a restart
+                # does not resurrect a message the application was
+                # already told is dead.
+                self.journal.append_ack(seq)
             if self.on_failed is not None:
-                self.on_failed(seq, target, payload)
+                self.on_failed(seq, target, bytes(payload))
             return
         self.retransmissions += 1
         timer_id = self.start_timer(self.retransmit_ns, context=seq)
@@ -242,7 +377,11 @@ class ReliableEndpoint(Listener):
         The supervision layer calls this (via ``on_peer_dead``) when a
         peer is declared DEAD: the retransmit timers are disarmed and
         each aborted message is reported through ``on_failed`` exactly
-        like an exhausted retry.  Returns the abort count.
+        like an exhausted retry.  The payload handed to ``on_failed``
+        is snapshotted (``bytes``) at abort time, so the callback may
+        keep it indefinitely even if the pending table ever holds
+        views into pool blocks that recycle underneath it.  Returns
+        the abort count.
         """
         exe = self._require_live()
         doomed = []
@@ -255,8 +394,10 @@ class ReliableEndpoint(Listener):
             self.cancel_timer(timer_id)
             self.aborted += 1
             self.failures += 1
+            if self.journal is not None:
+                self.journal.append_ack(seq)
             if self.on_failed is not None:
-                self.on_failed(seq, target, payload)
+                self.on_failed(seq, target, bytes(payload))
         return len(doomed)
 
     # The supervision cascade's uniform hook name.
@@ -272,4 +413,7 @@ class ReliableEndpoint(Listener):
             "corrupt_discarded": self.corrupt_discarded,
             "in_flight": len(self._pending),
             "held_back": self.held_back,
+            "replayed": self.replayed,
+            "recoveries": self.recoveries,
+            "journal_depth": self.journal_depth,
         }

@@ -77,6 +77,16 @@ class TimerService:
             del self._live[timer_id]
         return len(doomed)
 
+    def cancel_all(self) -> int:
+        """Disarm every timer; returns the count.
+
+        The crash-teardown primitive (``Executive.hard_stop``): a dead
+        node's deadlines must not keep generating expiry frames."""
+        count = len(self._live)
+        self._live.clear()
+        self._heap.clear()
+        return count
+
     def next_deadline_ns(self) -> int | None:
         """Earliest live deadline (lets a sleeping loop size its wait)."""
         while self._heap and self._heap[0][1] not in self._live:

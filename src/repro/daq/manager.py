@@ -10,6 +10,7 @@ XDAQ.
 from __future__ import annotations
 
 import struct
+from typing import TYPE_CHECKING, Any
 
 from repro.core.device import Listener
 from repro.daq.protocol import (
@@ -24,7 +25,13 @@ from repro.i2o.errors import I2OError
 from repro.i2o.frame import Frame
 from repro.i2o.tid import Tid
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.durable.segments import SnapshotStore
+
 _EVENT_ID = struct.Struct("<Q")
+
+#: Version stamp inside every EVM snapshot; bump on layout change.
+SNAPSHOT_VERSION = 1
 
 
 class EventManager(Listener):
@@ -42,6 +49,17 @@ class EventManager(Listener):
     in the ring, up to ``max_reassignments`` times.  Readout buffers
     are still intact (CLEAR is only sent on completion), so the new
     builder can fetch every fragment.  0 disables recovery.
+
+    With a :class:`~repro.durable.segments.SnapshotStore` attached
+    (``snapshot_store``), the EVM persists its state — the in-flight
+    event table, builder ring position, per-event reassignment counts
+    and the completed/lost history — after every state-changing
+    dispatch.  A replacement EVM on a restarted node calls
+    :meth:`recover` after :meth:`connect` and resumes building against
+    the still-intact readout buffers: in-flight events are re-launched
+    (READOUT is idempotent on the RUs, ALLOCATE restarts the builder
+    cleanly) and re-delivered triggers for events it already knows are
+    suppressed as duplicates instead of being built twice.
     """
 
     device_class = "daq_eventmanager"
@@ -74,6 +92,12 @@ class EventManager(Listener):
         self.completed = 0
         self.completed_ids: list[int] = []
         self.keep_completed = 4096
+        self._completed_set: set[int] = set()
+        self.duplicate_triggers = 0
+        self.restores = 0
+        #: durable state cell; assign (or let bootstrap assign) before
+        #: traffic to persist a snapshot after every mutation
+        self.snapshot_store: "SnapshotStore | None" = None
 
     def connect(self, ru_tids: dict[int, Tid], bu_tids: dict[int, Tid]) -> None:
         if not ru_tids or not bu_tids:
@@ -99,17 +123,40 @@ class EventManager(Listener):
     def _on_trigger(self, frame: Frame) -> None:
         if frame.is_reply:
             return
+        (event_id,) = _EVENT_ID.unpack_from(frame.payload, 0)
+        self.intake_trigger(event_id)
+
+    def intake_trigger(self, event_id: int) -> None:
+        """Admit one trigger, deduplicated against everything the EVM
+        already knows about the event.
+
+        Public so a durable-stream consumer can feed the EVM
+        *synchronously within its own dispatch* — the delivery, the
+        intake and the snapshot write then commit or vanish together
+        on a crash.  The dedup matters after recovery: a sender
+        replaying its journal re-delivers any trigger whose ack record
+        died with the crashed node, and re-building an event that is
+        assigned (or already completed) would double-count it.
+        """
         if not self._rr:
             raise I2OError(f"event manager {self.name} is not connected")
-        (event_id,) = _EVENT_ID.unpack_from(frame.payload, 0)
+        if (
+            event_id in self._assigned
+            or event_id in self._completed_set
+            or event_id in self._throttled
+            or event_id in self.lost_events
+        ):
+            self.duplicate_triggers += 1
+            return
         self.triggers += 1
         if (
             self.max_in_flight is not None
             and len(self._assigned) >= self.max_in_flight
         ):
             self._throttled.append(event_id)
-            return
-        self._launch(event_id)
+        else:
+            self._launch(event_id)
+        self._autosave()
 
     def _launch(self, event_id: int, avoid: int | None = None) -> None:
         payload = _EVENT_ID.pack(event_id)
@@ -157,9 +204,11 @@ class EventManager(Listener):
                 self.send(ru_tid, payload, xfunction=XF_CLEAR,
                           organization=DAQ_ORG)
             self._release_throttled()
+            self._autosave()
             return
         self.reassignments += 1
         self._launch(event_id, avoid=failed_bu)
+        self._autosave()
 
     def _on_done(self, frame: Frame) -> None:
         if frame.is_reply:
@@ -174,10 +223,12 @@ class EventManager(Listener):
         self.completed += 1
         if len(self.completed_ids) < self.keep_completed:
             self.completed_ids.append(event_id)
+        self._completed_set.add(event_id)
         payload = _EVENT_ID.pack(event_id)
         for ru_tid in self.ru_tids.values():
             self.send(ru_tid, payload, xfunction=XF_CLEAR, organization=DAQ_ORG)
         self._release_throttled()
+        self._autosave()
 
     # -- supervision hook -------------------------------------------------
     def on_peer_dead(self, node: int) -> None:
@@ -224,6 +275,125 @@ class EventManager(Listener):
                 else:
                     self.lost_events.append(event_id)
                     self._attempts.pop(event_id, None)
+        self._autosave()
+
+    # -- durability --------------------------------------------------------
+    def snapshot(self) -> dict[str, Any]:
+        """The EVM's recoverable state as one JSON-safe document.
+
+        Captured: the in-flight event table, the throttle queue, the
+        builder ring and its cursor, per-event attempt counts, and the
+        completed/lost history the post-restart dedup needs.  *Not*
+        captured: armed timers (restore re-arms deadlines) and the
+        RU/BU TiD maps (proxy TiDs are process-local; the replacement
+        EVM re-``connect``\\ s first).
+        """
+        return {
+            "version": SNAPSHOT_VERSION,
+            "assigned": {str(ev): bu for ev, bu in self._assigned.items()},
+            "throttled": list(self._throttled),
+            "attempts": {str(ev): n for ev, n in self._attempts.items()},
+            "rr": list(self._rr),
+            "rr_index": self._rr_index,
+            "triggers": self.triggers,
+            "completed": self.completed,
+            "completed_ids": list(self.completed_ids),
+            "lost": list(self.lost_events),
+            "reassignments": self.reassignments,
+            "duplicate_triggers": self.duplicate_triggers,
+        }
+
+    def restore(self, snap: dict[str, Any], *, relaunch: bool = True) -> None:
+        """Adopt a snapshot; with ``relaunch`` (default), re-issue every
+        in-flight event so building resumes immediately.
+
+        Call after :meth:`connect`: relaunching needs live RU/BU
+        routes.  READOUT is idempotent on the RUs (existing buffers
+        are kept), and a fresh ALLOCATE resets the builder's partial
+        state for the event, so re-launching an event that was mid
+        build is always safe.  Events whose recorded builder left the
+        ring while this EVM was down are reassigned (counted in
+        ``reassignments``); per-event attempt counts carry over, so
+        the ``max_reassignments`` bound holds across restarts.
+        """
+        version = snap.get("version")
+        if version != SNAPSHOT_VERSION:
+            raise I2OError(
+                f"cannot restore EVM snapshot version {version!r} "
+                f"(expected {SNAPSHOT_VERSION})"
+            )
+        assigned = {int(k): int(v) for k, v in snap["assigned"].items()}
+        if assigned and not self._rr:
+            raise I2OError(
+                f"event manager {self.name}: connect() before restore()"
+            )
+        self._assigned = assigned
+        self._throttled = [int(x) for x in snap["throttled"]]
+        self._attempts = {int(k): int(v) for k, v in snap["attempts"].items()}
+        self.triggers = int(snap["triggers"])
+        self.completed = int(snap["completed"])
+        self.completed_ids = [int(x) for x in snap["completed_ids"]]
+        self._completed_set = set(self.completed_ids)
+        self.lost_events = [int(x) for x in snap["lost"]]
+        self.reassignments = int(snap["reassignments"])
+        self.duplicate_triggers = int(snap.get("duplicate_triggers", 0))
+        if self._rr and [int(b) for b in snap["rr"]] == self._rr:
+            self._rr_index = int(snap["rr_index"]) % len(self._rr)
+        else:
+            # The builder ring changed shape while we were away; the
+            # persisted cursor is meaningless, restart the round-robin.
+            self._rr_index = 0
+        for timer_id in self._deadlines.values():
+            self.cancel_timer(timer_id)
+        self._deadlines.clear()
+        self.restores += 1
+        if relaunch:
+            self._relaunch_assigned()
+        self._autosave()
+
+    def _relaunch_assigned(self) -> None:
+        payloads = {ev: _EVENT_ID.pack(ev) for ev in self._assigned}
+        for event_id in sorted(self._assigned):
+            bu_id = self._assigned[event_id]
+            if bu_id not in self.bu_tids:
+                # Its builder is gone: reassign (attempt count carries
+                # over from the snapshot, bounding crash-loop retries).
+                self._assigned.pop(event_id)
+                self.reassignments += 1
+                self._launch(event_id)
+                continue
+            for ru_tid in self.ru_tids.values():
+                self.send(ru_tid, payloads[event_id],
+                          xfunction=XF_READOUT, organization=DAQ_ORG)
+            if self.event_timeout_ns > 0:
+                self._deadlines[event_id] = self.start_timer(
+                    self.event_timeout_ns, context=event_id
+                )
+            self.send(
+                self.bu_tids[bu_id], payloads[event_id],
+                xfunction=XF_ALLOCATE, organization=DAQ_ORG,
+            )
+
+    def recover(self) -> bool:
+        """Restore from the attached snapshot store, if it has state.
+
+        Returns True when a snapshot was found and restored.  Raises
+        on a damaged snapshot (:class:`JournalCorruption`) — silently
+        starting cold would drop every in-flight event.
+        """
+        if self.snapshot_store is None:
+            raise I2OError(
+                f"event manager {self.name} has no snapshot store attached"
+            )
+        snap = self.snapshot_store.load()
+        if snap is None:
+            return False
+        self.restore(snap)
+        return True
+
+    def _autosave(self) -> None:
+        if self.snapshot_store is not None:
+            self.snapshot_store.save(self.snapshot())
 
     def _release_throttled(self) -> None:
         """Back-pressure release: a freed slot admits a queued trigger."""
@@ -243,6 +413,8 @@ class EventManager(Listener):
             "lost": len(self.lost_events),
             "readouts_dropped": self.readouts_dropped,
             "builders_dropped": self.builders_dropped,
+            "duplicate_triggers": self.duplicate_triggers,
+            "restores": self.restores,
         }
 
     @property

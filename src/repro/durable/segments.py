@@ -1,0 +1,321 @@
+"""On-disk stores: the journal segment file and the CRC'd snapshot.
+
+:class:`SegmentStore` owns one append-only journal file.  Appends are
+batched: records accumulate in memory and hit the file (with an
+optional ``fsync``) every ``flush_every`` records — the classic
+group-commit trade between durability window and write amplification.
+``flush_every=1`` with ``fsync=True`` is the strongest setting: a
+record is on stable storage before ``append_*`` returns, so the
+write-ahead ordering in the reliable endpoint (journal, *then*
+transmit) holds against real process death.  Larger batches shrink the
+cost but widen the window in which a committed send can die with the
+process; the recovery protocol stays correct either way — the message
+is then *lost with an explicit failure at the sender*, never silently
+half-delivered (see DESIGN.md §10 for the guarantee table).
+
+Compaction keeps the file proportional to the *live* (unacked) set:
+when enough records have accumulated and most are dead, the store
+rewrites ``META + live SENDs`` to a temporary file and atomically
+replaces the segment (``os.replace``), so a crash during compaction
+leaves either the old or the new file, both valid.
+
+:class:`SnapshotStore` is the event manager's durable state cell: one
+JSON document, length- and CRC-framed, written to a temporary file and
+atomically renamed, so a torn snapshot write can never shadow the last
+good snapshot.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import zlib
+from pathlib import Path
+from typing import Any, BinaryIO
+
+from repro.durable.journal import (
+    REC_ACK,
+    REC_META,
+    REC_SEND,
+    JournalCorruption,
+    JournalError,
+    Record,
+    decode_journal,
+    encode_record,
+)
+from repro.durable.replay import PendingSend, ReplayState, replay_records
+
+
+class SegmentStore:
+    """One endpoint's append-only journal segment.
+
+    Opening the store *is* recovery: existing bytes are decoded, a
+    torn tail is truncated off the file (appends must land on a
+    record-aligned boundary or the next reader would reject them as
+    corruption), and the fold of the surviving records is exposed as
+    :attr:`recovered` for the endpoint to resume from.
+    """
+
+    def __init__(
+        self,
+        path: str | os.PathLike[str],
+        *,
+        flush_every: int = 1,
+        fsync: bool = False,
+        compact_min_records: int = 64,
+        compact_live_ratio: float = 0.5,
+    ) -> None:
+        if flush_every < 1:
+            raise JournalError(f"flush_every must be >= 1, got {flush_every}")
+        if not 0.0 <= compact_live_ratio <= 1.0:
+            raise JournalError(
+                f"compact_live_ratio must be in [0, 1], got {compact_live_ratio}"
+            )
+        self.path = Path(path)
+        self.flush_every = flush_every
+        self.fsync = fsync
+        self.compact_min_records = compact_min_records
+        self.compact_live_ratio = compact_live_ratio
+
+        self.records_appended = 0
+        self.acks_recorded = 0
+        self.compactions = 0
+        self.fsyncs = 0
+        self.torn_bytes_recovered = 0
+
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self.recovered = self._recover_file()
+        self._live: dict[int, PendingSend] = dict(self.recovered.pending)
+        self._hwm = self.recovered.next_seq
+        self._identity = self.recovered.identity
+        self._records_total = self.recovered.records
+        self._buffer: list[bytes] = []
+        self._unflushed = 0
+        self._file: BinaryIO | None = open(self.path, "ab")
+
+    def _recover_file(self) -> ReplayState:
+        try:
+            data = self.path.read_bytes()
+        except FileNotFoundError:
+            return ReplayState()
+        result = decode_journal(data)  # raises JournalCorruption on damage
+        if result.truncated:
+            # Cut the torn tail off on disk so new appends are
+            # record-aligned; losing a half-written record is the
+            # normal crash artefact, not data loss (it was never
+            # acknowledged as durable).
+            self.torn_bytes_recovered = result.torn_bytes
+            with open(self.path, "r+b") as fh:
+                fh.truncate(result.consumed)
+        return replay_records(result.records)
+
+    # -- identity -----------------------------------------------------------
+    def ensure_identity(self, node: int, tid: int) -> None:
+        """Stamp (or verify) the owning endpoint's identity.
+
+        The receiver's duplicate suppression is keyed by the sender's
+        ``(node, tid)``; replaying this journal from any other identity
+        would re-deliver every unacked message as *new* traffic.  A
+        mismatch is therefore a refusal, not a warning.
+        """
+        if self._identity is None:
+            self._identity = (node, tid)
+            self._append(
+                Record(kind=REC_META, seq=self._hwm, node=node, tid=tid)
+            )
+        elif self._identity != (node, tid):
+            jnode, jtid = self._identity
+            raise JournalError(
+                f"journal {self.path.name} belongs to endpoint TiD {jtid} on "
+                f"node {jnode}; reinstall the endpoint at its recorded "
+                f"identity (got TiD {tid} on node {node})"
+            )
+
+    @property
+    def identity(self) -> tuple[int, int] | None:
+        return self._identity
+
+    # -- appends ------------------------------------------------------------
+    def append_send(
+        self, seq: int, node: int, tid: int, payload: bytes
+    ) -> None:
+        """Write-ahead record for a message about to be transmitted."""
+        self._append(
+            Record(kind=REC_SEND, seq=seq, node=node, tid=tid, payload=payload)
+        )
+        self._live[seq] = PendingSend(
+            seq=seq, node=node, tid=tid, payload=payload
+        )
+        if seq >= self._hwm:
+            self._hwm = seq + 1
+
+    def append_ack(self, seq: int) -> None:
+        """Retire ``seq`` — acknowledged or permanently failed; either
+        way it must not resurrect on replay."""
+        self._append(Record(kind=REC_ACK, seq=seq))
+        self.acks_recorded += 1
+        if self._live.pop(seq, None) is not None:
+            self._maybe_compact()
+
+    def _append(self, record: Record) -> None:
+        if self._file is None:
+            raise JournalError(f"journal {self.path.name} is closed")
+        self._buffer.append(encode_record(record))
+        self.records_appended += 1
+        self._records_total += 1
+        self._unflushed += 1
+        if self._unflushed >= self.flush_every:
+            self.flush()
+
+    def flush(self) -> None:
+        """Push buffered records to the file (group commit point)."""
+        if self._file is None or not self._buffer:
+            return
+        self._file.write(b"".join(self._buffer))
+        self._buffer.clear()
+        self._unflushed = 0
+        self._file.flush()
+        if self.fsync:
+            os.fsync(self._file.fileno())
+            self.fsyncs += 1
+
+    # -- compaction ---------------------------------------------------------
+    def _maybe_compact(self) -> None:
+        if self._records_total < self.compact_min_records:
+            return
+        if len(self._live) <= self.compact_live_ratio * self._records_total:
+            self.compact()
+
+    def compact(self) -> None:
+        """Rewrite the segment as ``META + live SENDs``, atomically.
+
+        ``os.replace`` makes the swap a single metadata operation: a
+        crash mid-compaction leaves either the old segment (compaction
+        simply never happened) or the complete new one.
+        """
+        if self._file is None:
+            raise JournalError(f"journal {self.path.name} is closed")
+        self.flush()
+        node, tid = self._identity if self._identity is not None else (0, 0)
+        tmp = self.path.with_name(self.path.name + ".compact")
+        with open(tmp, "wb") as fh:
+            fh.write(
+                encode_record(
+                    Record(kind=REC_META, seq=self._hwm, node=node, tid=tid)
+                )
+            )
+            for seq in sorted(self._live):
+                fh.write(encode_record(self._live[seq].as_record()))
+            fh.flush()
+            if self.fsync:
+                os.fsync(fh.fileno())
+                self.fsyncs += 1
+        self._file.close()
+        os.replace(tmp, self.path)
+        self._file = open(self.path, "ab")
+        self._records_total = 1 + len(self._live)
+        self.compactions += 1
+
+    # -- lifecycle ----------------------------------------------------------
+    @property
+    def depth(self) -> int:
+        """Live (unacknowledged) records — what a restart would replay."""
+        return len(self._live)
+
+    @property
+    def closed(self) -> bool:
+        return self._file is None
+
+    def pending(self) -> dict[int, PendingSend]:
+        """The live set, keyed by seq (a copy; callers may mutate)."""
+        return dict(self._live)
+
+    def close(self) -> None:
+        """Flush and close (clean shutdown)."""
+        if self._file is not None:
+            self.flush()
+            self._file.close()
+            self._file = None
+
+    def crash(self) -> None:
+        """Simulate process death: buffered-but-unflushed records are
+        *discarded*, exactly as the OS discards a dead process's user
+        buffers.  Tests use this to exercise the batched-flush
+        durability window honestly."""
+        if self._file is not None:
+            self._buffer.clear()
+            self._unflushed = 0
+            self._file.close()
+            self._file = None
+
+
+#: snapshot framing: magic u32, payload length u32, payload CRC32 u32
+_SNAP_MAGIC = 0x534E4150  # "SNAP"
+_SNAP_HEADER = struct.Struct("<III")
+
+
+class SnapshotStore:
+    """Atomic, CRC-framed JSON snapshot cell (one document).
+
+    ``save`` never updates in place: it writes a sibling temp file and
+    ``os.replace``s it over the target, so the store always holds
+    either the previous snapshot or the new one — never a torn mix.
+    """
+
+    def __init__(self, path: str | os.PathLike[str]) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self.saves = 0
+
+    def exists(self) -> bool:
+        return self.path.exists()
+
+    def save(self, state: dict[str, Any]) -> None:
+        payload = json.dumps(state, sort_keys=True).encode("utf-8")
+        header = _SNAP_HEADER.pack(
+            _SNAP_MAGIC, len(payload), zlib.crc32(payload)
+        )
+        tmp = self.path.with_name(self.path.name + ".tmp")
+        with open(tmp, "wb") as fh:
+            fh.write(header + payload)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, self.path)
+        self.saves += 1
+
+    def load(self) -> dict[str, Any] | None:
+        """The last saved snapshot, or ``None`` if none exists.
+
+        Raises :class:`JournalCorruption` when the file is present but
+        damaged — restoring from a half-trusted snapshot could
+        silently drop in-flight events, which is exactly the failure
+        this layer exists to rule out.
+        """
+        try:
+            data = self.path.read_bytes()
+        except FileNotFoundError:
+            return None
+        if len(data) < _SNAP_HEADER.size:
+            raise JournalCorruption(0, "snapshot shorter than its header")
+        magic, length, crc = _SNAP_HEADER.unpack_from(data, 0)
+        if magic != _SNAP_MAGIC:
+            raise JournalCorruption(0, f"bad snapshot magic 0x{magic:08x}")
+        payload = data[_SNAP_HEADER.size:]
+        if len(payload) != length:
+            raise JournalCorruption(
+                _SNAP_HEADER.size,
+                f"snapshot payload is {len(payload)} bytes, header "
+                f"declares {length}",
+            )
+        if zlib.crc32(payload) != crc:
+            raise JournalCorruption(_SNAP_HEADER.size, "snapshot CRC mismatch")
+        loaded = json.loads(payload.decode("utf-8"))
+        if not isinstance(loaded, dict):
+            raise JournalCorruption(
+                _SNAP_HEADER.size, "snapshot is not a JSON object"
+            )
+        return loaded
+
+    def clear(self) -> None:
+        self.path.unlink(missing_ok=True)

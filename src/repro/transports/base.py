@@ -105,6 +105,16 @@ class PeerTransport(Listener):
     def resume(self) -> None:
         self.suspended = False
 
+    def crash_detach(self) -> None:
+        """Abandon the medium as a crashed node would: no draining, no
+        farewells (``Executive.hard_stop``).  The base implementation
+        only suspends; transports that hold staged pool blocks or a
+        registration in a shared medium override this to release the
+        blocks and leave the registry, so frames addressed to the dead
+        node fail fast and a replacement transport can rejoin under
+        the same node id."""
+        self.suspended = True
+
     # -- shared receive path ---------------------------------------------------
     def ingest_into(
         self, src_node: int, frame_len: int, fill: Callable[[memoryview], None]

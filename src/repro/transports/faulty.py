@@ -188,6 +188,12 @@ class FaultyLoopbackTransport(LoopbackTransport):
         self._delayed_queue.clear()
         return self.poll()
 
+    def crash_detach(self) -> None:
+        for item in self._delayed_queue:
+            self.release_staged(item)
+        self._delayed_queue.clear()
+        super().crash_detach()
+
     @property
     def has_pending(self) -> bool:
         return bool(self._staged) or bool(self._delayed_queue)

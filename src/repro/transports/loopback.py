@@ -33,6 +33,17 @@ class LoopbackNetwork:
             raise TransportError(f"node {node} already on loopback network")
         self._endpoints[node] = transport
 
+    def leave(self, node: int,
+              transport: "LoopbackTransport | None" = None) -> None:
+        """Remove ``node``'s endpoint (crash detach / rejoin support).
+
+        Passing ``transport`` makes the removal conditional on it still
+        being the registered endpoint, so a stale crash teardown can
+        never evict the replacement that already rejoined."""
+        current = self._endpoints.get(node)
+        if current is not None and (transport is None or current is transport):
+            del self._endpoints[node]
+
     def endpoint(self, node: int) -> "LoopbackTransport":
         ep = self._endpoints.get(node)
         if ep is None:
@@ -87,6 +98,19 @@ class LoopbackTransport(PeerTransport):
         for item in staged:
             self.ingest_staged(item)
         return True
+
+    def crash_detach(self) -> None:
+        """Die abruptly: release every staged block (they may belong to
+        *other* nodes' pools — the OS analogue is reclaiming a dead
+        process's mapped memory) and leave the network so senders get
+        fail-fast transport errors until a replacement rejoins."""
+        for item in self._staged:
+            self.release_staged(item)
+        self._staged.clear()
+        exe = self.executive
+        if exe is not None:
+            self.network.leave(exe.node, self)
+        super().crash_detach()
 
     @property
     def has_pending(self) -> bool:

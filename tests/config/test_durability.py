@@ -1,0 +1,103 @@
+"""Bootstrap wiring for the durability spec section."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config.bootstrap import BootstrapError, bootstrap
+
+RELIABLE = "repro.core.reliable.ReliableEndpoint"
+EVM = "repro.daq.manager.EventManager"
+ECHO = "repro.bench.devices.EchoDevice"
+
+
+def durable_spec(tmp_path, **durability):
+    durability.setdefault("dir", str(tmp_path / "state"))
+    return {
+        "nodes": {
+            0: {"devices": [
+                {"class": EVM, "name": "evm"},
+                {"class": RELIABLE, "name": "rx"},
+            ]},
+            1: {"devices": [
+                {"class": RELIABLE, "name": "feed"},
+                {"class": ECHO, "name": "echo"},
+            ]},
+        },
+        "durability": durability,
+    }
+
+
+class TestWiring:
+    def test_journals_and_snapshots_attached(self, tmp_path):
+        cluster = bootstrap(durable_spec(tmp_path))
+        assert sorted(cluster.journals) == ["feed", "rx"]
+        assert sorted(cluster.snapshots) == ["evm"]
+        for name in ("feed", "rx"):
+            store = cluster.journals[name]
+            assert store.path.exists()
+            assert cluster.device(name).journal is store
+        assert cluster.device("evm").snapshot_store is cluster.snapshots["evm"]
+        # Non-durable devices are untouched.
+        assert "echo" not in cluster.journals
+
+    def test_store_options_forwarded(self, tmp_path):
+        cluster = bootstrap(durable_spec(
+            tmp_path, flush_every=4, fsync=False, compact_min_records=8,
+            compact_live_ratio=0.25,
+        ))
+        store = cluster.journals["feed"]
+        assert store.flush_every == 4
+        assert store.compact_min_records == 8
+        assert store.compact_live_ratio == 0.25
+
+    def test_string_values_coerced_through_schema(self, tmp_path):
+        """Spec files carry strings; the schema formats them."""
+        cluster = bootstrap(durable_spec(tmp_path, flush_every="3",
+                                         journals="true"))
+        assert cluster.journals["feed"].flush_every == 3
+
+    def test_journals_off_skips_endpoints(self, tmp_path):
+        cluster = bootstrap(durable_spec(tmp_path, journals=False))
+        assert cluster.journals == {}
+        assert cluster.device("feed").journal is None
+        assert sorted(cluster.snapshots) == ["evm"]
+
+    def test_snapshots_off_skips_evm(self, tmp_path):
+        cluster = bootstrap(durable_spec(tmp_path, snapshots=False))
+        assert cluster.snapshots == {}
+        assert cluster.device("evm").snapshot_store is None
+        assert sorted(cluster.journals) == ["feed", "rx"]
+
+    def test_existing_journal_recovers_at_bootstrap(self, tmp_path):
+        """A journal left by a previous incarnation replays during
+        bootstrap itself: the endpoint comes up owing its peers the
+        unacknowledged tail."""
+        spec = durable_spec(tmp_path)
+        cluster = bootstrap(spec)
+        feed = cluster.device("feed")
+        peer = cluster.proxy(1, "rx")
+        feed.send_reliable(peer, b"unacked")
+        # Simulate process death: nothing pumped, nothing acked.
+        for store in cluster.journals.values():
+            store.close()
+        reborn = bootstrap(durable_spec(tmp_path))
+        assert reborn.device("feed").replayed == 1
+        assert reborn.device("feed").recoveries == 1
+        assert reborn.device("rx").replayed == 0
+
+
+class TestRejection:
+    def test_missing_dir_rejected(self, tmp_path):
+        spec = durable_spec(tmp_path)
+        del spec["durability"]["dir"]
+        with pytest.raises(BootstrapError, match="dir"):
+            bootstrap(spec)
+
+    def test_unknown_key_rejected(self, tmp_path):
+        with pytest.raises(BootstrapError, match="durability"):
+            bootstrap(durable_spec(tmp_path, wal_mode="paranoid"))
+
+    def test_out_of_range_value_rejected(self, tmp_path):
+        with pytest.raises(BootstrapError, match="durability"):
+            bootstrap(durable_spec(tmp_path, flush_every=0))

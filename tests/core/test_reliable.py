@@ -6,6 +6,7 @@ import pytest
 
 from repro.core.executive import Executive
 from repro.core.reliable import ReliableEndpoint
+from repro.i2o.errors import I2OError
 from repro.transports.agent import PeerTransportAgent
 from repro.transports.faulty import FaultPlan, FaultyLoopbackTransport
 from repro.transports.loopback import LoopbackNetwork, LoopbackTransport
@@ -186,6 +187,106 @@ class TestOrderedMode:
         run(clocks, exes, rounds=20)  # retransmit timer resends seq 1
         assert received == [b"first", b"second", b"third"]
         assert eps[1].held_back == 0
+
+
+class TestJournaledEndpoint:
+    def test_acked_stream_retires_the_journal(self, tmp_path):
+        from repro.durable.journal import REC_ACK, REC_META, REC_SEND, decode_journal
+        from repro.durable.segments import SegmentStore
+
+        clocks, exes, eps = build_pair()
+        store = SegmentStore(tmp_path / "tx.journal")
+        eps[0].attach_journal(store)
+        received = []
+        eps[1].consumer = lambda src, data: received.append(bytes(data))
+        peer = exes[0].create_proxy(1, eps[1].tid)
+        messages = [f"j{i}".encode() for i in range(5)]
+        for m in messages:
+            eps[0].send_reliable(peer, m)
+        assert store.depth == 5  # write-ahead: journaled at commit
+        run(clocks, exes, rounds=10)
+        assert received == messages
+        assert store.depth == 0
+        assert store.acks_recorded == 5
+        store.close()
+        kinds = [r.kind for r in decode_journal(store.path.read_bytes()).records]
+        assert kinds.count(REC_META) == 1
+        assert kinds.count(REC_SEND) == 5
+        assert kinds.count(REC_ACK) == 5
+
+    def test_second_journal_refused(self, tmp_path):
+        from repro.durable.segments import SegmentStore
+
+        clocks, exes, eps = build_pair()
+        eps[0].attach_journal(SegmentStore(tmp_path / "a.journal"))
+        with pytest.raises(I2OError):
+            eps[0].attach_journal(SegmentStore(tmp_path / "b.journal"))
+
+    def test_exhausted_retries_retire_the_record(self, tmp_path):
+        """A message reported dead through on_failed must not
+        resurrect when the endpoint later restarts."""
+        from repro.durable.segments import SegmentStore
+
+        plan = FaultPlan(drop_rate=1.0)
+        clocks, exes, eps = build_pair(plan, max_retries=2)
+        store = SegmentStore(tmp_path / "tx.journal")
+        eps[0].attach_journal(store)
+        failures = []
+        eps[0].on_failed = lambda seq, target, payload: failures.append(seq)
+        peer = exes[0].create_proxy(1, eps[1].tid)
+        eps[0].send_reliable(peer, b"doomed")
+        run(clocks, exes, rounds=50)
+        assert len(failures) == 1
+        assert store.depth == 0
+
+
+class TestAbortPayloadSnapshot:
+    def test_on_failed_payload_survives_pool_recycling(self):
+        """Regression: the payload handed to ``on_failed`` at abort
+        time must be a private snapshot.  A caller that sent a view
+        into a pool frame and then freed the frame must not see the
+        sanitizer's poison pattern (or another message's bytes) in the
+        failure report."""
+        from repro.analysis.sanitize import SanitizingTableAllocator
+        from repro.mem.pool import BufferPool
+
+        network = LoopbackNetwork()
+        clock0 = _ManualClock()
+        exes, eps = {}, {}
+        for node in range(2):
+            exe = Executive(
+                node=node, clock=clock0,
+                pool=BufferPool(SanitizingTableAllocator()),
+            )
+            PeerTransportAgent.attach(exe).register(
+                LoopbackTransport(network), default=True
+            )
+            ep = ReliableEndpoint(retransmit_ns=1000)
+            exe.install(ep)
+            exes[node], eps[node] = exe, ep
+
+        pattern = bytes(range(64))
+        block = exes[0].pool.alloc(len(pattern))
+        block.memory[: len(pattern)] = pattern
+        reports = []
+        eps[0].on_failed = (
+            lambda seq, target, payload: reports.append(bytes(payload))
+        )
+        peer = exes[0].create_proxy(1, eps[1].tid)
+        eps[0].send_reliable(peer, block.memory[: len(pattern)])
+        exes[0].pool.free(block)  # sanitizer poisons the freed block
+        # Supervision declares the peer dead: the pending message is
+        # aborted and reported — with the original bytes, not poison.
+        assert eps[0].on_peer_dead(1) == 1
+        assert reports == [pattern]
+        # Drain staged traffic from the initial transmit (and the ack
+        # it provokes) so the conservation check sees a settled wire.
+        for _ in range(100):
+            if not any(exe.step() for exe in exes.values()):
+                break
+        for exe in exes.values():
+            exe.pool.check_conservation()
+            assert exe.pool.in_flight == 0
 
 
 class TestPoolHygiene:

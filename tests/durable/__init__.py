@@ -1,0 +1,1 @@
+"""Durable-stream tests: journal codec, stores, crash points."""
