@@ -29,7 +29,7 @@ import os
 import threading
 import traceback
 from dataclasses import dataclass
-from typing import Any
+from typing import Any, Callable
 
 from repro.mem.block import BlockStateError, PoolBlock
 from repro.mem.pool import (
@@ -139,6 +139,9 @@ class SanitizedBlock(PoolBlock):
             detail = (
                 f"\n  first freed:\n{first.render()}" if first else ""
             )
+            notify = getattr(self._owner, "_notify_violation", None)
+            if notify is not None:
+                notify("double-free")
             raise DoubleFreeError(
                 f"double free of block #{self.index}: {exc}{detail}"
             ) from exc
@@ -158,6 +161,10 @@ class _SanitizingMixin:
 
     def __init__(self, *args: Any, **kwargs: Any) -> None:
         self._tracked: list[SanitizedBlock] = []
+        #: observer slot for crash instrumentation (the executive's
+        #: flight recorder plugs in here); called with the violation
+        #: kind ("double-free" / "use-after-free") *before* raising.
+        self.on_violation: Callable[[str], None] | None = None
         super().__init__(*args, **kwargs)
 
     # -- subclass-contract overrides ---------------------------------------
@@ -184,12 +191,17 @@ class _SanitizingMixin:
         super()._recycle(block)  # type: ignore[misc]
 
     # -- checks -------------------------------------------------------------
+    def _notify_violation(self, kind: str) -> None:
+        if self.on_violation is not None:
+            self.on_violation(kind)
+
     def _verify_canary(self, block: SanitizedBlock) -> None:
         if not block.poisoned:
             return  # never freed yet: memory is virgin, no canary
         if any(byte != POISON for byte in block.memory):
             free = block.last_event("free")
             detail = f"\n  freed:\n{free.render()}" if free else ""
+            self._notify_violation("use-after-free")
             raise UseAfterFreeError(
                 f"use-after-free write detected in block #{block.index}: "
                 f"poison canary overwritten while on the free list{detail}"

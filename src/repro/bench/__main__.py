@@ -87,6 +87,12 @@ def _zerocopy() -> str:
     return run_zerocopy().report()
 
 
+def _flightrec() -> str:
+    from repro.bench.flightrec import run_flightrec
+
+    return run_flightrec().report()
+
+
 EXPERIMENTS: dict[str, tuple[str, Callable[[], str]]] = {
     "fig6": ("Figure 6: blackbox ping-pong latencies", _fig6),
     "tab1": ("Table 1: whitebox stage breakdown", _tab1),
@@ -100,6 +106,8 @@ EXPERIMENTS: dict[str, tuple[str, Callable[[], str]]] = {
     "daqscale": ("X5: event-builder throughput at cluster scale", _daqscale),
     "telemetry": ("X6: observability overhead on the dispatch path", _telemetry),
     "zerocopy": ("X7: copies per frame on the zero-copy path", _zerocopy),
+    "flightrec": ("X9: flight-recorder overhead on the dispatch path",
+                  _flightrec),
 }
 
 

@@ -75,6 +75,8 @@ class Cluster:
     journals: dict[str, Any] = field(default_factory=dict)
     #: device name -> its SnapshotStore, when the spec asked for durability
     snapshots: dict[str, Any] = field(default_factory=dict)
+    #: node -> its FlightRecorder, when the spec asked for one
+    flight_recorders: dict[int, Any] = field(default_factory=dict)
 
     def executive(self, node: int) -> Executive:
         exe = self.executives.get(node)
@@ -208,6 +210,9 @@ def bootstrap(spec: dict[str, Any]) -> Cluster:
     durability = spec.get("durability")
     if durability is not None:
         _wire_durability(cluster, dict(durability))
+    flightrec = spec.get("flight_recorder")
+    if flightrec is not None:
+        _wire_flightrec(cluster, dict(flightrec))
     return cluster
 
 
@@ -310,6 +315,53 @@ def _wire_durability(cluster: Cluster, conf: dict[str, Any]) -> None:
             snaps = SnapshotStore(os.path.join(directory, f"{name}.snapshot"))
             device.snapshot_store = snaps  # type: ignore[attr-defined]
             cluster.snapshots[name] = snaps
+
+
+def _wire_flightrec(cluster: Cluster, conf: dict[str, Any]) -> None:
+    """Attach a black-box flight recorder to every node.
+
+    Spec section (``dir`` required, the rest optional — see
+    :data:`repro.config.schema.FLIGHT_RECORDER_SCHEMA`)::
+
+        "flight_recorder": {
+            "dir": "/var/lib/repro/crash",  # where dumps land
+            "capacity": 4096,               # ring records per node
+        }
+
+    Every executive gets its own preallocated ring spilled to
+    ``<dir>/node<NNN>.flightrec`` on ``hard_stop``, watchdog trips,
+    sanitizer violations and uncaught dispatch exceptions; decode with
+    ``python -m repro.flightrec``.
+    """
+    import os
+
+    from repro.config.schema import FLIGHT_RECORDER_SCHEMA, SchemaError
+    from repro.flightrec.recorder import FlightRecorder
+
+    directory = conf.pop("dir", None)
+    if not directory or not isinstance(directory, (str, os.PathLike)):
+        raise BootstrapError("flight_recorder section needs a 'dir' path")
+    try:
+        options = FLIGHT_RECORDER_SCHEMA.validate_update(
+            {key: FLIGHT_RECORDER_SCHEMA.spec(key).format(value)
+             if not isinstance(value, str) else value
+             for key, value in conf.items()}
+        )
+    except SchemaError as exc:
+        raise BootstrapError(f"bad flight_recorder section: {exc}") from exc
+    merged = {spec.name: spec.default for spec in FLIGHT_RECORDER_SCHEMA}
+    merged.update(options)
+    os.makedirs(directory, exist_ok=True)
+    for node in sorted(cluster.executives):
+        exe = cluster.executives[node]
+        recorder = FlightRecorder(
+            node=node,
+            capacity=int(merged["capacity"]),
+            dump_dir=directory,
+            clock=exe.clock,
+        )
+        exe.attach_flight_recorder(recorder)
+        cluster.flight_recorders[node] = recorder
 
 
 def _wire_telemetry(cluster: Cluster, conf: dict[str, Any]) -> None:

@@ -183,6 +183,15 @@ DURABILITY_SCHEMA = ParamSchema([
               description="compact when live/total falls to this ratio"),
 ])
 
+#: Typed schema for the bootstrap spec's ``flight_recorder`` section
+#: (``repro.flightrec``).  The dump location (``dir``) is deliberately
+#: not a parameter here — it is a required, un-defaultable path that
+#: the bootstrap validates itself.
+FLIGHT_RECORDER_SCHEMA = ParamSchema([
+    ParamSpec("capacity", int, default=4096, minimum=8,
+              description="black-box ring capacity in records per node"),
+])
+
 
 class SchemaListenerMixin:
     """Mixin for :class:`~repro.core.device.Listener` subclasses that

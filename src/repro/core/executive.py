@@ -68,9 +68,28 @@ from repro.i2o.tid import (
     TidAllocator,
     check_tid,
 )
+from repro.flightrec.records import (
+    EV_DISPATCH_BEGIN,
+    EV_DISPATCH_END,
+    EV_DISPATCH_ERROR,
+    EV_FRAME_ALLOC,
+    EV_FRAME_RELEASE,
+    EV_HARD_STOP,
+    EV_LIVENESS,
+    EV_POOL_EXHAUSTED,
+    EV_SANITIZER,
+    EV_WATCHDOG_TRIP,
+    LIVE_ALIVE,
+    LIVE_DEAD,
+    LIVE_SUSPECT,
+    SAN_DOUBLE_FREE,
+    SAN_USE_AFTER_FREE,
+    pack3,
+)
 from repro.mem.pool import BufferPool, PoolExhausted
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.flightrec.recorder import FlightRecorder
     from repro.transports.agent import PeerTransportAgent
 
 logger = logging.getLogger(__name__)
@@ -239,6 +258,7 @@ class Executive:
         max_dispatch_per_step: int = 16,
         metrics: MetricsRegistry | None = None,
         tracer: FrameTracer | None = None,
+        flightrec: "FlightRecorder | None" = None,
     ) -> None:
         self.node = node
         self.pool = pool if pool is not None else BufferPool()
@@ -252,6 +272,9 @@ class Executive:
         #: ``None`` disables tracing entirely: the hot path pays one
         #: ``is not None`` test per hook, nothing else.
         self.tracer = tracer
+        #: the black-box flight recorder; same off-mode discipline as
+        #: the tracer (set via :meth:`attach_flight_recorder`).
+        self.flightrec: "FlightRecorder | None" = None
 
         self.tids = TidAllocator()
         self.scheduler = PriorityScheduler()
@@ -296,6 +319,8 @@ class Executive:
             "exe_dispatch_ns", DISPATCH_LATENCY_BUCKETS_NS
         )
         self._register_core_metrics()
+        if flightrec is not None:
+            self.attach_flight_recorder(flightrec)
 
     def _register_core_metrics(self) -> None:
         """Expose hot-path state through callback gauges.
@@ -332,6 +357,50 @@ class Executive:
             "trace_spans_dropped_total",
             lambda: self.tracer.dropped if self.tracer is not None else 0,
         )
+
+    def attach_flight_recorder(self, recorder: "FlightRecorder") -> None:
+        """Wire a black-box :class:`~repro.flightrec.FlightRecorder`.
+
+        Adopts this executive's node id and clock when the recorder
+        has none, subscribes liveness transitions from the peer table,
+        hooks sanitizer violations (when the pool's allocator exposes
+        the ``on_violation`` callback slot) so a use-after-free or
+        double free spills the ring before raising, and exposes the
+        recorder's own accounting as callback gauges.  The dispatch
+        hot path then pays one ``is None`` test plus one ring write
+        per hook — the tracer discipline.
+        """
+        if self.flightrec is not None:
+            raise I2OError(
+                f"node {self.node} already has a flight recorder attached"
+            )
+        if recorder.node is None:
+            recorder.node = self.node
+        if recorder.clock is None:
+            recorder.clock = self.clock
+        self.flightrec = recorder
+        record = recorder.record
+        self.peers.on_alive(lambda node: record(EV_LIVENESS, node, LIVE_ALIVE))
+        self.peers.on_suspect(
+            lambda node: record(EV_LIVENESS, node, LIVE_SUSPECT)
+        )
+        self.peers.on_dead(lambda node: record(EV_LIVENESS, node, LIVE_DEAD))
+        allocator = self.pool.allocator
+        if hasattr(allocator, "on_violation"):
+            codes = {
+                "double-free": SAN_DOUBLE_FREE,
+                "use-after-free": SAN_USE_AFTER_FREE,
+            }
+
+            def spill_violation(kind: str) -> None:
+                record(EV_SANITIZER, codes.get(kind, 0))
+                recorder.spill("sanitizer")
+
+            allocator.on_violation = spill_violation
+        m = self.metrics
+        m.gauge("flightrec_records_total", lambda: recorder.total_records)
+        m.gauge("flightrec_dropped_total", lambda: recorder.dropped_records)
+        m.gauge("flightrec_spills_total", lambda: recorder.spills)
 
     # ------------------------------------------------------------------
     # device management
@@ -524,7 +593,14 @@ class Executive:
         buffer loaning).
         """
         with self.probes.measure("frame_alloc"):
-            block = self.pool.alloc(HEADER_SIZE + payload_size)
+            try:
+                block = self.pool.alloc(HEADER_SIZE + payload_size)
+            except PoolExhausted:
+                if self.flightrec is not None:
+                    self.flightrec.record(
+                        EV_POOL_EXHAUSTED, HEADER_SIZE + payload_size
+                    )
+                raise
             frame = Frame(block.memory[: HEADER_SIZE + payload_size], block=block)
             frame.set_header(
                 target=target,
@@ -535,6 +611,11 @@ class Executive:
                 flags=flags,
                 xfunction=xfunction,
                 organization=organization,
+            )
+        if self.flightrec is not None:
+            self.flightrec.record(
+                EV_FRAME_ALLOC, HEADER_SIZE + payload_size,
+                self.pool.in_flight,
             )
         return frame
 
@@ -556,6 +637,12 @@ class Executive:
         """Release a frame's block back to the pool (frameFree)."""
         with self.probes.measure("frame_free"):
             if frame.block is not None:
+                if self.flightrec is not None:
+                    # Context read *before* the free: afterwards the
+                    # block may recycle under the sanitizer's poison.
+                    self.flightrec.record(
+                        EV_FRAME_RELEASE, frame.transaction_context
+                    )
                 self.pool.free(frame.block)
                 frame.block = None
 
@@ -664,6 +751,8 @@ class Executive:
             self._thread.join(timeout=5.0)
             self._thread = None
         self._halt_requested = True
+        if self.flightrec is not None:
+            self.flightrec.record(EV_HARD_STOP)
         self.timers.cancel_all()
         detached: set[int] = set()
         for pt in self._pollable:
@@ -680,6 +769,10 @@ class Executive:
         while (frame := self.scheduler.pop()) is not None:
             self._release_frame(frame)
         self.state = DeviceState.FAILED
+        if self.flightrec is not None:
+            # Spill last so the drain's frame-release records make it
+            # into the black box before the ring goes to disk.
+            self.flightrec.spill("hard_stop")
 
     def _report_pool_leaks(self) -> None:
         """Under ``REPRO_SANITIZE=1``, surface any blocks still loaned
@@ -823,11 +916,22 @@ class Executive:
             return False
         tracer = self.tracer
         timed = self.metrics.timing
-        if tracer is not None or timed:
+        fr = self.flightrec
+        if tracer is not None or timed or fr is not None:
             start_ns = self.clock.now_ns()
             token = tracer.begin_dispatch(frame, start_ns) if tracer else None
         else:
             start_ns, token = 0, None
+        if fr is not None:
+            # Snapshot before dispatch: the handler may free the frame,
+            # after which reading it is a use-after-free.
+            dispatch_ctx = frame.transaction_context
+            dispatch_hdr = pack3(frame.target, frame.function, frame.xfunction)
+            fr.record(
+                EV_DISPATCH_BEGIN, dispatch_ctx, dispatch_hdr, t_ns=start_ns
+            )
+        else:
+            dispatch_ctx = dispatch_hdr = 0
         try:
             with self.probes.measure("demultiplex"):
                 device = self._devices.get(frame.target)
@@ -837,6 +941,8 @@ class Executive:
                     self.dropped += 1
                     if tracer is not None:
                         tracer.end_dispatch(token, self.clock.now_ns())
+                    if fr is not None:
+                        fr.record(EV_DISPATCH_END, dispatch_ctx, dispatch_hdr)
                     return True
                 functor = device.table.lookup(frame)
             with self.probes.measure("upcall"):
@@ -874,6 +980,9 @@ class Executive:
                 frame.target,
                 exc,
             )
+            if fr is not None:
+                fr.record(EV_DISPATCH_ERROR, dispatch_ctx, dispatch_hdr)
+                fr.spill("dispatch-exception")
             if not frame.is_reply and frame.initiator != frame.target:
                 self._send_failure_reply(frame)
             result = None
@@ -890,12 +999,17 @@ class Executive:
         with self.probes.measure("postprocess"):
             if result is not RETAIN:
                 self.frame_free(frame)
-        if tracer is not None or timed:
+        if tracer is not None or timed or fr is not None:
             end_ns = self.clock.now_ns()
             if tracer is not None:
                 tracer.end_dispatch(token, end_ns)
             if timed:
                 self._dispatch_hist.observe(end_ns - start_ns)
+            if fr is not None:
+                fr.record(
+                    EV_DISPATCH_END, dispatch_ctx, dispatch_hdr,
+                    end_ns - start_ns, t_ns=end_ns,
+                )
         return True
 
     def _send_failure_reply(self, request: Frame) -> None:
@@ -914,12 +1028,20 @@ class Executive:
             return
         logger.error("node %s: quarantining TiD %d: %s", self.node, tid, reason)
         device.state = DeviceState.FAILED
+        if self.flightrec is not None:
+            self.flightrec.record(EV_WATCHDOG_TRIP, int(tid))
         for frame in self.scheduler.drop_device(tid):
             self._release_frame(frame)
+        if self.flightrec is not None:
+            self.flightrec.spill("watchdog")
 
     def _release_frame(self, frame: Frame) -> None:
         if self.tracer is not None:
             self.tracer.forget(frame)
         if frame.block is not None:
+            if self.flightrec is not None:
+                self.flightrec.record(
+                    EV_FRAME_RELEASE, frame.transaction_context
+                )
             self.pool.free(frame.block)
             frame.block = None

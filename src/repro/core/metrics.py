@@ -83,6 +83,10 @@ class Gauge:
         self._fn = None
         self._value = value
 
+    def rebind(self, fn: Callable[[], float]) -> None:
+        """Replace the sampling callback (device re-plug paths)."""
+        self._fn = fn
+
     def get(self) -> float:
         if self._fn is not None:
             return self._fn()
@@ -174,13 +178,26 @@ class MetricsRegistry:
         if found is None:
             found = self._gauges[name] = Gauge(name, fn)
         elif fn is not None:
-            found._fn = fn
+            found.rebind(fn)
         return found
 
     def histogram(self, name: str, buckets: Iterable[float]) -> Histogram:
+        """Get-or-create a histogram.
+
+        Re-registering an existing name is fine (device re-plug paths
+        reuse the instrument) — but only with the *same* buckets: a
+        silent bucket swap would splice two incompatible series under
+        one name, so a mismatch raises instead.
+        """
+        bounds = list(buckets)
         found = self._histograms.get(name)
         if found is None:
-            found = self._histograms[name] = Histogram(name, buckets)
+            found = self._histograms[name] = Histogram(name, bounds)
+        elif bounds != found.buckets:
+            raise I2OError(
+                f"histogram {name!r} re-registered with different buckets: "
+                f"{bounds} != {found.buckets}"
+            )
         return found
 
     # -- convenience --------------------------------------------------------

@@ -51,6 +51,16 @@ from repro.core.device import Listener
 # The journal codec's payload CRC *is* the wire CRC (one integrity
 # discipline end to end: RAM, wire and disk).
 from repro.durable.journal import seeded_crc as _data_crc
+from repro.flightrec.records import (
+    CRASH_POINT_CODES,
+    EV_CRASH_POINT,
+    EV_JOURNAL_COMMIT,
+    EV_JOURNAL_RETIRE,
+    EV_REL_ACK,
+    EV_REL_DELIVER,
+    EV_REL_RETRANSMIT,
+    EV_REL_SEND,
+)
 from repro.i2o.errors import I2OError
 from repro.i2o.frame import Frame
 from repro.i2o.tid import Tid
@@ -204,6 +214,14 @@ class ReliableEndpoint(Listener):
             self._pending[seq] = (
                 target, record.payload, self.max_retries, timer_id,
             )
+            # Replay bypasses send_reliable, so the send is recorded
+            # here: a restarted node's black box shows the same seqs
+            # leaving again.
+            fr = self._flightrec
+            if fr is not None:
+                fr.record(
+                    EV_REL_SEND, seq, record.node, len(record.payload)
+                )
             self._transmit(seq, target, record.payload)
             self.replayed += 1
         if state.records:
@@ -224,8 +242,19 @@ class ReliableEndpoint(Listener):
             return route.node, route.remote_tid
         return exe.node, target
 
+    @property
+    def _flightrec(self):  # -> FlightRecorder | None
+        exe = self.executive
+        return exe.flightrec if exe is not None else None
+
     def _crash(self, point: str) -> None:
         if self.crash_hook is not None:
+            # Record *before* invoking the hook: when it raises
+            # ExecutiveCrashed the subsequent hard_stop spills the
+            # ring, and the black box must already name the torn state.
+            fr = self._flightrec
+            if fr is not None:
+                fr.record(EV_CRASH_POINT, CRASH_POINT_CODES.get(point, 0))
             self.crash_hook(point)
 
     # -- sending ----------------------------------------------------------
@@ -246,10 +275,18 @@ class ReliableEndpoint(Listener):
         if self.journal is not None:
             node, remote_tid = self._stable_address(target)
             self.journal.append_send(seq, node, int(remote_tid), data)
+            fr = self._flightrec
+            if fr is not None:
+                fr.record(EV_JOURNAL_COMMIT, seq)
         self._crash(CRASH_POST_APPEND)
         self._next_seq = seq + 1
         timer_id = self.start_timer(self.retransmit_ns, context=seq)
         self._pending[seq] = (target, data, self.max_retries, timer_id)
+        fr = self._flightrec
+        if fr is not None:
+            fr.record(
+                EV_REL_SEND, seq, self._stable_address(target)[0], len(data)
+            )
         self._transmit(seq, target, data)
         return seq
 
@@ -295,6 +332,12 @@ class ReliableEndpoint(Listener):
         self.send_into(
             frame.initiator, _HEADER.size, write_ack, xfunction=XF_REL_ACK
         )
+        fr = self._flightrec
+        if fr is not None:
+            exe = self._require_live()
+            route = exe.route_for(frame.initiator)
+            src = route.node if route is not None else exe.node
+            fr.record(EV_REL_DELIVER, seq, src, len(payload))
         if self.ordered:
             self._deliver_ordered(frame.initiator, seq, payload)
         else:
@@ -339,6 +382,9 @@ class ReliableEndpoint(Listener):
         entry = self._pending.pop(seq, None)
         if entry is not None:
             self.cancel_timer(entry[3])
+            fr = self._flightrec
+            if fr is not None:
+                fr.record(EV_REL_ACK, seq)
             self._crash(CRASH_PRE_ACK_RECORD)
             if self.journal is not None:
                 # Crash window: the peer has the message but this ack
@@ -346,6 +392,8 @@ class ReliableEndpoint(Listener):
                 # and the receiver's dedup absorbs the duplicate —
                 # at-least-once on the wire, exactly-once delivered.
                 self.journal.append_ack(seq)
+                if fr is not None:
+                    fr.record(EV_JOURNAL_RETIRE, seq)
 
     # -- retransmission ------------------------------------------------------
     def on_timer(self, context: int, frame: Frame) -> None:
@@ -368,6 +416,9 @@ class ReliableEndpoint(Listener):
         self.retransmissions += 1
         timer_id = self.start_timer(self.retransmit_ns, context=seq)
         self._pending[seq] = (target, payload, retries_left - 1, timer_id)
+        fr = self._flightrec
+        if fr is not None:
+            fr.record(EV_REL_RETRANSMIT, seq, retries_left - 1)
         self._transmit(seq, target, payload)
 
     # -- failover ------------------------------------------------------------

@@ -15,6 +15,7 @@ import heapq
 import itertools
 from typing import TYPE_CHECKING
 
+from repro.flightrec.records import EV_TIMER_FIRE
 from repro.i2o.errors import I2OError
 from repro.i2o.frame import Frame
 from repro.i2o.function_codes import EXEC_TIMER_EXPIRED
@@ -98,12 +99,15 @@ class TimerService:
         if now_ns is None:
             now_ns = self._executive.clock.now_ns()
         count = 0
+        fr = self._executive.flightrec
         while self._heap and self._heap[0][0] <= now_ns:
             deadline, timer_id = heapq.heappop(self._heap)
             entry = self._live.pop(timer_id, None)
             if entry is None:
                 continue  # cancelled
             owner, context, period_ns = entry
+            if fr is not None:
+                fr.record(EV_TIMER_FIRE, timer_id, int(owner), context)
             self._post_expiry(owner, timer_id, context)
             count += 1
             self.fired += 1

@@ -107,7 +107,6 @@ class FrameTracer:
         self.allocated = 0
         self._seq = 0
         self._span_seq = 0
-        self._enqueued: dict[int, int] = {}  # id(frame) -> enqueue ns
         self._active = 0
         self._in_dispatch = False
 
@@ -131,17 +130,22 @@ class FrameTracer:
             frame.transaction_context = self._fresh_id()
 
     # -- scheduler hooks ----------------------------------------------------
+    # The enqueue timestamp rides the frame itself (``trace_mark``),
+    # not a dict keyed by ``id(frame)``: id() values recycle with the
+    # allocator, so a released frame's stale entry could alias a new
+    # frame at the same address and inflate its queue_wait_ns.
     def note_enqueue(self, frame: "Frame", now_ns: int) -> None:
-        self._enqueued[id(frame)] = now_ns
+        frame.trace_mark = now_ns
 
     def forget(self, frame: "Frame") -> None:
-        self._enqueued.pop(id(frame), None)
+        frame.trace_mark = None
 
     # -- dispatch hooks -----------------------------------------------------
     def begin_dispatch(
         self, frame: "Frame", now_ns: int
     ) -> tuple[int, int, int, int, int]:
-        enqueued = self._enqueued.pop(id(frame), None)
+        enqueued = frame.trace_mark
+        frame.trace_mark = None
         queue_wait = now_ns - enqueued if enqueued is not None else 0
         context = frame.transaction_context
         self._active = context if is_trace_context(context) else 0

@@ -1,0 +1,84 @@
+"""repro.flightrec — per-executive black-box flight recorder.
+
+* :class:`FlightRecorder` — the bounded, preallocated binary event
+  ring every subsystem writes into, spilled to disk on crash paths;
+* :func:`load_dump` / :class:`FlightDump` — dump verification and
+  decoding;
+* :func:`merge_dumps` / :class:`MergedTimeline` — multi-node causal
+  stitching by trace id and reliable sequence number;
+* ``python -m repro.flightrec decode|merge`` — the post-mortem CLI.
+"""
+
+from repro.flightrec.dump import FlightDump, describe_dump, load_dump
+from repro.flightrec.recorder import FlightRecorder
+from repro.flightrec.records import (
+    EV_CRASH_POINT,
+    EV_DISPATCH_BEGIN,
+    EV_DISPATCH_END,
+    EV_DISPATCH_ERROR,
+    EV_FRAME_ALLOC,
+    EV_FRAME_INGEST,
+    EV_FRAME_RELEASE,
+    EV_FRAME_TRANSMIT,
+    EV_HARD_STOP,
+    EV_JOURNAL_COMMIT,
+    EV_JOURNAL_RETIRE,
+    EV_LIVENESS,
+    EV_POOL_EXHAUSTED,
+    EV_REL_ACK,
+    EV_REL_DELIVER,
+    EV_REL_RETRANSMIT,
+    EV_REL_SEND,
+    EV_SANITIZER,
+    EV_TIMER_FIRE,
+    EV_WATCHDOG_TRIP,
+    KIND_NAMES,
+    FlightRecError,
+    FlightRecord,
+    pack3,
+    unpack3,
+)
+from repro.flightrec.timeline import (
+    Gap,
+    MergedTimeline,
+    TimelineEvent,
+    in_flight_sends,
+    merge_dumps,
+)
+
+__all__ = [
+    "FlightRecorder",
+    "FlightDump",
+    "FlightRecError",
+    "FlightRecord",
+    "Gap",
+    "MergedTimeline",
+    "TimelineEvent",
+    "describe_dump",
+    "in_flight_sends",
+    "load_dump",
+    "merge_dumps",
+    "pack3",
+    "unpack3",
+    "KIND_NAMES",
+    "EV_DISPATCH_BEGIN",
+    "EV_DISPATCH_END",
+    "EV_DISPATCH_ERROR",
+    "EV_FRAME_ALLOC",
+    "EV_FRAME_RELEASE",
+    "EV_FRAME_TRANSMIT",
+    "EV_FRAME_INGEST",
+    "EV_POOL_EXHAUSTED",
+    "EV_REL_SEND",
+    "EV_REL_DELIVER",
+    "EV_REL_ACK",
+    "EV_REL_RETRANSMIT",
+    "EV_JOURNAL_COMMIT",
+    "EV_JOURNAL_RETIRE",
+    "EV_TIMER_FIRE",
+    "EV_LIVENESS",
+    "EV_CRASH_POINT",
+    "EV_WATCHDOG_TRIP",
+    "EV_SANITIZER",
+    "EV_HARD_STOP",
+]

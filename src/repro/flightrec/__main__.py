@@ -1,0 +1,62 @@
+"""CLI: decode and merge flight-recorder dumps.
+
+Usage::
+
+    python -m repro.flightrec decode crash/node005.flightrec
+    python -m repro.flightrec merge crash/*.flightrec
+
+``decode`` prints one dump's records with symbolic event names;
+``merge`` stitches several nodes' dumps into one causal timeline,
+lists the send→no-matching-dispatch gaps and, per dump, the reliable
+sends that were still in flight when that ring was spilled (for a
+crashed node: the frames in flight at the crash window).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.flightrec.dump import describe_dump, load_dump
+from repro.flightrec.records import FlightRecError
+from repro.flightrec.timeline import in_flight_sends, merge_dumps
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.flightrec",
+        description="Decode and merge black-box flight-recorder dumps.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    decode = sub.add_parser("decode", help="decode one dump")
+    decode.add_argument("dump", help="path to a .flightrec dump")
+    merge = sub.add_parser(
+        "merge", help="stitch multiple nodes' dumps into one timeline"
+    )
+    merge.add_argument("dumps", nargs="+", help=".flightrec dump paths")
+    args = parser.parse_args(argv)
+
+    try:
+        if args.command == "decode":
+            print(describe_dump(load_dump(args.dump)))
+            return 0
+        dumps = [load_dump(path) for path in args.dumps]
+    except (FlightRecError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    timeline = merge_dumps(dumps)
+    print(timeline.describe())
+    for dump in dumps:
+        pending = in_flight_sends(dump)
+        if pending:
+            seqs = ", ".join(str(record.a) for record in pending)
+            print(
+                f"in flight when node {dump.node} spilled "
+                f"({dump.reason!r}): rel seq(s) {seqs}"
+            )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

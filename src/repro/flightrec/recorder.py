@@ -1,0 +1,197 @@
+"""The black-box flight recorder: a bounded, preallocated binary ring.
+
+Every executive can carry one :class:`FlightRecorder`; the fabric
+(dispatch loop, pool, transports, reliable endpoint, timers, liveness,
+watchdog, sanitizer) writes fixed 48-byte records into its ring.  The
+ring is a single ``bytearray`` allocated once at construction and
+written in place with ``struct.pack_into`` — recording an event costs
+one pack and an index increment, never an allocation, so the recorder
+can stay on in production (the aircraft-flight-recorder model the
+XDAQ deployments at CMS paired with their recovery machinery).
+
+When the node dies — ``hard_stop()``, a watchdog trip, a sanitizer
+violation, an uncaught dispatch exception — the ring is *spilled* to
+disk with the same tmp + flush + ``fsync`` + ``os.replace`` discipline
+as :class:`~repro.durable.segments.SnapshotStore`, so a dump on disk
+is never torn: either the previous complete dump or the new complete
+dump, nothing in between.
+
+Dump layout (little-endian)::
+
+    offset  size  field
+    ------  ----  ---------------------------------------------------
+       0      4   magic       b"FREC"
+       4      2   version     (1)
+       6      2   node        recording executive's node id
+       8      2   record size (48; readers refuse other sizes)
+      10      2   reserved    (0)
+      12      4   ring capacity (records)
+      16      8   total records ever written (dropped = total - stored)
+      24      4   CRC32 over the record bytes that follow
+      28     24   spill reason (NUL-padded ASCII)
+      52      ..  records, oldest first (ring unwrapped)
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import struct
+import time
+import zlib
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+from repro.flightrec.records import (
+    RECORD_SIZE,
+    RECORD_STRUCT,
+    FlightRecError,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.hw.clock import Clock
+
+logger = logging.getLogger(__name__)
+
+DUMP_MAGIC = 0x43455246  # b"FREC" little-endian
+DUMP_VERSION = 1
+#: magic, version, node, record size, reserved, capacity, total, crc, reason
+DUMP_HEADER = struct.Struct("<IHHHHIQI24s")
+DUMP_HEADER_SIZE = DUMP_HEADER.size  # 52
+
+_U64 = 0xFFFFFFFFFFFFFFFF
+
+
+class FlightRecorder:
+    """Per-executive bounded event ring with crash spill-to-disk.
+
+    ``node`` and ``clock`` may be left unset; they are adopted from
+    the executive at :meth:`~repro.core.executive.Executive.attach_flight_recorder`
+    time.  Without a ``dump_dir`` the recorder still records (useful
+    for overhead benchmarks and in-process inspection) but
+    :meth:`spill` is a no-op returning ``None``.
+
+    ``name`` controls the dump filename (``<name>.flightrec``); give
+    replacement executives that reuse a dead node's id a distinct name
+    so their eventual spill does not overwrite the victim's black box.
+    """
+
+    def __init__(
+        self,
+        node: int | None = None,
+        *,
+        capacity: int = 4096,
+        dump_dir: str | os.PathLike[str] | None = None,
+        clock: "Clock | None" = None,
+        name: str | None = None,
+    ) -> None:
+        if capacity < 1:
+            raise FlightRecError(f"ring capacity must be >= 1, got {capacity}")
+        self.node = node
+        self.capacity = capacity
+        self.dump_dir = Path(dump_dir) if dump_dir is not None else None
+        self.clock = clock
+        self.name = name
+        self._ring = bytearray(capacity * RECORD_SIZE)
+        self._seq = 0
+        self.spills = 0
+        self.last_spill_path: Path | None = None
+
+    # -- accounting ----------------------------------------------------------
+    @property
+    def total_records(self) -> int:
+        """Records ever written (including those the ring dropped)."""
+        return self._seq
+
+    @property
+    def stored_records(self) -> int:
+        return min(self._seq, self.capacity)
+
+    @property
+    def dropped_records(self) -> int:
+        return max(0, self._seq - self.capacity)
+
+    # -- the hot path --------------------------------------------------------
+    def record(
+        self, kind: int, a: int = 0, b: int = 0, c: int = 0,
+        t_ns: int | None = None,
+    ) -> None:
+        """Write one event into the ring (wrapping over the oldest).
+
+        Callers that already hold a clock reading (the dispatch loop's
+        ``start_ns``/``end_ns``) pass it as ``t_ns`` to avoid a second
+        clock read; otherwise the recorder reads its own clock.
+        """
+        if t_ns is None:
+            clock = self.clock
+            t_ns = clock.now_ns() if clock is not None \
+                else time.perf_counter_ns()
+        seq = self._seq
+        self._seq = seq + 1
+        RECORD_STRUCT.pack_into(
+            self._ring, (seq % self.capacity) * RECORD_SIZE,
+            seq, t_ns & _U64, a & _U64, b & _U64, c & _U64, kind & 0xFF,
+        )
+
+    # -- spill ---------------------------------------------------------------
+    def ring_bytes(self) -> bytes:
+        """The stored records, oldest first (ring unwrapped)."""
+        if self._seq < self.capacity:
+            return bytes(self._ring[: self._seq * RECORD_SIZE])
+        cut = (self._seq % self.capacity) * RECORD_SIZE
+        return bytes(self._ring[cut:]) + bytes(self._ring[:cut])
+
+    def dump_bytes(self, reason: str) -> bytes:
+        body = self.ring_bytes()
+        header = DUMP_HEADER.pack(
+            DUMP_MAGIC,
+            DUMP_VERSION,
+            (self.node or 0) & 0xFFFF,
+            RECORD_SIZE,
+            0,
+            self.capacity,
+            self._seq,
+            zlib.crc32(body),
+            reason.encode("ascii", "replace")[:24],
+        )
+        return header + body
+
+    def dump_path(self) -> Path | None:
+        if self.dump_dir is None:
+            return None
+        stem = self.name if self.name else f"node{self.node or 0:03d}"
+        return self.dump_dir / f"{stem}.flightrec"
+
+    def spill(self, reason: str) -> Path | None:
+        """Write the ring to disk atomically; returns the dump path.
+
+        Runs on crash paths (``hard_stop``, watchdog quarantine,
+        dispatch exception handlers, sanitizer violations), so a disk
+        failure is logged and swallowed — forensics must never turn a
+        survivable fault into a fatal one.  No-op without a dump dir.
+        """
+        path = self.dump_path()
+        if path is None:
+            return None
+        data = self.dump_bytes(reason)
+        tmp = path.with_name(path.name + ".tmp")
+        try:
+            self.dump_dir.mkdir(parents=True, exist_ok=True)  # type: ignore[union-attr]
+            with open(tmp, "wb") as fh:
+                fh.write(data)
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, path)
+        except OSError:
+            logger.exception(
+                "node %s: flight-recorder spill (%s) to %s failed",
+                self.node, reason, path,
+            )
+            return None
+        self.spills += 1
+        self.last_spill_path = path
+        logger.info(
+            "node %s: flight recorder spilled %d record(s) to %s (%s)",
+            self.node, self.stored_records, path, reason,
+        )
+        return path

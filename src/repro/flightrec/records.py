@@ -1,0 +1,218 @@
+"""The flight-recorder record codec: one packed layout for every event.
+
+A flight-recorder record is a fixed 48-byte packed struct — small
+enough that a bounded ring of a few thousand records costs a couple
+hundred kilobytes per node, fixed-size so the ring can be preallocated
+once and written with ``pack_into`` (no per-event allocation on the
+hot path, matching the ``Probes``/tracer discipline)::
+
+    offset  size  field
+    ------  ----  ---------------------------------------------------
+       0      8   seq     monotonically increasing record number
+       8      8   t_ns    clock reading (executive clock domain)
+      16      8   a       event argument (see table below)
+      24      8   b       event argument
+      32      8   c       event argument
+      40      1   kind    event kind (EV_*)
+      41      7   padding (zero)
+
+Event argument meanings — the contract the decoder and the timeline
+merge rely on (``ctx`` is the frame's 64-bit ``transaction_context``,
+which carries the 0xACE-tagged trace id when a tracer is installed;
+``hdr`` is :func:`pack3` of addressing fields):
+
+======================  =====================  ==================  ============
+kind                    a                      b                   c
+======================  =====================  ==================  ============
+EV_DISPATCH_BEGIN       ctx                    pack3(tgt,fn,xfn)   0
+EV_DISPATCH_END         ctx                    pack3(tgt,fn,xfn)   duration_ns
+EV_DISPATCH_ERROR       ctx                    pack3(tgt,fn,xfn)   0
+EV_FRAME_ALLOC          total size             blocks in flight    0
+EV_FRAME_RELEASE        ctx                    0                   0
+EV_FRAME_TRANSMIT       ctx                    pack3(node,tid,xfn) total size
+EV_FRAME_INGEST         ctx                    pack3(src,tgt,xfn)  total size
+EV_POOL_EXHAUSTED       requested size         0                   0
+EV_REL_SEND             seq                    dest node           payload len
+EV_REL_DELIVER          seq                    source node         payload len
+EV_REL_ACK              seq                    0                   0
+EV_REL_RETRANSMIT       seq                    retries left        0
+EV_JOURNAL_COMMIT       seq                    0                   0
+EV_JOURNAL_RETIRE       seq                    0                   0
+EV_TIMER_FIRE           timer id               owner TiD           context
+EV_LIVENESS             peer node              state code          0
+EV_CRASH_POINT          crash-point code       0                   0
+EV_WATCHDOG_TRIP        quarantined TiD        0                   0
+EV_SANITIZER            violation code         0                   0
+EV_HARD_STOP            0                      0                   0
+======================  =====================  ==================  ============
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from repro.i2o.errors import I2OError
+from repro.i2o.function_codes import function_name
+
+#: seq, t_ns, a, b, c (u64 each) + kind (u8) + 7 pad bytes
+RECORD_STRUCT = struct.Struct("<QQQQQB7x")
+RECORD_SIZE = RECORD_STRUCT.size  # 48
+
+_U64 = 0xFFFFFFFFFFFFFFFF
+
+EV_DISPATCH_BEGIN = 1
+EV_DISPATCH_END = 2
+EV_DISPATCH_ERROR = 3
+EV_FRAME_ALLOC = 4
+EV_FRAME_RELEASE = 5
+EV_FRAME_TRANSMIT = 6
+EV_FRAME_INGEST = 7
+EV_POOL_EXHAUSTED = 8
+EV_REL_SEND = 9
+EV_REL_DELIVER = 10
+EV_REL_ACK = 11
+EV_REL_RETRANSMIT = 12
+EV_JOURNAL_COMMIT = 13
+EV_JOURNAL_RETIRE = 14
+EV_TIMER_FIRE = 15
+EV_LIVENESS = 16
+EV_CRASH_POINT = 17
+EV_WATCHDOG_TRIP = 18
+EV_SANITIZER = 19
+EV_HARD_STOP = 20
+
+KIND_NAMES: dict[int, str] = {
+    EV_DISPATCH_BEGIN: "dispatch-begin",
+    EV_DISPATCH_END: "dispatch-end",
+    EV_DISPATCH_ERROR: "dispatch-error",
+    EV_FRAME_ALLOC: "frame-alloc",
+    EV_FRAME_RELEASE: "frame-release",
+    EV_FRAME_TRANSMIT: "frame-transmit",
+    EV_FRAME_INGEST: "frame-ingest",
+    EV_POOL_EXHAUSTED: "pool-exhausted",
+    EV_REL_SEND: "rel-send",
+    EV_REL_DELIVER: "rel-deliver",
+    EV_REL_ACK: "rel-ack",
+    EV_REL_RETRANSMIT: "rel-retransmit",
+    EV_JOURNAL_COMMIT: "journal-commit",
+    EV_JOURNAL_RETIRE: "journal-retire",
+    EV_TIMER_FIRE: "timer-fire",
+    EV_LIVENESS: "liveness",
+    EV_CRASH_POINT: "crash-point",
+    EV_WATCHDOG_TRIP: "watchdog-trip",
+    EV_SANITIZER: "sanitizer",
+    EV_HARD_STOP: "hard-stop",
+}
+
+#: EV_LIVENESS state codes (b argument)
+LIVE_ALIVE = 0
+LIVE_SUSPECT = 1
+LIVE_DEAD = 2
+LIVENESS_NAMES = {LIVE_ALIVE: "ALIVE", LIVE_SUSPECT: "SUSPECT", LIVE_DEAD: "DEAD"}
+
+#: EV_SANITIZER violation codes (a argument)
+SAN_DOUBLE_FREE = 1
+SAN_USE_AFTER_FREE = 2
+SANITIZER_NAMES = {SAN_DOUBLE_FREE: "double-free",
+                   SAN_USE_AFTER_FREE: "use-after-free"}
+
+#: EV_CRASH_POINT codes, keyed by the crash-point names defined in
+#: repro.core.reliable (stable strings; a code of 0 decodes as the
+#: unknown point).
+CRASH_POINT_CODES: dict[str, int] = {
+    "pre-journal-append": 1,
+    "post-append-pre-transmit": 2,
+    "post-transmit-pre-ack-record": 3,
+}
+CRASH_POINT_NAMES = {code: name for name, code in CRASH_POINT_CODES.items()}
+
+
+class FlightRecError(I2OError):
+    """A flight-recorder dump is malformed, torn or truncated."""
+
+
+def pack3(hi: int, mid: int, lo: int) -> int:
+    """Pack three addressing fields into one 64-bit record argument:
+    ``hi`` (32 bits, node-sized) | ``mid`` (16 bits) | ``lo`` (16 bits)."""
+    return (
+        ((hi & 0xFFFFFFFF) << 32) | ((mid & 0xFFFF) << 16) | (lo & 0xFFFF)
+    )
+
+
+def unpack3(value: int) -> tuple[int, int, int]:
+    return (value >> 32) & 0xFFFFFFFF, (value >> 16) & 0xFFFF, value & 0xFFFF
+
+
+@dataclass(frozen=True, slots=True)
+class FlightRecord:
+    """One decoded ring record."""
+
+    seq: int
+    t_ns: int
+    a: int
+    b: int
+    c: int
+    kind: int
+
+    @property
+    def kind_name(self) -> str:
+        return KIND_NAMES.get(self.kind, f"unknown({self.kind})")
+
+    def describe(self) -> str:
+        """Human-readable event line (symbolic names, not raw ints)."""
+        k, a, b, c = self.kind, self.a, self.b, self.c
+        if k in (EV_DISPATCH_BEGIN, EV_DISPATCH_END, EV_DISPATCH_ERROR):
+            target, function, xfunction = unpack3(b)
+            detail = (
+                f"ctx={a:#x} tid={target} fn={function_name(function)} "
+                f"xfn={xfunction:#06x}"
+            )
+            if k == EV_DISPATCH_END:
+                detail += f" took={c}ns"
+            return f"{self.kind_name:<16} {detail}"
+        if k == EV_FRAME_ALLOC:
+            return f"{self.kind_name:<16} size={a} in_flight={b}"
+        if k == EV_FRAME_RELEASE:
+            return f"{self.kind_name:<16} ctx={a:#x}"
+        if k == EV_FRAME_TRANSMIT:
+            node, tid, xfunction = unpack3(b)
+            return (
+                f"{self.kind_name:<16} ctx={a:#x} dest=node{node}/tid{tid} "
+                f"xfn={xfunction:#06x} size={c}"
+            )
+        if k == EV_FRAME_INGEST:
+            src, target, xfunction = unpack3(b)
+            return (
+                f"{self.kind_name:<16} ctx={a:#x} src=node{src} tid={target} "
+                f"xfn={xfunction:#06x} size={c}"
+            )
+        if k == EV_POOL_EXHAUSTED:
+            return f"{self.kind_name:<16} requested={a}"
+        if k == EV_REL_SEND:
+            return f"{self.kind_name:<16} seq={a} dest=node{b} len={c}"
+        if k == EV_REL_DELIVER:
+            return f"{self.kind_name:<16} seq={a} src=node{b} len={c}"
+        if k in (EV_REL_ACK, EV_JOURNAL_COMMIT, EV_JOURNAL_RETIRE):
+            return f"{self.kind_name:<16} seq={a}"
+        if k == EV_REL_RETRANSMIT:
+            return f"{self.kind_name:<16} seq={a} retries_left={b}"
+        if k == EV_TIMER_FIRE:
+            return f"{self.kind_name:<16} timer={a} owner=tid{b} context={c:#x}"
+        if k == EV_LIVENESS:
+            state = LIVENESS_NAMES.get(b, f"state{b}")
+            return f"{self.kind_name:<16} peer=node{a} -> {state}"
+        if k == EV_CRASH_POINT:
+            point = CRASH_POINT_NAMES.get(a, f"code{a}")
+            return f"{self.kind_name:<16} {point}"
+        if k == EV_WATCHDOG_TRIP:
+            return f"{self.kind_name:<16} quarantined=tid{a}"
+        if k == EV_SANITIZER:
+            return f"{self.kind_name:<16} {SANITIZER_NAMES.get(a, f'code{a}')}"
+        return self.kind_name
+
+    def pack(self) -> bytes:
+        return RECORD_STRUCT.pack(
+            self.seq & _U64, self.t_ns & _U64, self.a & _U64,
+            self.b & _U64, self.c & _U64, self.kind & 0xFF,
+        )

@@ -1,0 +1,211 @@
+"""Stitching per-node dumps into one causal cluster timeline.
+
+Each flight recorder is a *per-node* black box; after an incident you
+hold one dump per executive (dead nodes included — their spill happened
+at ``hard_stop``).  This module joins them on the two identifiers that
+already cross the wire:
+
+* **trace ids** — the 0xACE-tagged ``transaction_context`` a
+  :class:`~repro.core.tracing.FrameTracer` stamps on every rooted
+  frame.  A ``frame-transmit`` on node A and a ``dispatch-begin`` on
+  node B carrying the same trace id are the same message leaving and
+  arriving;
+* **reliable sequence numbers** — a ``rel-send`` on the sender and a
+  ``rel-deliver`` on the receiver with the same seq (and matching
+  node pair) are one reliable message's send and arrival.
+
+The joins drive two diagnoses:
+
+* :meth:`MergedTimeline.gaps` — sends with *no* matching arrival
+  anywhere in the merged record (a message that left a node and was
+  never seen again: lost on the wire past every retransmission, or
+  addressed to a node whose dump is missing);
+* :func:`in_flight_sends` — per dump, reliable sends never acked
+  within that dump: exactly the frames that were in flight at the
+  crash window when the node died.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.tracing import is_trace_context
+from repro.flightrec.dump import FlightDump
+from repro.flightrec.records import (
+    EV_DISPATCH_BEGIN,
+    EV_DISPATCH_END,
+    EV_DISPATCH_ERROR,
+    EV_FRAME_INGEST,
+    EV_FRAME_TRANSMIT,
+    EV_REL_ACK,
+    EV_REL_DELIVER,
+    EV_REL_RETRANSMIT,
+    EV_REL_SEND,
+    FlightRecord,
+    unpack3,
+)
+
+#: record kinds whose ``a`` argument is a frame ``transaction_context``
+_CTX_KINDS = frozenset((
+    EV_DISPATCH_BEGIN, EV_DISPATCH_END, EV_DISPATCH_ERROR,
+    EV_FRAME_TRANSMIT, EV_FRAME_INGEST,
+))
+
+
+@dataclass(frozen=True, slots=True)
+class TimelineEvent:
+    """One record placed in the merged, cluster-wide order."""
+
+    node: int
+    record: FlightRecord
+
+    def describe(self) -> str:
+        return f"node {self.node:>3}  {self.record.describe()}"
+
+
+@dataclass(frozen=True, slots=True)
+class Gap:
+    """A send that never matched an arrival anywhere in the merge."""
+
+    kind: str  # "send-no-deliver" | "transmit-no-dispatch"
+    node: int  # the sending node
+    record: FlightRecord
+
+    def describe(self) -> str:
+        record = self.record
+        if self.kind == "send-no-deliver":
+            return (
+                f"send->no-deliver: node {self.node} rel seq {record.a} "
+                f"(dest node {record.b}) never seen by the receiver"
+            )
+        return (
+            f"transmit->no-dispatch: node {self.node} ctx {record.a:#x} "
+            f"(dest node {unpack3(record.b)[0]}) never dispatched remotely"
+        )
+
+
+class MergedTimeline:
+    """The cross-node causal timeline built from a set of dumps."""
+
+    def __init__(self, dumps: list[FlightDump]) -> None:
+        self.dumps = list(dumps)
+        self.events: list[TimelineEvent] = sorted(
+            (
+                TimelineEvent(dump.node, record)
+                for dump in dumps
+                for record in dump.records
+            ),
+            key=lambda ev: (ev.record.t_ns, ev.node, ev.record.seq),
+        )
+        # (sender node, dest node, seq) seen leaving / arriving.
+        self._sent: dict[tuple[int, int, int], TimelineEvent] = {}
+        self._delivered: set[tuple[int, int, int]] = set()
+        # trace ctx -> transmit event / set of nodes that dispatched it.
+        self._transmits: dict[int, TimelineEvent] = {}
+        self._dispatched_ctx: dict[int, set[int]] = {}
+        for event in self.events:
+            record = event.record
+            if record.kind in (EV_REL_SEND, EV_REL_RETRANSMIT):
+                dest = record.b if record.kind == EV_REL_SEND else None
+                if dest is not None:
+                    self._sent.setdefault(
+                        (event.node, dest, record.a), event
+                    )
+            elif record.kind == EV_REL_DELIVER:
+                self._delivered.add((record.b, event.node, record.a))
+            elif record.kind == EV_FRAME_TRANSMIT \
+                    and is_trace_context(record.a):
+                self._transmits.setdefault(record.a, event)
+            elif record.kind == EV_DISPATCH_BEGIN \
+                    and is_trace_context(record.a):
+                self._dispatched_ctx.setdefault(record.a, set()).add(
+                    event.node
+                )
+
+    @property
+    def nodes(self) -> list[int]:
+        return sorted({dump.node for dump in self.dumps})
+
+    # -- joins ---------------------------------------------------------------
+    def stream(self, sender: int, seq: int) -> list[TimelineEvent]:
+        """Every reliable-stream record for ``seq`` sent by ``sender``:
+        sends and retransmissions on the sender (any incarnation of its
+        node id), the deliver on the receiver, the ack back home —
+        chronological, cross-node."""
+        out = []
+        for event in self.events:
+            record = event.record
+            if record.kind in (EV_REL_SEND, EV_REL_RETRANSMIT, EV_REL_ACK):
+                if event.node == sender and record.a == seq:
+                    out.append(event)
+            elif record.kind == EV_REL_DELIVER:
+                if record.b == sender and record.a == seq:
+                    out.append(event)
+        return out
+
+    def trace(self, trace_id: int) -> list[TimelineEvent]:
+        """Every record carrying ``trace_id`` as its frame context."""
+        return [
+            event for event in self.events
+            if event.record.kind in _CTX_KINDS
+            and event.record.a == trace_id
+        ]
+
+    def delivered(self, sender: int, dest: int, seq: int) -> bool:
+        return (sender, dest, seq) in self._delivered
+
+    # -- diagnoses -----------------------------------------------------------
+    def gaps(self) -> list[Gap]:
+        """Sends with no matching arrival anywhere in the merge.
+
+        A reliable send is matched by a ``rel-deliver`` with the same
+        (sender, dest, seq); a traced transmit is matched by a
+        ``dispatch-begin`` with the same trace id on *another* node
+        (the same message may hop several times; any remote dispatch
+        counts as arrival).
+        """
+        out: list[Gap] = []
+        for (sender, dest, _seq), event in sorted(self._sent.items()):
+            if (sender, dest, event.record.a) not in self._delivered:
+                out.append(Gap("send-no-deliver", event.node, event.record))
+        for ctx, event in sorted(self._transmits.items()):
+            dispatchers = self._dispatched_ctx.get(ctx, set())
+            if not (dispatchers - {event.node}):
+                out.append(
+                    Gap("transmit-no-dispatch", event.node, event.record)
+                )
+        return out
+
+    def describe(self) -> str:
+        lines = [
+            f"=== merged timeline: {len(self.dumps)} dump(s), "
+            f"nodes {self.nodes}, {len(self.events)} event(s) ===",
+            f"{'t_ns':>16}  {'':>9}  event",
+        ]
+        for event in self.events:
+            lines.append(
+                f"{event.record.t_ns:>16}  {event.describe()}"
+            )
+        gaps = self.gaps()
+        lines.append(f"=== {len(gaps)} gap(s) ===")
+        lines.extend(gap.describe() for gap in gaps)
+        return "\n".join(lines)
+
+
+def merge_dumps(dumps: list[FlightDump]) -> MergedTimeline:
+    """Stitch per-node dumps into one causal timeline."""
+    return MergedTimeline(dumps)
+
+
+def in_flight_sends(dump: FlightDump) -> list[FlightRecord]:
+    """Reliable sends never acked *within this dump* — the frames in
+    flight at the moment the ring was spilled.  For a dump written by
+    a crash (``hard_stop``), this identifies the in-flight frames at
+    the crash window from the black box alone, no journal needed."""
+    acked = {r.a for r in dump.records if r.kind == EV_REL_ACK}
+    latest: dict[int, FlightRecord] = {}
+    for record in dump.records:
+        if record.kind in (EV_REL_SEND, EV_REL_RETRANSMIT) \
+                and record.a not in acked:
+            latest[record.a] = record
+    return [latest[seq] for seq in sorted(latest)]

@@ -75,7 +75,7 @@ class Frame:
     return it (see :class:`repro.mem.pool.BufferPool`).
     """
 
-    __slots__ = ("_buf", "block")
+    __slots__ = ("_buf", "block", "trace_mark")
 
     def __init__(self, buffer: memoryview | bytearray, block: Any = None) -> None:
         if isinstance(buffer, bytearray):
@@ -88,6 +88,11 @@ class Frame:
             )
         self._buf = buffer
         self.block = block
+        #: tracer scratch: enqueue timestamp while the frame sits in
+        #: the scheduler (see FrameTracer.note_enqueue).  Lives on the
+        #: frame object itself so a recycled frame can never alias a
+        #: stale entry keyed by id().
+        self.trace_mark: int | None = None
 
     # -- construction -------------------------------------------------------
     @classmethod

@@ -1,0 +1,259 @@
+"""``repro.top`` — a live, top-like console for a running cluster.
+
+Renders one row per node from :class:`~repro.core.telemetry.
+TelemetryCollector` sweeps: dispatch totals, scheduler queue depth,
+pool occupancy, dispatch latency p50/p99 (reconstructed from the
+``exe_dispatch_ns`` histogram's cumulative buckets), reliable-endpoint
+journal depth, per-PT copy counters, peers currently down and handler
+errors.  The console consumes only what the collector already gathered
+over ``UtilParamsGet`` — no private verbs, no cross-node object access
+(paper §2's "one common scheme" discipline).
+
+Usage::
+
+    python -m repro.top --demo           # live demo cluster, ANSI refresh
+    python -m repro.top --demo --once    # one frame, no screen control
+    python -m repro.top --json dump.json # render a saved collector dump
+
+Embedded use: call :func:`render` with any ``node -> {metric: value}``
+mapping (``TelemetryCollector.node_metrics`` verbatim).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+_HIST = "exe_dispatch_ns"
+_BUCKET_PREFIX = f"{_HIST}_bucket_le_"
+
+
+def _decode_bound(text: str) -> float:
+    """Invert :func:`repro.core.metrics._fmt_bound` (p→. , m→-)."""
+    if text == "inf":
+        return float("inf")
+    return float(text.replace("p", ".").replace("m", "-"))
+
+
+def dispatch_quantile(metrics: dict[str, float], q: float) -> float | None:
+    """Estimate the ``q`` dispatch-latency quantile (ns) from the
+    cumulative ``exe_dispatch_ns`` bucket counts in one node snapshot.
+
+    Returns the upper bound of the first bucket whose cumulative count
+    reaches ``q`` of the total — the conservative histogram estimate —
+    or ``None`` when the node has no timing enabled / no observations.
+    """
+    total = metrics.get(f"{_HIST}_count", 0)
+    if not total:
+        return None
+    bounds = sorted(
+        (
+            (_decode_bound(key[len(_BUCKET_PREFIX):]), value)
+            for key, value in metrics.items()
+            if key.startswith(_BUCKET_PREFIX)
+        ),
+        key=lambda pair: pair[0],
+    )
+    threshold = q * total
+    for bound, cumulative in bounds:
+        if cumulative >= threshold:
+            return bound
+    return None
+
+
+def _sum_matching(metrics: dict[str, float], prefix: str, suffix: str) -> float:
+    return sum(
+        value for key, value in metrics.items()
+        if key.startswith(prefix) and key.endswith(suffix)
+    )
+
+
+def _fmt_ns(value: float | None) -> str:
+    if value is None:
+        return "-"
+    if value == float("inf"):
+        return ">max"
+    if value >= 1_000_000:
+        return f"{value / 1_000_000:.0f}ms"
+    if value >= 1_000:
+        return f"{value / 1_000:.0f}us"
+    return f"{value:.0f}ns"
+
+
+def _fmt_count(value: float) -> str:
+    if value >= 10_000_000:
+        return f"{value / 1_000_000:.0f}M"
+    if value >= 10_000:
+        return f"{value / 1_000:.0f}k"
+    return str(int(value))
+
+
+COLUMNS = (
+    "NODE", "DISP", "QUEUE", "POOL", "P50", "P99",
+    "JRNL", "COPIES", "DOWN", "ERR", "SPILL",
+)
+
+
+def node_row(node: int, metrics: dict[str, float]) -> tuple[str, ...]:
+    """One console row from one node's metric snapshot."""
+    deaths = metrics.get("peer_deaths_total", 0)
+    rejoins = metrics.get("peer_rejoins_total", 0)
+    copies = (
+        _sum_matching(metrics, "pt_", "_tx_copies")
+        + _sum_matching(metrics, "pt_", "_rx_copies")
+    )
+    return (
+        str(node),
+        _fmt_count(metrics.get("exe_dispatched_total", 0)),
+        _fmt_count(metrics.get("exe_scheduler_depth", 0)),
+        _fmt_count(metrics.get("pool_blocks_in_flight", 0)),
+        _fmt_ns(dispatch_quantile(metrics, 0.50)),
+        _fmt_ns(dispatch_quantile(metrics, 0.99)),
+        _fmt_count(_sum_matching(metrics, "rel_", "_journal_depth")),
+        _fmt_count(copies),
+        _fmt_count(max(0.0, deaths - rejoins)),
+        _fmt_count(metrics.get("exe_handler_errors_total", 0)),
+        _fmt_count(metrics.get("flightrec_spills_total", 0)),
+    )
+
+
+def render(node_metrics: dict[int, dict[str, float]]) -> str:
+    """The full console frame for a ``node -> snapshot`` mapping."""
+    rows = [
+        node_row(node, node_metrics[node]) for node in sorted(node_metrics)
+    ]
+    table = [COLUMNS] + rows
+    widths = [
+        max(len(row[i]) for row in table) for i in range(len(COLUMNS))
+    ]
+    lines = [
+        "  ".join(cell.rjust(width) for cell, width in zip(row, widths))
+        for row in table
+    ]
+    total = sum(
+        m.get("exe_dispatched_total", 0) for m in node_metrics.values()
+    )
+    lines.append(
+        f"-- {len(node_metrics)} node(s), "
+        f"{_fmt_count(total)} dispatched cluster-wide --"
+    )
+    return "\n".join(lines)
+
+
+def render_from_collector(collector) -> str:
+    """Render the latest sweep of a live ``TelemetryCollector``."""
+    return render(collector.node_metrics)
+
+
+# -- sources -----------------------------------------------------------------
+def _load_json(path: str) -> dict[int, dict[str, float]]:
+    """A ``TelemetryCollector.render_json()`` dump as node snapshots."""
+    with open(path, encoding="utf-8") as fh:
+        data = json.load(fh)
+    nodes = data.get("nodes", data)
+    return {int(node): metrics for node, metrics in nodes.items()}
+
+
+def _demo_cluster():
+    """A small self-contained cluster the live mode can watch."""
+    from repro.config.bootstrap import bootstrap
+    from repro.core.device import FunctionalListener
+
+    spec = {
+        "transport": "loopback",
+        "telemetry": {"tracing": True, "metrics_timing": True},
+        "nodes": {
+            0: {"devices": []},
+            1: {"devices": []},
+            2: {"devices": []},
+        },
+    }
+    cluster = bootstrap(spec)
+    echoes = {}
+    for node in (1, 2):
+        echo = FunctionalListener(
+            name=f"echo{node}", handlers={0x1: lambda f: None}
+        )
+        cluster.executives[node].install(echo)
+        cluster.devices[echo.name] = (node, echo.tid, echo)
+        echoes[node] = echo
+    driver = FunctionalListener(name="driver", handlers={})
+    cluster.executives[0].install(driver)
+    cluster.devices[driver.name] = (0, driver.tid, driver)
+
+    def tick() -> None:
+        for node in (1, 2):
+            proxy = cluster.proxy(0, f"echo{node}")
+            for _ in range(25):
+                driver.send(proxy, b"demo", xfunction=0x1)
+        cluster.pump()
+        assert cluster.collector is not None
+        cluster.collector.sweep()
+        cluster.pump()
+
+    return cluster, tick
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.top",
+        description="Live top-like cluster console over telemetry sweeps.",
+    )
+    parser.add_argument(
+        "--demo", action="store_true",
+        help="run an in-process demo cluster and watch it",
+    )
+    parser.add_argument(
+        "--json", metavar="FILE",
+        help="render one frame from a saved collector JSON dump",
+    )
+    parser.add_argument(
+        "--once", action="store_true",
+        help="render a single frame and exit (no screen control)",
+    )
+    parser.add_argument(
+        "--frames", type=int, default=0,
+        help="stop the live demo after N refreshes (0 = until ^C)",
+    )
+    parser.add_argument(
+        "--interval", type=float, default=1.0,
+        help="live refresh interval in seconds",
+    )
+    args = parser.parse_args(argv)
+
+    if args.json:
+        print(render(_load_json(args.json)))
+        return 0
+    if not args.demo:
+        parser.error("choose a source: --demo or --json FILE")
+
+    cluster, tick = _demo_cluster()
+    try:
+        if args.once:
+            tick()
+            assert cluster.collector is not None
+            print(render_from_collector(cluster.collector))
+            return 0
+        frame = 0
+        while True:
+            tick()
+            assert cluster.collector is not None
+            body = render_from_collector(cluster.collector)
+            # ANSI: clear screen, home cursor — the top(1) refresh.
+            sys.stdout.write("\x1b[2J\x1b[H")
+            sys.stdout.write(
+                f"repro.top — demo cluster (refresh {frame + 1})\n{body}\n"
+            )
+            sys.stdout.flush()
+            frame += 1
+            if args.frames and frame >= args.frames:
+                return 0
+            time.sleep(args.interval)
+    except KeyboardInterrupt:
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

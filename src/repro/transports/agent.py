@@ -15,6 +15,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING
 
 from repro.core.device import Listener
+from repro.flightrec.records import EV_FRAME_TRANSMIT, pack3
 from repro.i2o.frame import Frame
 from repro.i2o.tid import PTA_TID
 from repro.transports.base import PeerTransport, TransportError
@@ -124,6 +125,17 @@ class PeerTransportAgent(Listener):
             )
         original_target = frame.target
         owned = frame.block is not None
+        exe = self.executive
+        fr = exe.flightrec if exe is not None else None
+        if fr is not None:
+            # Snapshot before transmit: afterwards the block may have
+            # been detached to the wire and the frame is not ours to
+            # read.
+            rec_args = (
+                frame.transaction_context,
+                pack3(route.node, int(route.remote_tid), frame.xfunction),
+                frame.total_size,
+            )
         frame.target = route.remote_tid
         try:
             pt.transmit(frame, route)
@@ -135,3 +147,5 @@ class PeerTransportAgent(Listener):
                 frame.target = original_target
             raise
         self.forwarded += 1
+        if fr is not None:
+            fr.record(EV_FRAME_TRANSMIT, *rec_args)

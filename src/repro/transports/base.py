@@ -23,6 +23,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Callable
 
 from repro.core.device import Listener
+from repro.flightrec.records import EV_FRAME_INGEST, pack3
 from repro.i2o.errors import I2OError
 from repro.i2o.frame import Frame
 
@@ -183,6 +184,13 @@ class PeerTransport(Listener):
         )
         self.frames_received += 1
         self.bytes_received += frame.total_size
+        if exe.flightrec is not None:
+            exe.flightrec.record(
+                EV_FRAME_INGEST,
+                frame.transaction_context,
+                pack3(src_node, int(frame.target), frame.xfunction),
+                frame.total_size,
+            )
         exe.post_inbound(frame)
         return frame
 

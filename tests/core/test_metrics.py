@@ -51,6 +51,20 @@ class TestGauges:
         m.gauge("g", lambda: 2)
         assert m.value("g") == 2
 
+    def test_rebind_is_a_public_method(self):
+        # Device re-plug paths swap the sampled object; they go through
+        # Gauge.rebind, never the private _fn attribute.
+        m = MetricsRegistry()
+        gauge = m.gauge("g", lambda: 1)
+        gauge.rebind(lambda: 9)
+        assert m.value("g") == 9
+
+    def test_set_after_rebind_pins_the_value(self):
+        m = MetricsRegistry()
+        gauge = m.gauge("g", lambda: 1)
+        gauge.set(5)
+        assert m.value("g") == 5
+
 
 class TestHistogramBucketEdges:
     def test_value_equal_to_bound_lands_in_that_bucket(self):
@@ -96,6 +110,81 @@ class TestHistogramBucketEdges:
         h = Histogram("lat", [10, 20])
         with pytest.raises(I2OError):
             h.bucket_count(15)
+
+
+class TestHistogramReregistration:
+    def test_same_buckets_returns_the_existing_instrument(self):
+        # Re-plug paths re-register their histograms; identical bounds
+        # must hand back the same instrument, observations intact.
+        m = MetricsRegistry()
+        first = m.histogram("lat", [10, 20])
+        first.observe(5)
+        again = m.histogram("lat", [10, 20])
+        assert again is first
+        assert again.count == 1
+
+    def test_same_buckets_from_any_iterable(self):
+        m = MetricsRegistry()
+        first = m.histogram("lat", (10, 20))
+        assert m.histogram("lat", iter([10, 20])) is first
+
+    def test_different_buckets_raise(self):
+        m = MetricsRegistry()
+        m.histogram("lat", [10, 20])
+        with pytest.raises(I2OError, match="different buckets"):
+            m.histogram("lat", [10, 30])
+        with pytest.raises(I2OError, match="different buckets"):
+            m.histogram("lat", [10])
+
+
+class TestBoundRoundTrip:
+    """`_fmt_bound` p/m encoding must survive the trip through export
+    keys back into Prometheus ``le=`` labels."""
+
+    def _le_labels(self, buckets):
+        m = MetricsRegistry()
+        m.histogram("lat", buckets)
+        lines = prometheus_lines(m.snapshot(), {})
+        return [
+            line.split('le="')[1].split('"')[0]
+            for line in lines
+            if "_bucket{" in line
+        ]
+
+    def test_integer_bounds(self):
+        assert self._le_labels([10, 1000]) == ["10", "1000", "+Inf"]
+
+    def test_float_bounds(self):
+        # 0.5 → key "0p5" → label "0.5"
+        assert self._le_labels([0.5, 2.5]) == ["0.5", "2.5", "+Inf"]
+
+    def test_negative_bounds(self):
+        # -1.5 → key "m1p5" → label "-1.5"
+        assert self._le_labels([-1.5, -0.5, 3.0]) == [
+            "-1.5", "-0.5", "3", "+Inf",
+        ]
+
+    def test_negative_bounds_sort_before_positive(self):
+        labels = self._le_labels([-10, -1, 1, 10])
+        assert labels == ["-10", "-1", "1", "10", "+Inf"]
+
+    def test_observe_equal_to_bound_through_the_export(self):
+        # The inclusive-bound edge must hold end to end: an observation
+        # exactly on a float bound counts in that bound's `le` series.
+        m = MetricsRegistry()
+        h = m.histogram("lat", [0.5, 2.5])
+        h.observe(0.5)
+        h.observe(2.5)
+        flat = m.snapshot()
+        assert flat["lat_bucket_le_0p5"] == 1
+        assert flat["lat_bucket_le_2p5"] == 2  # cumulative
+        lines = prometheus_lines(flat, {})
+        assert any(
+            'le="0.5"' in line and line.endswith(" 1") for line in lines
+        )
+        assert any(
+            'le="2.5"' in line and line.endswith(" 2") for line in lines
+        )
 
 
 class TestSnapshotAndRendering:

@@ -1,0 +1,153 @@
+"""The repro.top console: quantile reconstruction and rendering."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.top import (
+    COLUMNS,
+    dispatch_quantile,
+    main,
+    node_row,
+    render,
+)
+
+
+def _metrics_with_hist(**extra):
+    """A node snapshot with a dispatch histogram: 10 obs ≤ 1000 ns,
+    then 80 more ≤ 10000, then 10 more ≤ 100000 (cumulative export)."""
+    base = {
+        "exe_dispatch_ns_bucket_le_1000": 10,
+        "exe_dispatch_ns_bucket_le_10000": 90,
+        "exe_dispatch_ns_bucket_le_100000": 100,
+        "exe_dispatch_ns_bucket_le_inf": 100,
+        "exe_dispatch_ns_count": 100,
+        "exe_dispatch_ns_sum": 500_000,
+    }
+    base.update(extra)
+    return base
+
+
+class TestDispatchQuantile:
+    def test_conservative_upper_bound(self):
+        metrics = _metrics_with_hist()
+        assert dispatch_quantile(metrics, 0.05) == 1000
+        assert dispatch_quantile(metrics, 0.50) == 10000
+        assert dispatch_quantile(metrics, 0.99) == 100000
+
+    def test_no_observations_is_none(self):
+        assert dispatch_quantile({}, 0.5) is None
+        assert dispatch_quantile({"exe_dispatch_ns_count": 0}, 0.5) is None
+
+    def test_everything_in_overflow_hits_inf(self):
+        metrics = {
+            "exe_dispatch_ns_bucket_le_1000": 0,
+            "exe_dispatch_ns_bucket_le_inf": 5,
+            "exe_dispatch_ns_count": 5,
+        }
+        assert dispatch_quantile(metrics, 0.5) == float("inf")
+
+    def test_p_and_m_encoded_bounds_decode(self):
+        # Float bounds export as e.g. "0p5"; the console must fold
+        # them back to numeric bounds before sorting.
+        metrics = {
+            "exe_dispatch_ns_bucket_le_0p5": 3,
+            "exe_dispatch_ns_bucket_le_2p5": 4,
+            "exe_dispatch_ns_bucket_le_inf": 4,
+            "exe_dispatch_ns_count": 4,
+        }
+        assert dispatch_quantile(metrics, 0.5) == 0.5
+        assert dispatch_quantile(metrics, 0.99) == 2.5
+
+
+class TestNodeRow:
+    def test_row_matches_columns(self):
+        row = node_row(3, _metrics_with_hist())
+        assert len(row) == len(COLUMNS)
+        assert row[0] == "3"
+
+    def test_down_is_deaths_minus_rejoins(self):
+        metrics = _metrics_with_hist(
+            peer_deaths_total=3, peer_rejoins_total=1
+        )
+        row = node_row(0, metrics)
+        assert row[COLUMNS.index("DOWN")] == "2"
+
+    def test_rejoins_never_go_negative(self):
+        metrics = _metrics_with_hist(
+            peer_deaths_total=1, peer_rejoins_total=4
+        )
+        assert node_row(0, metrics)[COLUMNS.index("DOWN")] == "0"
+
+    def test_journal_and_copies_summed_across_devices(self):
+        metrics = _metrics_with_hist(**{
+            "rel_a_journal_depth": 2,
+            "rel_b_journal_depth": 3,
+            "pt_loop_tx_copies": 4,
+            "pt_loop_rx_copies": 5,
+        })
+        row = node_row(0, metrics)
+        assert row[COLUMNS.index("JRNL")] == "5"
+        assert row[COLUMNS.index("COPIES")] == "9"
+
+    def test_latency_columns_humanised(self):
+        row = node_row(0, _metrics_with_hist())
+        assert row[COLUMNS.index("P50")] == "10us"
+        assert row[COLUMNS.index("P99")] == "100us"
+
+
+class TestRender:
+    def test_table_has_header_rows_and_summary(self):
+        text = render({
+            0: _metrics_with_hist(exe_dispatched_total=100),
+            1: _metrics_with_hist(exe_dispatched_total=50),
+        })
+        lines = text.splitlines()
+        assert lines[0].split() == list(COLUMNS)
+        assert len(lines) == 4  # header + 2 nodes + summary
+        assert "2 node(s)" in lines[-1]
+        assert "150 dispatched" in lines[-1]
+
+    def test_nodes_sorted(self):
+        text = render({5: {}, 1: {}, 3: {}})
+        first_cells = [
+            line.split()[0] for line in text.splitlines()[1:-1]
+        ]
+        assert first_cells == ["1", "3", "5"]
+
+
+class TestCli:
+    def test_json_source_renders_a_collector_dump(self, tmp_path, capsys):
+        dump = {
+            "nodes": {
+                "0": _metrics_with_hist(exe_dispatched_total=7),
+                "1": {"exe_dispatched_total": 2},
+            },
+            "totals": {},
+        }
+        path = tmp_path / "sweep.json"
+        path.write_text(json.dumps(dump))
+        assert main(["--json", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "NODE" in out
+        assert "9 dispatched cluster-wide" in out
+
+    def test_bare_node_map_also_accepted(self, tmp_path, capsys):
+        path = tmp_path / "bare.json"
+        path.write_text(json.dumps({"2": {"exe_dispatched_total": 1}}))
+        assert main(["--json", str(path)]) == 0
+        assert "1 node(s)" in capsys.readouterr().out
+
+    def test_demo_once_runs_a_real_cluster(self, capsys):
+        assert main(["--demo", "--once"]) == 0
+        out = capsys.readouterr().out
+        assert "NODE" in out
+        assert "3 node(s)" in out
+        # The demo drives 50 echo dispatches through nodes 1 and 2.
+        assert "50 dispatched cluster-wide" in out
+
+    def test_source_required(self, capsys):
+        with pytest.raises(SystemExit):
+            main([])

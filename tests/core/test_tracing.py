@@ -12,6 +12,7 @@ from repro.core.tracing import (
     trace_root_node,
 )
 from repro.i2o.frame import Frame
+from repro.i2o.tid import EXECUTIVE_TID, PTA_TID
 
 from tests.conftest import make_loopback_cluster, pump
 
@@ -134,11 +135,41 @@ class TestSpans:
         exe = Executive(node=0, tracer=FrameTracer(capacity=16))
         sink = FunctionalListener(name="sink", handlers={0x1: lambda f: None})
         tid = exe.install(sink)
+        frames = []
+        original_note = exe.tracer.note_enqueue
+
+        def spy(frame, now_ns):
+            frames.append(frame)
+            original_note(frame, now_ns)
+
+        exe.tracer.note_enqueue = spy  # type: ignore[method-assign]
         for _ in range(3):
             sink.send(tid, b"x", xfunction=0x1)
         exe._route_outbound()
+        assert all(f.trace_mark is not None for f in frames)
         exe.uninstall(tid)  # drops the queued frames without dispatch
-        assert exe.tracer._enqueued == {}
+        assert all(f.trace_mark is None for f in frames)
+
+    def test_recycled_frame_does_not_inherit_stale_queue_wait(self):
+        # Regression: the tracer used to key enqueue timestamps by
+        # id(frame); a recycled frame at the same address would then
+        # inherit the dead frame's (older) timestamp and report a
+        # wildly inflated queue wait.  The mark now rides the frame.
+        clock = _ManualClock()
+        tracer = FrameTracer(node=0, capacity=16)
+        frame = Frame.build(
+            target=PTA_TID, initiator=EXECUTIVE_TID, xfunction=0x1
+        )
+        tracer.note_enqueue(frame, clock.t)
+        # Released without dispatch, mark forgotten...
+        tracer.forget(frame)
+        clock.t = 1_000_000
+        # ...and a "new" frame (same object standing in for a recycled
+        # id()) enqueued much later must measure from *its* enqueue.
+        tracer.note_enqueue(frame, clock.t)
+        clock.t = 1_000_500
+        token = tracer.begin_dispatch(frame, clock.t)
+        assert token[0] == 500  # queue_wait, not 1_000_500
 
     def test_timer_contexts_survive_untraced(self):
         exe = Executive(node=0, tracer=FrameTracer(capacity=16))

@@ -26,6 +26,8 @@ from repro.core.reliable import (
     ReliableEndpoint,
 )
 from repro.durable.segments import SegmentStore
+from repro.flightrec import FlightRecorder, load_dump
+from repro.flightrec.records import CRASH_POINT_NAMES, EV_CRASH_POINT
 from repro.transports.agent import PeerTransportAgent
 from repro.transports.loopback import LoopbackNetwork, LoopbackTransport
 
@@ -44,11 +46,19 @@ class _Rig:
 
     def __init__(self, tmp_path):
         self.tmp_path = tmp_path
+        # Every executive carries a black box; a dead sender's ring is
+        # spilled here by hard_stop, one dump per incarnation.
+        self.crash_dir = tmp_path / "crash"
+        self.crash_dir.mkdir(parents=True, exist_ok=True)
+        self.incarnation = 0
         self.network = LoopbackNetwork()
         self.clock = _ManualClock()
         self.received: list[bytes] = []
 
         self.rx_exe = Executive(node=1, clock=self.clock)
+        self.rx_exe.attach_flight_recorder(FlightRecorder(
+            capacity=512, dump_dir=self.crash_dir, name="rx"
+        ))
         PeerTransportAgent.attach(self.rx_exe).register(
             LoopbackTransport(self.network), default=True
         )
@@ -62,7 +72,12 @@ class _Rig:
         self.dead_exes: list[Executive] = []
 
     def _build_sender(self, store, tid=None):
+        self.incarnation += 1
         exe = Executive(node=0, clock=self.clock)
+        exe.attach_flight_recorder(FlightRecorder(
+            capacity=512, dump_dir=self.crash_dir,
+            name=f"tx-inc{self.incarnation}",
+        ))
         PeerTransportAgent.attach(exe).register(
             LoopbackTransport(self.network), default=True
         )
@@ -209,6 +224,35 @@ class TestWholeMatrix:
         assert rig.tx.in_flight == 0
         assert rig.store.depth == 0
         rig.assert_no_leaks()
+
+
+class TestBlackBoxDumps:
+    @pytest.mark.parametrize("point", CRASH_POINTS)
+    def test_every_crash_point_leaves_a_decodable_dump(self, tmp_path, point):
+        """After a kill at any crash point, the dead incarnation's
+        black box must be on disk, decodable, and name the crash
+        window it died in."""
+        rig = _Rig(tmp_path)
+        with crash_at(rig.tx, point):
+            try:
+                rig.tx.send_reliable(rig.peer, b"matrix")
+                rig.pump(ticks=3)
+            except ExecutiveCrashed:
+                pass
+        rig.kill_and_restart_sender()
+        dump = load_dump(rig.crash_dir / "tx-inc1.flightrec")
+        assert dump.node == 0
+        assert dump.reason == "hard_stop"
+        # Every window entered leaves a record; the last one is where
+        # the injector actually killed the node.
+        crashes = dump.of_kind(EV_CRASH_POINT)
+        assert crashes
+        assert CRASH_POINT_NAMES[crashes[-1].a] == point
+        # The replacement incarnation spills under its own name, so
+        # the post-mortem evidence is never overwritten.
+        rig.tx_exe.hard_stop()
+        assert (rig.crash_dir / "tx-inc2.flightrec").exists()
+        assert load_dump(rig.crash_dir / "tx-inc1.flightrec").reason == "hard_stop"
 
 
 class TestInjectorUnit:

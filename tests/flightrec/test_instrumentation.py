@@ -1,0 +1,357 @@
+"""The black box wired into the executive, transports and endpoints."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.sanitize import DoubleFreeError, SanitizingTableAllocator
+from repro.core.device import FunctionalListener, Listener
+from repro.core.executive import Executive
+from repro.core.reliable import ReliableEndpoint
+from repro.core.watchdog import HandlerWatchdog
+from repro.flightrec import FlightRecorder, load_dump, unpack3
+from repro.flightrec.records import (
+    EV_DISPATCH_BEGIN,
+    EV_DISPATCH_END,
+    EV_DISPATCH_ERROR,
+    EV_FRAME_ALLOC,
+    EV_FRAME_INGEST,
+    EV_FRAME_RELEASE,
+    EV_FRAME_TRANSMIT,
+    EV_HARD_STOP,
+    EV_JOURNAL_COMMIT,
+    EV_JOURNAL_RETIRE,
+    EV_LIVENESS,
+    EV_POOL_EXHAUSTED,
+    EV_REL_ACK,
+    EV_REL_DELIVER,
+    EV_REL_RETRANSMIT,
+    EV_REL_SEND,
+    EV_SANITIZER,
+    EV_TIMER_FIRE,
+    EV_WATCHDOG_TRIP,
+    LIVE_ALIVE,
+    LIVE_DEAD,
+    LIVE_SUSPECT,
+    RECORD_SIZE,
+    RECORD_STRUCT,
+    SAN_DOUBLE_FREE,
+    FlightRecord,
+)
+from repro.i2o.errors import I2OError
+from repro.i2o.frame import HEADER_SIZE
+from repro.i2o.tid import EXECUTIVE_TID
+from repro.mem.pool import BufferPool, OriginalAllocator, PoolExhausted
+from repro.transports.agent import PeerTransportAgent
+from repro.transports.loopback import LoopbackNetwork, LoopbackTransport
+
+from tests.conftest import make_loopback_cluster, pump
+
+
+def records_of(recorder: FlightRecorder, *kinds: int) -> list[FlightRecord]:
+    """Decode the live ring (no spill needed) and filter by kind."""
+    body = recorder.ring_bytes()
+    out = [
+        FlightRecord(*RECORD_STRUCT.unpack_from(body, i * RECORD_SIZE))
+        for i in range(len(body) // RECORD_SIZE)
+    ]
+    return [r for r in out if not kinds or r.kind in kinds]
+
+
+def make_recorded_exe(**kwargs) -> Executive:
+    return Executive(
+        node=kwargs.pop("node", 0),
+        flightrec=FlightRecorder(capacity=1024),
+        **kwargs,
+    )
+
+
+class TestDispatchPath:
+    def test_begin_end_bracket_every_dispatch(self):
+        exe = make_recorded_exe()
+        echo = FunctionalListener(name="echo", handlers={0x1: lambda f: None})
+        tid = exe.install(echo)
+        sender = Listener("sender")
+        exe.install(sender)
+        sender.send(tid, b"ping", xfunction=0x1)
+        exe.run_until_idle()
+        begins = records_of(exe.flightrec, EV_DISPATCH_BEGIN)
+        ends = records_of(exe.flightrec, EV_DISPATCH_END)
+        assert len(begins) == len(ends) >= 1
+        # The echo dispatch: packed header carries (target, fn, xfn).
+        hit = [r for r in begins if unpack3(r.b)[0] == int(tid)]
+        assert hit and unpack3(hit[0].b)[2] == 0x1
+        # The matching end carries the same ctx/header plus a duration.
+        end = [r for r in ends if r.b == hit[0].b]
+        assert end and end[0].t_ns >= hit[0].t_ns
+
+    def test_frame_alloc_and_release_recorded(self):
+        exe = make_recorded_exe()
+        frame = exe.frame_alloc(16, target=EXECUTIVE_TID, initiator=EXECUTIVE_TID, xfunction=0x1)
+        allocs = records_of(exe.flightrec, EV_FRAME_ALLOC)
+        assert allocs and allocs[-1].a == HEADER_SIZE + 16
+        assert allocs[-1].b == exe.pool.in_flight
+        exe.frame_free(frame)
+        assert records_of(exe.flightrec, EV_FRAME_RELEASE)
+
+    def test_pool_exhaustion_recorded_before_raising(self):
+        exe = Executive(
+            node=0,
+            pool=BufferPool(OriginalAllocator(block_size=64, block_count=1)),
+            flightrec=FlightRecorder(capacity=64),
+        )
+        held = exe.frame_alloc(8, target=EXECUTIVE_TID, initiator=EXECUTIVE_TID, xfunction=0x1)
+        with pytest.raises(PoolExhausted):
+            exe.frame_alloc(8, target=EXECUTIVE_TID, initiator=EXECUTIVE_TID, xfunction=0x1)
+        exhausted = records_of(exe.flightrec, EV_POOL_EXHAUSTED)
+        assert exhausted and exhausted[0].a == HEADER_SIZE + 8
+        exe.frame_free(held)
+
+    def test_handler_exception_records_error_and_spills(self, tmp_path):
+        exe = Executive(
+            node=0,
+            flightrec=FlightRecorder(capacity=64, dump_dir=tmp_path),
+        )
+
+        def boom(frame):
+            if not frame.is_reply:
+                raise RuntimeError("boom")
+
+        tid = exe.install(FunctionalListener(name="bad", handlers={0x1: boom}))
+        sender = Listener("sender")
+        exe.install(sender)
+        sender.send(tid, b"", xfunction=0x1)
+        exe.run_until_idle()
+        assert records_of(exe.flightrec, EV_DISPATCH_ERROR)
+        dump = load_dump(exe.flightrec.dump_path())
+        assert dump.reason == "dispatch-exception"
+        assert dump.of_kind(EV_DISPATCH_ERROR)
+
+
+class TestCrashPaths:
+    def test_hard_stop_spills_a_decodable_dump(self, tmp_path):
+        exe = Executive(
+            node=5,
+            flightrec=FlightRecorder(capacity=64, dump_dir=tmp_path),
+        )
+        exe.frame_alloc(8, target=EXECUTIVE_TID, initiator=EXECUTIVE_TID, xfunction=0x1)
+        exe.hard_stop()
+        path = tmp_path / "node005.flightrec"
+        assert path.exists()
+        dump = load_dump(path)
+        assert dump.reason == "hard_stop"
+        assert dump.of_kind(EV_HARD_STOP)
+        # The drain's frame releases happen before the spill, so the
+        # black box shows the full cleanup.
+        assert dump.of_kind(EV_FRAME_ALLOC)
+
+    def test_watchdog_quarantine_spills(self, tmp_path):
+        import time
+
+        exe = Executive(
+            node=0,
+            watchdog=HandlerWatchdog(limit_ns=1_000_000),
+            flightrec=FlightRecorder(capacity=64, dump_dir=tmp_path),
+        )
+
+        def slow(frame):
+            if not frame.is_reply:
+                time.sleep(0.01)
+
+        tid = exe.install(FunctionalListener(name="slow", handlers={0x1: slow}))
+        sender = Listener("sender")
+        exe.install(sender)
+        sender.send(tid, b"", xfunction=0x1)
+        exe.run_until_idle()
+        trips = records_of(exe.flightrec, EV_WATCHDOG_TRIP)
+        assert trips and trips[0].a == int(tid)
+        assert load_dump(exe.flightrec.dump_path()).reason == "watchdog"
+
+    def test_sanitizer_violation_spills_before_raising(self, tmp_path):
+        exe = Executive(
+            node=0,
+            pool=BufferPool(SanitizingTableAllocator()),
+            flightrec=FlightRecorder(capacity=64, dump_dir=tmp_path),
+        )
+        block = exe.pool.alloc(64)
+        exe.pool.free(block)
+        with pytest.raises(DoubleFreeError):
+            exe.pool.free(block)
+        violations = records_of(exe.flightrec, EV_SANITIZER)
+        assert violations and violations[0].a == SAN_DOUBLE_FREE
+        assert load_dump(exe.flightrec.dump_path()).reason == "sanitizer"
+
+
+class TestLivenessAndTimers:
+    def test_peer_transitions_recorded(self):
+        exe = make_recorded_exe()
+        exe.peers.watch(7)
+        for _ in range(20):
+            exe.peers.interval_missed(7)
+        for _ in range(20):
+            exe.peers.heartbeat_seen(7)
+        transitions = [
+            (r.a, r.b) for r in records_of(exe.flightrec, EV_LIVENESS)
+        ]
+        assert (7, LIVE_SUSPECT) in transitions
+        assert (7, LIVE_DEAD) in transitions
+        assert (7, LIVE_ALIVE) in transitions  # the rejoin
+
+    def test_timer_fires_recorded(self):
+        exe = make_recorded_exe()
+        owner = exe.install(Listener("owner"))
+        timer_id = exe.timers.start(owner=owner, delay_ns=0, context=99)
+        exe.run_until_idle()
+        fires = records_of(exe.flightrec, EV_TIMER_FIRE)
+        assert fires and fires[0].a == timer_id
+        assert fires[0].b == int(owner)
+        assert fires[0].c == 99
+
+
+class TestAttachment:
+    def test_attach_twice_raises(self):
+        exe = make_recorded_exe()
+        with pytest.raises(I2OError, match="already has a flight recorder"):
+            exe.attach_flight_recorder(FlightRecorder(capacity=8))
+
+    def test_recorder_adopts_node_and_clock(self):
+        rec = FlightRecorder(capacity=8)
+        exe = Executive(node=9, flightrec=rec)
+        assert rec.node == 9
+        assert rec.clock is exe.clock
+
+    def test_accounting_gauges_exported(self):
+        exe = make_recorded_exe()
+        exe.frame_alloc(8, target=EXECUTIVE_TID, initiator=EXECUTIVE_TID, xfunction=0x1)
+        snap = exe.metrics.snapshot()
+        assert snap["flightrec_records_total"] >= 1
+        assert snap["flightrec_dropped_total"] == 0
+        assert snap["flightrec_spills_total"] == 0
+
+    def test_off_mode_records_nothing(self):
+        exe = Executive(node=0)
+        assert exe.flightrec is None
+        frame = exe.frame_alloc(8, target=EXECUTIVE_TID, initiator=EXECUTIVE_TID, xfunction=0x1)
+        exe.frame_free(frame)  # no recorder: hot path is one is-None test
+
+
+class TestWirePath:
+    def test_transmit_and_ingest_join_across_nodes(self):
+        cluster = make_loopback_cluster(2)
+        for node, exe in cluster.items():
+            exe.attach_flight_recorder(FlightRecorder(capacity=256))
+        received = []
+        echo = FunctionalListener(
+            name="echo", handlers={0x1: lambda f: received.append(bytes(f.payload))}
+        )
+        remote_tid = cluster[1].install(echo)
+        sender = Listener("sender")
+        cluster[0].install(sender)
+        proxy = cluster[0].create_proxy(1, remote_tid)
+        sender.send(proxy, b"over-the-wire", xfunction=0x1)
+        pump(cluster)
+        assert received == [b"over-the-wire"]
+        transmits = records_of(cluster[0].flightrec, EV_FRAME_TRANSMIT)
+        assert transmits
+        dest, tid, xfn = unpack3(transmits[0].b)
+        assert (dest, xfn) == (1, 0x1)
+        ingests = records_of(cluster[1].flightrec, EV_FRAME_INGEST)
+        assert ingests
+        src, target, xfn = unpack3(ingests[0].b)
+        assert (src, xfn) == (0, 0x1)
+        assert ingests[0].c == transmits[0].c  # same bytes on both ends
+
+
+class _ManualClock:
+    def __init__(self) -> None:
+        self.t = 0
+
+    def now_ns(self) -> int:
+        return self.t
+
+
+def _reliable_pair(journal_dir=None):
+    """Two recorded nodes with reliable endpoints on manual clocks."""
+    network = LoopbackNetwork()
+    clocks, exes, endpoints = {}, {}, {}
+    for node in range(2):
+        clock = _ManualClock()
+        exe = Executive(
+            node=node, clock=clock, flightrec=FlightRecorder(capacity=512)
+        )
+        PeerTransportAgent.attach(exe).register(
+            LoopbackTransport(network), default=True
+        )
+        ep = ReliableEndpoint(retransmit_ns=1000, max_retries=5)
+        exe.install(ep)
+        if journal_dir is not None:
+            from repro.durable.segments import SegmentStore
+
+            ep.attach_journal(SegmentStore(journal_dir / f"n{node}.journal"))
+        clocks[node], exes[node], endpoints[node] = clock, exe, ep
+    return clocks, exes, endpoints
+
+
+def _run(clocks, exes, rounds=50):
+    for tick in range(rounds):
+        for clock in clocks.values():
+            clock.t = tick * 1000
+        for _ in range(4):
+            if not any(exe.step() for exe in exes.values()):
+                break
+
+
+class TestReliableStream:
+    def test_full_stream_lifecycle_recorded(self, tmp_path):
+        clocks, exes, eps = _reliable_pair(journal_dir=tmp_path)
+        received = []
+        eps[1].consumer = lambda src, data: received.append(data)
+        peer = exes[0].create_proxy(1, eps[1].tid)
+        seq = eps[0].send_reliable(peer, b"hello")
+        _run(clocks, exes, rounds=5)
+        assert received == [b"hello"]
+        sender_rec = exes[0].flightrec
+        kinds_for_seq = [
+            r.kind for r in records_of(sender_rec)
+            if r.kind in (
+                EV_JOURNAL_COMMIT, EV_REL_SEND, EV_REL_ACK, EV_JOURNAL_RETIRE
+            ) and r.a == seq
+        ]
+        assert kinds_for_seq == [
+            EV_JOURNAL_COMMIT, EV_REL_SEND, EV_REL_ACK, EV_JOURNAL_RETIRE
+        ]
+        sends = [
+            r for r in records_of(sender_rec, EV_REL_SEND) if r.a == seq
+        ]
+        assert sends[0].b == 1  # destination node rides the record
+        delivers = records_of(exes[1].flightrec, EV_REL_DELIVER)
+        assert [(r.a, r.b) for r in delivers] == [(seq, 0)]
+
+    def test_retransmissions_recorded(self):
+        from repro.transports.faulty import FaultPlan, FaultyLoopbackTransport
+
+        network = LoopbackNetwork()
+        clocks, exes, eps = {}, {}, {}
+        for node in range(2):
+            clock = _ManualClock()
+            exe = Executive(
+                node=node, clock=clock,
+                flightrec=FlightRecorder(capacity=512),
+            )
+            PeerTransportAgent.attach(exe).register(
+                FaultyLoopbackTransport(
+                    network, FaultPlan(drop_rate=0.4), seed=3 + node
+                ),
+                default=True,
+            )
+            ep = ReliableEndpoint(retransmit_ns=1000, max_retries=50)
+            exe.install(ep)
+            clocks[node], exes[node], eps[node] = clock, exe, ep
+        received = []
+        eps[1].consumer = lambda src, data: received.append(data)
+        peer = exes[0].create_proxy(1, eps[1].tid)
+        for i in range(10):
+            eps[0].send_reliable(peer, b"m%d" % i)
+        _run(clocks, exes, rounds=400)
+        assert len(received) == 10
+        assert records_of(exes[0].flightrec, EV_REL_RETRANSMIT)

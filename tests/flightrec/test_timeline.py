@@ -1,0 +1,210 @@
+"""Merging per-node dumps into one causal cluster timeline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.tracing import make_trace_id
+from repro.flightrec import (
+    EV_DISPATCH_BEGIN,
+    EV_FRAME_TRANSMIT,
+    EV_HARD_STOP,
+    EV_REL_ACK,
+    EV_REL_DELIVER,
+    EV_REL_RETRANSMIT,
+    EV_REL_SEND,
+    FlightRecorder,
+    in_flight_sends,
+    load_dump,
+    merge_dumps,
+    pack3,
+)
+
+
+class _ManualClock:
+    def __init__(self) -> None:
+        self.t = 0
+
+    def now_ns(self) -> int:
+        return self.t
+
+
+def _dump(tmp_path, node, events, name=None):
+    """Spill `(t_ns, kind, a, b, c)` tuples as node `node`'s black box."""
+    clock = _ManualClock()
+    rec = FlightRecorder(
+        node=node, capacity=64, dump_dir=tmp_path,
+        clock=clock, name=name or f"n{node}",
+    )
+    for t_ns, kind, a, b, c in events:
+        clock.t = t_ns
+        rec.record(kind, a, b, c)
+    return load_dump(rec.spill("test"))
+
+
+class TestMergeOrdering:
+    def test_events_interleave_across_nodes_by_time(self, tmp_path):
+        a = _dump(tmp_path, 1, [(10, EV_REL_SEND, 1, 2, 8),
+                                (30, EV_REL_ACK, 1, 0, 0)])
+        b = _dump(tmp_path, 2, [(20, EV_REL_DELIVER, 1, 1, 8)])
+        timeline = merge_dumps([a, b])
+        assert [(e.node, e.record.t_ns) for e in timeline.events] == [
+            (1, 10), (2, 20), (1, 30),
+        ]
+        assert timeline.nodes == [1, 2]
+
+    def test_time_ties_break_by_node_then_seq(self, tmp_path):
+        a = _dump(tmp_path, 2, [(5, EV_HARD_STOP, 0, 0, 0)])
+        b = _dump(tmp_path, 1, [(5, EV_REL_SEND, 1, 2, 8),
+                                (5, EV_REL_SEND, 2, 2, 8)])
+        timeline = merge_dumps([b, a])
+        assert [(e.node, e.record.seq) for e in timeline.events] == [
+            (1, 0), (1, 1), (2, 0),
+        ]
+
+
+class TestStreamJoin:
+    def test_stream_follows_one_seq_across_nodes(self, tmp_path):
+        sender = _dump(tmp_path, 1, [
+            (10, EV_REL_SEND, 7, 2, 16),
+            (11, EV_REL_SEND, 8, 2, 16),       # different seq, excluded
+            (20, EV_REL_RETRANSMIT, 7, 2, 0),
+            (40, EV_REL_ACK, 7, 0, 0),
+        ])
+        receiver = _dump(tmp_path, 2, [(30, EV_REL_DELIVER, 7, 1, 16)])
+        timeline = merge_dumps([sender, receiver])
+        hops = timeline.stream(sender=1, seq=7)
+        assert [(e.node, e.record.kind) for e in hops] == [
+            (1, EV_REL_SEND),
+            (1, EV_REL_RETRANSMIT),
+            (2, EV_REL_DELIVER),
+            (1, EV_REL_ACK),
+        ]
+        assert timeline.delivered(1, 2, 7)
+        assert not timeline.delivered(1, 2, 8)
+
+
+class TestTraceJoin:
+    def test_trace_follows_a_trace_id_across_nodes(self, tmp_path):
+        ctx = make_trace_id(1, 42)
+        sender = _dump(tmp_path, 1, [
+            (10, EV_FRAME_TRANSMIT, ctx, pack3(2, 8, 0xF001), 64),
+        ])
+        receiver = _dump(tmp_path, 2, [
+            (20, EV_DISPATCH_BEGIN, ctx, pack3(8, 1, 0xF001), 0),
+        ])
+        timeline = merge_dumps([sender, receiver])
+        hops = timeline.trace(ctx)
+        assert [(e.node, e.record.kind) for e in hops] == [
+            (1, EV_FRAME_TRANSMIT),
+            (2, EV_DISPATCH_BEGIN),
+        ]
+        assert timeline.gaps() == []
+
+
+class TestGaps:
+    def test_send_with_no_deliver_anywhere_is_a_gap(self, tmp_path):
+        sender = _dump(tmp_path, 1, [
+            (10, EV_REL_SEND, 7, 2, 16),
+            (20, EV_REL_SEND, 8, 2, 16),
+        ])
+        receiver = _dump(tmp_path, 2, [(30, EV_REL_DELIVER, 7, 1, 16)])
+        gaps = merge_dumps([sender, receiver]).gaps()
+        assert len(gaps) == 1
+        gap = gaps[0]
+        assert gap.kind == "send-no-deliver"
+        assert gap.node == 1
+        assert gap.record.a == 8
+        assert "rel seq 8" in gap.describe()
+
+    def test_traced_transmit_with_no_remote_dispatch_is_a_gap(self, tmp_path):
+        ctx = make_trace_id(1, 9)
+        sender = _dump(tmp_path, 1, [
+            (10, EV_FRAME_TRANSMIT, ctx, pack3(2, 8, 0xF001), 64),
+            # A local dispatch of the same ctx must NOT count as arrival.
+            (11, EV_DISPATCH_BEGIN, ctx, pack3(8, 1, 0xF001), 0),
+        ])
+        gaps = merge_dumps([sender]).gaps()
+        assert [g.kind for g in gaps] == ["transmit-no-dispatch"]
+        assert "never dispatched remotely" in gaps[0].describe()
+
+    def test_untraced_transmit_contexts_are_ignored(self, tmp_path):
+        # Plain application contexts (small ints) can collide across
+        # nodes; only 0xACE-tagged trace ids join transmits.
+        sender = _dump(tmp_path, 1, [
+            (10, EV_FRAME_TRANSMIT, 5, pack3(2, 8, 0xF001), 64),
+        ])
+        assert merge_dumps([sender]).gaps() == []
+
+    def test_describe_renders_events_and_gaps(self, tmp_path):
+        sender = _dump(tmp_path, 1, [(10, EV_REL_SEND, 7, 2, 16)])
+        text = merge_dumps([sender]).describe()
+        assert "1 dump(s)" in text
+        assert "rel-send" in text
+        assert "1 gap(s)" in text
+
+
+class TestInFlightSends:
+    def test_unacked_sends_survive(self, tmp_path):
+        dump = _dump(tmp_path, 1, [
+            (10, EV_REL_SEND, 1, 2, 8),
+            (11, EV_REL_SEND, 2, 2, 8),
+            (12, EV_REL_SEND, 3, 2, 8),
+            (20, EV_REL_ACK, 1, 0, 0),
+            (30, EV_REL_RETRANSMIT, 3, 2, 0),
+        ])
+        pending = in_flight_sends(dump)
+        assert [r.a for r in pending] == [2, 3]
+        # Seq 3's latest sighting is the retransmit, not the send.
+        assert pending[1].kind == EV_REL_RETRANSMIT
+
+    def test_fully_acked_dump_has_nothing_in_flight(self, tmp_path):
+        dump = _dump(tmp_path, 1, [
+            (10, EV_REL_SEND, 1, 2, 8),
+            (20, EV_REL_ACK, 1, 0, 0),
+        ])
+        assert in_flight_sends(dump) == []
+
+
+class TestCli:
+    def test_decode_prints_symbolic_records(self, tmp_path, capsys):
+        from repro.flightrec.__main__ import main
+
+        _dump(tmp_path, 5, [(10, EV_HARD_STOP, 0, 0, 0)], name="node005")
+        assert main(["decode", str(tmp_path / "node005.flightrec")]) == 0
+        out = capsys.readouterr().out
+        assert "hard-stop" in out
+        assert "node 5" in out or "node005" in out or "node=5" in out
+
+    def test_merge_reports_gaps_and_in_flight(self, tmp_path, capsys):
+        from repro.flightrec.__main__ import main
+
+        _dump(tmp_path, 1, [
+            (10, EV_REL_SEND, 13, 2, 8),
+            (11, EV_REL_SEND, 14, 2, 8),
+        ], name="n1")
+        _dump(tmp_path, 2, [(20, EV_REL_DELIVER, 13, 1, 8)], name="n2")
+        code = main([
+            "merge",
+            str(tmp_path / "n1.flightrec"),
+            str(tmp_path / "n2.flightrec"),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "send->no-deliver" in out
+        assert "in flight when node 1 spilled" in out
+        assert "13, 14" in out
+
+    def test_bad_file_exits_2(self, tmp_path, capsys):
+        from repro.flightrec.__main__ import main
+
+        bogus = tmp_path / "bogus.flightrec"
+        bogus.write_bytes(b"not a dump")
+        assert main(["decode", str(bogus)]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_missing_file_exits_2(self, tmp_path, capsys):
+        from repro.flightrec.__main__ import main
+
+        assert main(["decode", str(tmp_path / "absent.flightrec")]) == 2
+        assert "error:" in capsys.readouterr().err

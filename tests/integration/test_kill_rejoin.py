@@ -25,6 +25,14 @@ import struct
 from repro.analysis.sanitize import SanitizingTableAllocator, assert_clean
 from repro.core.executive import Executive
 from repro.core.reliable import ReliableEndpoint
+from repro.core.tracing import FrameTracer
+from repro.flightrec import (
+    FlightRecorder,
+    in_flight_sends,
+    load_dump,
+    merge_dumps,
+)
+from repro.flightrec.records import EV_REL_ACK, EV_REL_DELIVER, EV_REL_SEND
 from repro.daq import BuilderUnit, EventManager, ReadoutUnit
 from repro.durable.segments import SegmentStore, SnapshotStore
 from repro.mem.pool import BufferPool
@@ -55,6 +63,12 @@ class _Cluster:
         self.clocks: dict[int, _ManualClock] = {}
         self.dead: list[Executive] = []
         self.tick = 0
+        # Every node carries a black box + tracer; a killed node's ring
+        # spills at hard_stop under a per-incarnation name so the dead
+        # incarnation's evidence is never overwritten by its successor.
+        self.crash_dir = tmp_path / "crash"
+        self.crash_dir.mkdir(parents=True, exist_ok=True)
+        self.incarnations: dict[int, int] = {}
 
         from repro.transports.loopback import LoopbackNetwork
 
@@ -103,7 +117,14 @@ class _Cluster:
         exe = Executive(
             node=node, clock=clock,
             pool=BufferPool(SanitizingTableAllocator()),
+            tracer=FrameTracer(capacity=4096),
         )
+        inc = self.incarnations.get(node, 0) + 1
+        self.incarnations[node] = inc
+        exe.attach_flight_recorder(FlightRecorder(
+            capacity=4096, dump_dir=self.crash_dir,
+            name=f"node{node}-inc{inc}",
+        ))
         PeerTransportAgent.attach(exe).register(
             FaultyLoopbackTransport(
                 self.network, DROPPY, seed=self.seed + node
@@ -240,6 +261,54 @@ def test_kill_and_rejoin_zero_events_lost(tmp_path):
         assert ru.buffered_events == 0
     # Pool hygiene across the whole story, dead executives included,
     # under the runtime sanitizer's canary scan.
+    cluster.assert_all_pools_clean()
+
+
+def test_black_box_merge_reconstructs_the_killed_events(tmp_path):
+    """The post-mortem acceptance drill: after killing the feed with a
+    full burst committed-but-unacked, the dead incarnation's dump alone
+    identifies the in-flight frames, and merging every node's dump
+    reconstructs one killed event's full cross-node story."""
+    cluster = _Cluster(tmp_path)
+    cluster.fire(1, 12)
+    cluster.run(ticks=120)
+    assert cluster.evm.completed == 12
+
+    # Kill the feed with seqs 13-24 journaled but none acknowledged.
+    cluster.fire(13, 24)
+    assert cluster.feed.in_flight == 12
+    cluster.kill_and_rejoin_feed_node()
+    cluster.run(ticks=400)
+    assert cluster.evm.completed == 24
+
+    # The dead incarnation spilled at hard_stop; its black box alone
+    # names the frames in flight at the crash window — no journal read.
+    dead_dump = load_dump(cluster.crash_dir / "node5-inc1.flightrec")
+    assert dead_dump.node == FEED_NODE
+    assert dead_dump.reason == "hard_stop"
+    assert [r.a for r in in_flight_sends(dead_dump)] == list(range(13, 25))
+
+    # Spill every survivor and merge the whole incident.
+    dumps = [dead_dump]
+    for exe in cluster.exes.values():
+        dumps.append(load_dump(exe.flightrec.spill("post-mortem")))
+    timeline = merge_dumps(dumps)
+    assert timeline.nodes == [0, 1, 2, 3, 4, 5]
+
+    # One killed event end to end: seq 13 committed by the dead feed,
+    # replayed by its successor (same node id), delivered on the EVM
+    # node, acked back home — one causal, cross-node order.
+    hops = timeline.stream(sender=FEED_NODE, seq=13)
+    kinds = [event.record.kind for event in hops]
+    assert kinds.count(EV_REL_SEND) >= 2  # original + journal replay
+    assert EV_REL_ACK in kinds
+    delivers = [e for e in hops if e.record.kind == EV_REL_DELIVER]
+    assert [e.node for e in delivers] == [EVM_NODE]
+    assert timeline.delivered(FEED_NODE, EVM_NODE, 13)
+    # The replay arrived after the original left: causal order held.
+    first_send = next(e for e in hops if e.record.kind == EV_REL_SEND)
+    assert delivers[0].record.t_ns >= first_send.record.t_ns
+
     cluster.assert_all_pools_clean()
 
 
