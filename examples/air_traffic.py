@@ -10,47 +10,30 @@ guarantees it is dispatched ahead of every queued routine update, which
 is precisely the paper's case for priority-scheduled message dispatch
 in mission-critical systems.
 
+The topology itself is declarative: radars emit ``atc.plot``, the
+correlator consumes plots and emits ``atc.track``/``atc.alert``, the
+console consumes both — bootstrap derives every route from those
+declarations and rejects the spec if the DAG is unsound.
+
 Run: ``python examples/air_traffic.py``
 """
 
-from repro import Executive, PeerTransportAgent
-from repro.atc import (
-    AlertConsole,
-    RadarSource,
-    SyntheticTraffic,
-    TrackCorrelator,
-)
-from repro.transports import LoopbackNetwork, LoopbackTransport
+from repro.atc import SyntheticTraffic
+from repro.config.bootstrap import bootstrap
+from repro.dataflow.examples import air_traffic_spec
 
 N_RADARS = 2
 
 
 def main() -> None:
-    network = LoopbackNetwork()
-    cluster = {}
-    for node in range(2 + N_RADARS):
-        exe = Executive(node=node)
-        PeerTransportAgent.attach(exe).register(
-            LoopbackTransport(network), default=True
-        )
-        cluster[node] = exe
-
-    def pump() -> None:
-        while any(exe.step() for exe in cluster.values()):
-            pass
+    cluster = bootstrap(air_traffic_spec(N_RADARS))
 
     traffic = SyntheticTraffic(n_aircraft=6, conflict_pair=True)
-    correlator = TrackCorrelator()
-    correlator_tid = cluster[0].install(correlator)
-    console = AlertConsole()
-    console_tid = cluster[3].install(console)
-    correlator.connect(cluster[0].create_proxy(3, console_tid))
-    radars = []
-    for r in range(N_RADARS):
-        radar = RadarSource(radar_id=r, traffic=traffic, seed=r)
-        cluster[1 + r].install(radar)
-        radar.connect(cluster[1 + r].create_proxy(0, correlator_tid))
-        radars.append(radar)
+    correlator = cluster.device("correlator")
+    console = cluster.device("console")
+    radars = [cluster.device(f"radar{r}") for r in range(N_RADARS)]
+    for radar in radars:
+        radar.traffic = traffic  # the shared sector picture
 
     print(f"sector with {len(traffic.aircraft_ids())} aircraft, "
           f"{N_RADARS} radars; aircraft 0 and 1 converging head-on")
@@ -59,7 +42,7 @@ def main() -> None:
         traffic.advance(20.0)  # 20 s per sweep cycle
         for radar in radars:
             radar.sweep()
-        pump()
+        cluster.pump()
         if console.alerts and alerted_at is None:
             alerted_at = step
             a, b, horizontal, vertical = console.alerts[0]
@@ -74,7 +57,7 @@ def main() -> None:
     print("tracks on the console picture:",
           {k: tuple(round(v, 1) for v in xyz)
            for k, xyz in sorted(console.picture.items())})
-    for exe in cluster.values():
+    for exe in cluster.executives.values():
         exe.pool.check_conservation()
     print("all pools conserved")
 

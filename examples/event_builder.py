@@ -8,91 +8,52 @@ Topology (7 nodes in one process, any transport works):
 * nodes 4-5: builder units,
 * node 6: monitor (watches everything through UtilParamsGet).
 
-Every arrow in the dataflow is an ordinary private I2O message over
-proxy TiDs; swap ``make_loopback_cluster`` for TCP or queue transports
-and nothing else changes (the paper's flexibility requirement).
+Every route is *derived*: the devices declare what they consume and
+emit (:mod:`repro.dataflow`), the bootstrap's ``dataflow`` section
+checks the emits→consumes DAG and builds the proxy route tables — no
+hand-wired TiDs anywhere.  Swap ``"transport": "loopback"`` for TCP or
+queue transports and nothing else changes (the paper's flexibility
+requirement).
 
 Run: ``python examples/event_builder.py [n_events]``
 """
 
 import sys
 
-from repro import Executive, PeerTransportAgent
-from repro.daq import (
-    BuilderUnit,
-    DaqMonitor,
-    EventManager,
-    ReadoutUnit,
-    TriggerSource,
-)
-from repro.transports import LoopbackNetwork, LoopbackTransport
+from repro.config.bootstrap import bootstrap
+from repro.dataflow.examples import event_builder_spec
 
 N_RU = 3
 N_BU = 2
 
 
-def make_loopback_cluster(n_nodes: int) -> dict[int, Executive]:
-    network = LoopbackNetwork()
-    cluster = {}
-    for node in range(n_nodes):
-        exe = Executive(node=node)
-        PeerTransportAgent.attach(exe).register(
-            LoopbackTransport(network), default=True
-        )
-        cluster[node] = exe
-    return cluster
-
-
-def pump(cluster: dict[int, Executive], max_rounds: int = 100_000) -> None:
-    for _ in range(max_rounds):
-        if not any(exe.step() for exe in cluster.values()):
-            return
-    raise RuntimeError("cluster did not go idle")
-
-
 def main() -> None:
     n_events = int(sys.argv[1]) if len(sys.argv) > 1 else 25
-    cluster = make_loopback_cluster(1 + N_RU + N_BU + 1)
+    spec = event_builder_spec(N_RU, N_BU, mean_fragment=1024)
     monitor_node = 1 + N_RU + N_BU
+    spec["nodes"][monitor_node] = {"devices": [
+        {"class": "repro.daq.monitor.DaqMonitor", "name": "monitor"},
+    ]}
+    cluster = bootstrap(spec)
 
-    # -- install the application devices --------------------------------
-    evm = EventManager()
-    trigger = TriggerSource()
-    evm_tid = cluster[0].install(evm)
-    cluster[0].install(trigger)
-
-    rus = {i: ReadoutUnit(ru_id=i, mean_fragment=1024) for i in range(N_RU)}
-    ru_tids = {i: cluster[1 + i].install(ru) for i, ru in rus.items()}
-    bus = {i: BuilderUnit(bu_id=i) for i in range(N_BU)}
-    bu_tids = {i: cluster[1 + N_RU + i].install(bu) for i, bu in bus.items()}
-
-    # -- wire the dataflow with proxies ------------------------------------
-    trigger.connect(evm_tid)  # same node: proxy == real TiD
-    evm.connect(
-        {i: cluster[0].create_proxy(1 + i, t) for i, t in ru_tids.items()},
-        {i: cluster[0].create_proxy(1 + N_RU + i, t) for i, t in bu_tids.items()},
-    )
-    for i, bu in bus.items():
-        node = 1 + N_RU + i
-        bu.connect(
-            cluster[node].create_proxy(0, evm_tid),
-            {j: cluster[node].create_proxy(1 + j, t) for j, t in ru_tids.items()},
-        )
+    evm = cluster.device("evm")
+    trigger = cluster.device("trigger")
+    rus = {i: cluster.device(f"ru{i}") for i in range(N_RU)}
+    bus = {i: cluster.device(f"bu{i}") for i in range(N_BU)}
 
     # -- monitor watches through standard utility messages ----------------
-    monitor = DaqMonitor()
-    cluster[monitor_node].install(monitor)
-    monitor.watch(cluster[monitor_node].create_proxy(0, evm_tid))
-    for i, t in ru_tids.items():
-        monitor.watch(cluster[monitor_node].create_proxy(1 + i, t))
-    for i, t in bu_tids.items():
-        monitor.watch(cluster[monitor_node].create_proxy(1 + N_RU + i, t))
+    monitor = cluster.device("monitor")
+    watched = ["evm"]
+    watched += [f"ru{i}" for i in rus]
+    watched += [f"bu{i}" for i in bus]
+    for name in watched:
+        monitor.watch(cluster.proxy(monitor_node, name))
 
     # -- run -------------------------------------------------------------------
     trigger.fire_burst(n_events)
-    pump(cluster)
+    cluster.pump()
     monitor.sweep()
-    pump(cluster)
+    cluster.pump()
 
     print(f"triggers fired   : {evm.triggers}")
     print(f"events completed : {evm.completed}")
@@ -110,7 +71,7 @@ def main() -> None:
             print(f"  tid {tid}: {interesting}")
 
     assert evm.completed == n_events, "every trigger must become a built event"
-    for exe in cluster.values():
+    for exe in cluster.executives.values():
         exe.pool.check_conservation()
     print("all pools conserved - no leaked frames")
 

@@ -52,6 +52,11 @@ RULES: dict[str, tuple[Severity, str]] = {
         Severity.WARNING,
         "broad except swallows exceptions inside a dispatch path",
     ),
+    "DFL001": (
+        Severity.WARNING,
+        "hand-wired route: connect() fed proxy TiDs instead of a "
+        "declared dataflow route",
+    ),
 }
 
 

@@ -8,6 +8,8 @@ queue of routine updates is nevertheless dispatched first.
 from __future__ import annotations
 
 from repro.atc.protocol import (
+    MT_CONFLICT_ALERT,
+    MT_TRACK_UPDATE,
     XF_CONFLICT_ALERT,
     XF_TRACK_UPDATE,
     unpack_alert,
@@ -21,6 +23,7 @@ class AlertConsole(Listener):
     """Receives the correlator's output."""
 
     device_class = "atc_console"
+    consumes = (MT_TRACK_UPDATE, MT_CONFLICT_ALERT)
 
     def __init__(self, name: str = "console") -> None:
         super().__init__(name)

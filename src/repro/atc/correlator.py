@@ -14,14 +14,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.atc.protocol import (
-    ALERT_PRIORITY,
-    ATC_ORG,
     MIN_HORIZONTAL_KM,
     MIN_VERTICAL_FL,
-    UPDATE_PRIORITY,
-    XF_CONFLICT_ALERT,
+    MT_CONFLICT_ALERT,
+    MT_POSITION,
+    MT_TRACK_UPDATE,
     XF_POSITION,
-    XF_TRACK_UPDATE,
     pack_alert,
     pack_position,
     unpack_position,
@@ -57,10 +55,11 @@ class TrackCorrelator(Listener):
     """Multi-radar fusion and separation monitoring."""
 
     device_class = "atc_correlator"
+    consumes = (MT_POSITION,)
+    emits = (MT_TRACK_UPDATE, MT_CONFLICT_ALERT)
 
     def __init__(self, name: str = "correlator") -> None:
         super().__init__(name)
-        self.console_tid: Tid | None = None
         self.tracks: dict[int, Track] = {}
         self.reports_received = 0
         self.updates_sent = 0
@@ -69,7 +68,17 @@ class TrackCorrelator(Listener):
         self._active_conflicts: set[tuple[int, int]] = set()
 
     def connect(self, console_tid: Tid) -> None:
-        self.console_tid = console_tid
+        self.connect_route(
+            MT_TRACK_UPDATE, {"console": console_tid}, replace=True
+        )
+        self.connect_route(
+            MT_CONFLICT_ALERT, {"console": console_tid}, replace=True
+        )
+
+    @property
+    def console_tid(self) -> Tid | None:
+        targets = self.dataflow_targets(MT_TRACK_UPDATE)
+        return next(iter(targets.values()), None)
 
     def on_plugin(self) -> None:
         self.bind(XF_POSITION, self._on_position)
@@ -94,15 +103,12 @@ class TrackCorrelator(Listener):
         self._check_separation(track)
 
     def _publish_update(self, track: Track, t_ns: int) -> None:
-        if self.console_tid is None:
+        if not self.dataflow_targets(MT_TRACK_UPDATE):
             return
-        self.send(
-            self.console_tid,
+        self.emit(
+            MT_TRACK_UPDATE,
             pack_position(track.aircraft_id, 0xFFFF, track.x_km,
                           track.y_km, track.fl, t_ns),
-            xfunction=XF_TRACK_UPDATE,
-            priority=UPDATE_PRIORITY,
-            organization=ATC_ORG,
         )
         self.updates_sent += 1
 
@@ -129,14 +135,13 @@ class TrackCorrelator(Listener):
 
     def _raise_alert(self, pair: tuple[int, int], horizontal: float,
                      vertical: float) -> None:
-        if self.console_tid is None:
+        if not self.dataflow_targets(MT_CONFLICT_ALERT):
             return
-        self.send(
-            self.console_tid,
+        # MT_CONFLICT_ALERT is declared at ALERT_PRIORITY — the
+        # real-time path rides on the type, not on call sites.
+        self.emit(
+            MT_CONFLICT_ALERT,
             pack_alert(pair[0], pair[1], horizontal, vertical),
-            xfunction=XF_CONFLICT_ALERT,
-            priority=ALERT_PRIORITY,  # the real-time path
-            organization=ATC_ORG,
         )
         self.alerts_sent += 1
 

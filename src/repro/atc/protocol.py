@@ -9,6 +9,7 @@ from __future__ import annotations
 
 import struct
 
+from repro.dataflow.registry import message_type
 from repro.i2o.errors import I2OError
 
 ATC_ORG = 0xA7C0
@@ -32,6 +33,21 @@ MIN_VERTICAL_FL = 10.0
 #: Alerts pre-empt everything; track updates are routine traffic.
 ALERT_PRIORITY = 0
 UPDATE_PRIORITY = 4
+
+MT_POSITION = message_type(
+    "atc.position", XF_POSITION, organization=ATC_ORG, mode="one",
+    priority=UPDATE_PRIORITY,
+)
+#: Routine updates are droppable under load — the next sweep
+#: supersedes them anyway; alerts are not.
+MT_TRACK_UPDATE = message_type(
+    "atc.track-update", XF_TRACK_UPDATE, organization=ATC_ORG, mode="one",
+    priority=UPDATE_PRIORITY, on_saturation="shed",
+)
+MT_CONFLICT_ALERT = message_type(
+    "atc.conflict-alert", XF_CONFLICT_ALERT, organization=ATC_ORG,
+    mode="one", priority=ALERT_PRIORITY,
+)
 
 
 def pack_position(aircraft: int, radar: int, x_km: float, y_km: float,

@@ -15,7 +15,7 @@ job.
 from __future__ import annotations
 
 from repro.atc.aircraft import SyntheticTraffic
-from repro.atc.protocol import ATC_ORG, UPDATE_PRIORITY, XF_POSITION, pack_position
+from repro.atc.protocol import MT_POSITION, pack_position
 from repro.config.schema import ParamSchema, ParamSpec, SchemaListenerMixin
 from repro.core.device import Listener
 from repro.i2o.errors import I2OError
@@ -28,6 +28,7 @@ class RadarSource(SchemaListenerMixin, Listener):
     """One radar head watching a shared traffic picture."""
 
     device_class = "atc_radar"
+    emits = (MT_POSITION,)
 
     schema = ParamSchema([
         ParamSpec("sweep_interval_ns", int, default=0, minimum=0,
@@ -42,19 +43,25 @@ class RadarSource(SchemaListenerMixin, Listener):
         super().__init__(name or f"radar{radar_id}")
         self.radar_id = radar_id
         self.traffic = traffic
-        self.correlator_tid: Tid | None = None
         self._rng = RngStreams(seed).stream(f"radar{radar_id}-noise")
         self.sweeps = 0
         self.reports_sent = 0
         self._timer_id: int | None = None
 
     def connect(self, correlator_tid: Tid) -> None:
-        self.correlator_tid = correlator_tid
+        self.connect_route(
+            MT_POSITION, {"correlator": correlator_tid}, replace=True
+        )
+
+    @property
+    def correlator_tid(self) -> Tid | None:
+        targets = self.dataflow_targets(MT_POSITION)
+        return next(iter(targets.values()), None)
 
     # -- sweeping ------------------------------------------------------------
     def sweep(self) -> int:
         """Report every aircraft once; returns the report count."""
-        if self.correlator_tid is None:
+        if not self.dataflow_targets(MT_POSITION):
             raise I2OError(f"radar {self.name} is not connected")
         if self.traffic is None:
             raise I2OError(f"radar {self.name} has no traffic picture")
@@ -63,16 +70,13 @@ class RadarSource(SchemaListenerMixin, Listener):
         count = 0
         for state in self.traffic.positions():
             nx, ny = self._rng.normal(0.0, noise or 1e-9, size=2)
-            self.send(
-                self.correlator_tid,
+            self.emit(
+                MT_POSITION,
                 pack_position(
                     state.aircraft_id, self.radar_id,
                     state.x_km + float(nx), state.y_km + float(ny),
                     state.fl, now_ns,
                 ),
-                xfunction=XF_POSITION,
-                priority=UPDATE_PRIORITY,
-                organization=ATC_ORG,
             )
             count += 1
         self.sweeps += 1

@@ -93,6 +93,12 @@ def _flightrec() -> str:
     return run_flightrec().report()
 
 
+def _backpressure() -> str:
+    from repro.bench.backpressure import run_backpressure
+
+    return run_backpressure().report()
+
+
 EXPERIMENTS: dict[str, tuple[str, Callable[[], str]]] = {
     "fig6": ("Figure 6: blackbox ping-pong latencies", _fig6),
     "tab1": ("Table 1: whitebox stage breakdown", _tab1),
@@ -108,6 +114,8 @@ EXPERIMENTS: dict[str, tuple[str, Callable[[], str]]] = {
     "zerocopy": ("X7: copies per frame on the zero-copy path", _zerocopy),
     "flightrec": ("X9: flight-recorder overhead on the dispatch path",
                   _flightrec),
+    "backpressure": ("X10: queue depth under fan-out saturation",
+                     _backpressure),
 }
 
 

@@ -1,0 +1,222 @@
+"""Experiment X10 — queue depth under fan-out saturation.
+
+A burst source fans one message type out to several slow consumers on
+one node, emitting faster than the executive drains.  Without edge
+credits the scheduler queue grows with the burst (the overrun failure
+mode §3.2's bounded FIFOs exist to prevent); with credits the producer
+is gated at the consumers' declared capacity, so the peak queue depth
+is bounded by ``credits × fan_out`` regardless of how hard the source
+pushes.  The ``shed`` policy trades completeness for the same bound
+without parking.
+
+Three configurations drive the identical burst schedule:
+
+``uncapped``
+    routes without edges — the pre-dataflow behaviour;
+``park``
+    credit-gated edges, overflow parked in the outbox and resumed
+    in order as credits return;
+``shed``
+    credit-gated edges, overflow dropped and counted.
+
+Every run finishes with a pool-conservation check, so running the
+bench under ``REPRO_SANITIZE=1`` proves the park/shed/resume paths
+leak no frames (the CI gate does exactly that).  Exits non-zero when
+a capped peak exceeds its bound or a frame leaks.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from dataclasses import dataclass, field
+
+from repro.core.device import Listener
+from repro.core.executive import Executive
+from repro.dataflow.registry import _unregister, message_type
+from repro.dataflow.routing import CreditLedger, DataflowOutbox
+from repro.bench.report import format_table
+
+DEFAULT_SINKS = 4
+DEFAULT_ROUNDS = 200
+DEFAULT_BURST = 16
+DEFAULT_CREDITS = 32
+
+XF_BURST = 0x0B10
+
+
+class _BurstSink(Listener):
+    device_class = "bench_sink"
+
+    def __init__(self, name: str) -> None:
+        super().__init__(name)
+        self.received = 0
+
+    def on_plugin(self) -> None:
+        self.bind(XF_BURST, self._take)
+
+    def _take(self, frame) -> None:
+        if not frame.is_reply:
+            self.received += 1
+
+
+class _BurstSource(Listener):
+    device_class = "bench_source"
+
+
+@dataclass
+class _RunStats:
+    emitted: int = 0
+    delivered: int = 0
+    shed: int = 0
+    peak_queue: int = 0
+    peak_parked: int = 0
+    bound: int | None = None  # None: uncapped
+
+
+def _burst_type(policy: str):
+    # Identical re-registration is idempotent, so repeated runs in one
+    # process are fine; each run unregisters its type on completion.
+    return message_type(
+        f"bench.burst-{policy}", XF_BURST, mode="fanout",
+        on_saturation=policy,
+    )
+
+
+def _run_config(
+    *,
+    credits: int | None,
+    policy: str = "park",
+    n_sinks: int = DEFAULT_SINKS,
+    rounds: int = DEFAULT_ROUNDS,
+    burst: int = DEFAULT_BURST,
+) -> _RunStats:
+    mtype = _burst_type(policy)
+    exe = Executive(node=0)
+    ledger = CreditLedger()
+    outbox = DataflowOutbox(exe, ledger)
+    exe.dataflow = ledger
+    exe.dataflow_outbox = outbox
+    exe._pollable.append(outbox)
+
+    source = _BurstSource("src")
+    exe.install(source)
+    sinks = [_BurstSink(f"sink{i}") for i in range(n_sinks)]
+    targets, edges = {}, {}
+    for sink in sinks:
+        exe.install(sink)
+        targets[sink.name] = sink.tid
+        if credits is not None:
+            edges[sink.name] = ledger.register_edge(
+                mtype, sink.name, source.name, exe.node,
+                sink.name, exe.node, sink.tid, credits,
+            )
+    source.connect_route(
+        mtype, targets, edges=edges if credits is not None else None
+    )
+
+    stats = _RunStats(
+        bound=None if credits is None else credits * n_sinks
+    )
+    for _ in range(rounds):
+        for _ in range(burst):
+            source.emit(mtype, b"x" * 64)
+            stats.emitted += n_sinks
+        # One partial drain per burst round: the source outruns the
+        # dispatcher, which is the saturation under test.
+        exe.step()
+        stats.peak_queue = max(stats.peak_queue, len(exe.scheduler))
+        stats.peak_parked = max(stats.peak_parked, outbox.depth)
+    exe.run_until_idle()
+
+    stats.delivered = sum(sink.received for sink in sinks)
+    stats.shed = ledger.shed(exe.node)
+    exe.pool.check_conservation()  # zero leaks, poison-checked under sanitizer
+    if stats.delivered + stats.shed != stats.emitted:
+        raise RuntimeError(
+            f"lost frames: {stats.delivered} delivered + {stats.shed} "
+            f"shed != {stats.emitted} emitted"
+        )
+    _unregister(mtype.name)
+    return stats
+
+
+@dataclass
+class BackpressureResult:
+    stats: dict[str, _RunStats] = field(default_factory=dict)
+
+    @property
+    def bounded(self) -> bool:
+        """Every capped configuration held its queue-depth bound."""
+        return all(
+            s.peak_queue <= s.bound
+            for s in self.stats.values()
+            if s.bound is not None
+        )
+
+    def report(self) -> str:
+        rows = [
+            (
+                name,
+                str(s.bound) if s.bound is not None else "-",
+                str(s.peak_queue),
+                str(s.peak_parked),
+                str(s.shed),
+                f"{s.delivered}/{s.emitted}",
+            )
+            for name, s in self.stats.items()
+        ]
+        return format_table(
+            ["config", "bound", "peak queue", "peak parked", "shed",
+             "delivered"],
+            rows,
+            title="X10: queue depth under fan-out saturation",
+        )
+
+
+def run_backpressure(
+    n_sinks: int = DEFAULT_SINKS,
+    rounds: int = DEFAULT_ROUNDS,
+    burst: int = DEFAULT_BURST,
+    credits: int = DEFAULT_CREDITS,
+) -> BackpressureResult:
+    result = BackpressureResult()
+    common = dict(n_sinks=n_sinks, rounds=rounds, burst=burst)
+    result.stats["uncapped"] = _run_config(credits=None, **common)
+    result.stats["park"] = _run_config(
+        credits=credits, policy="park", **common
+    )
+    result.stats["shed"] = _run_config(
+        credits=credits, policy="shed", **common
+    )
+    return result
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench.backpressure",
+        description="Measure queue depth under fan-out saturation.",
+    )
+    parser.add_argument("--sinks", type=int, default=DEFAULT_SINKS)
+    parser.add_argument("--rounds", type=int, default=DEFAULT_ROUNDS)
+    parser.add_argument("--burst", type=int, default=DEFAULT_BURST)
+    parser.add_argument("--credits", type=int, default=DEFAULT_CREDITS)
+    parser.add_argument(
+        "--check", action="store_true",
+        help="fail (exit 1) unless capped peaks honour their bounds",
+    )
+    args = parser.parse_args(argv)
+    result = run_backpressure(
+        n_sinks=args.sinks, rounds=args.rounds,
+        burst=args.burst, credits=args.credits,
+    )
+    print(result.report())
+    if args.check and not result.bounded:
+        print("FAIL: a credit-capped run exceeded its queue-depth bound",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -87,14 +87,14 @@ def run_config(
     ru_tids = {i: exes[1 + i].install(ru) for i, ru in rus.items()}
     bus = {i: BuilderUnit(bu_id=i) for i in range(n_bu)}
     bu_tids = {i: exes[1 + n_ru + i].install(bu) for i, bu in bus.items()}
-    evm.connect(
+    evm.connect(  # repro: noqa DFL001
         {i: exes[0].create_proxy(1 + i, t) for i, t in ru_tids.items()},
         {i: exes[0].create_proxy(1 + n_ru + i, t)
          for i, t in bu_tids.items()},
     )
     for i, bu in bus.items():
         node = 1 + n_ru + i
-        bu.connect(
+        bu.connect(  # repro: noqa DFL001
             exes[node].create_proxy(0, evm_tid),
             {j: exes[node].create_proxy(1 + j, t)
              for j, t in ru_tids.items()},

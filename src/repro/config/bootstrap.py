@@ -59,6 +59,32 @@ class BootstrapError(I2OError):
     """Malformed specification or wiring failure."""
 
 
+class UnknownDeviceError(BootstrapError, KeyError):
+    """Lookup of a device name the cluster does not have.
+
+    Doubles as a ``KeyError`` so callers indexing the cluster like a
+    mapping can catch it idiomatically; the message names the missing
+    device and lists what *is* there.
+    """
+
+    def __init__(self, name: str, available: Any) -> None:
+        self.device_name = name
+        names = ", ".join(sorted(map(str, available))) or "<none>"
+        self.message = f"no device named {name!r}; available: {names}"
+        super().__init__(self.message)
+
+    def __str__(self) -> str:
+        # KeyError would repr() the message; keep it readable.
+        return self.message
+
+
+#: Every key :func:`bootstrap` understands at the top of a spec.
+SPEC_KEYS = frozenset({
+    "transport", "nodes", "supervision", "telemetry", "durability",
+    "flight_recorder", "dataflow",
+})
+
+
 @dataclass
 class Cluster:
     """The built system: executives plus a name → (node, tid) index."""
@@ -77,6 +103,10 @@ class Cluster:
     snapshots: dict[str, Any] = field(default_factory=dict)
     #: node -> its FlightRecorder, when the spec asked for one
     flight_recorders: dict[int, Any] = field(default_factory=dict)
+    #: the static emits→consumes DAG, when the spec asked for dataflow
+    dataflow_graph: Any = None
+    #: the cluster-wide credit ledger, when dataflow backpressure is on
+    dataflow_ledger: Any = None
 
     def executive(self, node: int) -> Executive:
         exe = self.executives.get(node)
@@ -104,7 +134,7 @@ class Cluster:
     def _entry(self, name: str) -> tuple[int, Tid, Listener]:
         entry = self.devices.get(name)
         if entry is None:
-            raise BootstrapError(f"no device named {name!r}")
+            raise UnknownDeviceError(name, self.devices)
         return entry
 
     # -- operation -----------------------------------------------------------
@@ -174,6 +204,12 @@ def _join_transport(cluster: Cluster, kind: str) -> None:
 
 def bootstrap(spec: dict[str, Any]) -> Cluster:
     """Build a cluster from a declarative specification."""
+    unknown = set(map(str, spec)) - SPEC_KEYS
+    if unknown:
+        raise BootstrapError(
+            f"unknown spec keys {sorted(unknown)}; "
+            f"known keys: {sorted(SPEC_KEYS)}"
+        )
     nodes_spec = spec.get("nodes")
     if not isinstance(nodes_spec, dict) or not nodes_spec:
         raise BootstrapError("spec needs a non-empty 'nodes' mapping")
@@ -213,6 +249,16 @@ def bootstrap(spec: dict[str, Any]) -> Cluster:
     flightrec = spec.get("flight_recorder")
     if flightrec is not None:
         _wire_flightrec(cluster, dict(flightrec))
+    dataflow = spec.get("dataflow")
+    if dataflow is not None:
+        if not isinstance(dataflow, dict):
+            raise BootstrapError(
+                f"'dataflow' section must be a mapping, "
+                f"got {type(dataflow).__name__}"
+            )
+        # Last, so the derived routes cover every installed device —
+        # including the ones the sections above added.
+        _wire_dataflow(cluster, dict(dataflow))
     return cluster
 
 
@@ -421,3 +467,109 @@ def _wire_telemetry(cluster: Cluster, conf: dict[str, Any]) -> None:
     cluster.collector = collector
     for node, agent in cluster.telemetry_agents.items():
         collector.watch(node, exe.create_proxy(node, agent.tid))
+
+
+def _wire_dataflow(cluster: Cluster, conf: dict[str, Any]) -> None:
+    """Derive every route table from the devices' consumes/emits
+    declarations and wire queue-capacity backpressure on top.
+
+    Spec section (all keys optional — see
+    :data:`repro.config.schema.DATAFLOW_SCHEMA`)::
+
+        "dataflow": {
+            "edge_credits": 64,     # default per-consumer capacity
+            "park_limit": 256,      # parked-emission slots per node
+            "strict": True,         # analysis diagnostics are fatal
+            "backpressure": True,   # False = routes only, uncapped
+        }
+
+    The static graph is built from every *installed* device (including
+    ones other sections added, e.g. telemetry agents), analysed, and —
+    when clean — lowered to per-device
+    :class:`~repro.dataflow.routing.TypeRoutes`: local consumers by
+    TiD, remote ones by proxy.  With backpressure on, each edge gets a
+    credit window of the consumer's ``queue_capacity`` (or the spec's
+    ``edge_credits``) split across the consumer's fan-in for that type,
+    and every node gets a bounded
+    :class:`~repro.dataflow.routing.DataflowOutbox` retried from the
+    executive's poll loop.
+    """
+    from repro.config.schema import DATAFLOW_SCHEMA, SchemaError
+    from repro.dataflow.graph import DataflowGraph, node_for_device
+    from repro.dataflow.routing import CreditLedger, DataflowOutbox, Edge
+
+    try:
+        options = DATAFLOW_SCHEMA.validate_update(
+            {key: DATAFLOW_SCHEMA.spec(key).format(value)
+             if not isinstance(value, str) else value
+             for key, value in conf.items()}
+        )
+    except SchemaError as exc:
+        raise BootstrapError(f"bad dataflow section: {exc}") from exc
+    merged = {spec.name: spec.default for spec in DATAFLOW_SCHEMA}
+    merged.update(options)
+    edge_credits = int(merged["edge_credits"])
+    park_limit = int(merged["park_limit"])
+    backpressure = bool(merged["backpressure"])
+
+    placed = {}
+    for name, (node, _tid, device) in sorted(cluster.devices.items()):
+        dn = node_for_device(name, node, device)
+        if dn is not None:
+            placed[name] = dn
+    graph = DataflowGraph(placed.values())
+    cluster.dataflow_graph = graph
+    diagnostics = graph.analyze()
+    if diagnostics and bool(merged["strict"]):
+        rendered = "; ".join(d.render() for d in diagnostics)
+        raise BootstrapError(
+            f"dataflow analysis rejected the topology: {rendered}"
+        )
+
+    ledger = CreditLedger()
+    cluster.dataflow_ledger = ledger
+    for node in sorted(cluster.executives):
+        exe = cluster.executives[node]
+        exe.dataflow = ledger
+        outbox = DataflowOutbox(exe, ledger, limit=park_limit)
+        exe.dataflow_outbox = outbox
+        exe._pollable.append(outbox)
+        exe.metrics.gauge("dataflow_credits_available",
+                          lambda n=node: ledger.credits_available(n))
+        exe.metrics.gauge("dataflow_parked", lambda o=outbox: o.depth)
+        exe.metrics.gauge("dataflow_parked_total",
+                          lambda o=outbox: o.parked_total)
+        exe.metrics.gauge("dataflow_shed_total",
+                          lambda n=node: ledger.shed(n))
+        exe.metrics.gauge("dataflow_resumed_total",
+                          lambda n=node: ledger.resumed(n))
+
+    for name, dn in placed.items():
+        node, _tid, device = cluster.devices[name]
+        exe = cluster.executives[node]
+        for tname in dn.emits:
+            mtype = graph.type_of(tname)
+            consumers = graph.consumers_of(tname)
+            if not consumers:
+                continue  # diagnosed above; reachable only non-strict
+            targets: dict[Any, Tid] = {}
+            edges: dict[Any, Edge] | None = {} if backpressure else None
+            for consumer in consumers:
+                c_node, c_tid, c_device = cluster.devices[consumer.name]
+                if c_node == node:
+                    targets[consumer.key] = c_tid
+                else:
+                    targets[consumer.key] = exe.create_proxy(c_node, c_tid)
+                if edges is not None:
+                    capacity = getattr(c_device, "queue_capacity", None)
+                    if capacity is None:
+                        capacity = edge_credits
+                    fan_in = max(1, graph.fan_in(consumer.name, tname))
+                    edges[consumer.key] = ledger.register_edge(
+                        mtype, consumer.key, name, node,
+                        consumer.name, c_node, c_tid,
+                        max(1, int(capacity) // fan_in),
+                    )
+            device.connect_route(mtype, targets, edges=edges, replace=True)
+    for name in placed:
+        cluster.devices[name][2].on_dataflow_connected()

@@ -192,6 +192,22 @@ FLIGHT_RECORDER_SCHEMA = ParamSchema([
               description="black-box ring capacity in records per node"),
 ])
 
+#: Typed schema for the bootstrap spec's ``dataflow`` section
+#: (``repro.dataflow``): route tables derived from the devices'
+#: consumes/emits declarations, plus backpressure tuning.
+DATAFLOW_SCHEMA = ParamSchema([
+    ParamSpec("edge_credits", int, default=64, minimum=1,
+              description="per-consumer queue capacity (frames) when the "
+                          "device class declares no queue_capacity"),
+    ParamSpec("park_limit", int, default=256, minimum=0,
+              description="bounded parked-emission slots per node"),
+    ParamSpec("strict", bool, default=True,
+              description="refuse to boot on any analysis diagnostic"),
+    ParamSpec("backpressure", bool, default=True,
+              description="wire per-edge credit windows (off = routes "
+                          "only, uncapped)"),
+])
+
 
 class SchemaListenerMixin:
     """Mixin for :class:`~repro.core.device.Listener` subclasses that

@@ -41,6 +41,8 @@ from repro.i2o.tid import Tid
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.executive import Executive
+    from repro.dataflow.registry import MessageType
+    from repro.dataflow.routing import Edge, TypeRoutes
 
 #: Sentinel a handler returns to take ownership of the frame's block
 #: (suppressing the executive's automatic post-dispatch frame release).
@@ -82,6 +84,16 @@ class Listener:
     #: Class-level device-class name (I2O device class analogue).
     device_class = "private"
 
+    #: Dataflow contract — the message types this class receives and
+    #: originates.  Bootstrap reads these to build the static DAG and
+    #: derive route tables; an empty contract means the device stays
+    #: outside the dataflow layer entirely (hand wiring still works).
+    consumes: "tuple[MessageType, ...]" = ()
+    emits: "tuple[MessageType, ...]" = ()
+    #: Inbound queue share (frames) granted to this device's consumed
+    #: types; ``None`` falls back to the spec's ``edge_credits``.
+    queue_capacity: int | None = None
+
     def __init__(self, name: str = "") -> None:
         self.name = name or type(self).__name__
         self.table = DispatchTable(owner=self.name)
@@ -91,6 +103,7 @@ class Listener:
         self.parameters: dict[str, str] = {}
         self._event_subscribers: list[Tid] = []
         self._claimed_by: Tid | None = None
+        self._type_routes: dict[str, "TypeRoutes"] = {}
         self._bind_standard()
 
     # -- standard message sets ---------------------------------------------
@@ -243,6 +256,244 @@ class Listener:
             raise
         exe.frame_send(frame)
         return frame
+
+    # -- typed dataflow API ---------------------------------------------------
+    def connect_route(
+        self,
+        mtype: "MessageType",
+        targets: dict[Any, Tid],
+        *,
+        edges: "dict[Any, Edge] | None" = None,
+        replace: bool = False,
+    ) -> "TypeRoutes":
+        """Install the route table for one emitted message type.
+
+        ``targets`` maps consumer ``dataflow_key`` -> TiD and is held
+        by reference — callers may share one live dict between types so
+        a supervision drop updates all of them.  Bootstrap calls this
+        from the declarations; tests and legacy paths may hand-wire the
+        same structure.
+        """
+        from repro.dataflow.routing import TypeRoutes
+
+        if mtype.name in self._type_routes and not replace:
+            raise I2OError(
+                f"device {self.name!r} already has routes for "
+                f"message type {mtype.name!r}"
+            )
+        routes = TypeRoutes(mtype, targets, edges)
+        self._type_routes[mtype.name] = routes
+        return routes
+
+    def routes_for(self, mtype: "MessageType | str") -> "TypeRoutes | None":
+        name = mtype if isinstance(mtype, str) else mtype.name
+        return self._type_routes.get(name)
+
+    def dataflow_targets(self, mtype: "MessageType | str") -> dict[Any, Tid]:
+        """The live key -> TiD mapping for one emitted type (empty when
+        no routes are installed)."""
+        routes = self.routes_for(mtype)
+        return routes.targets if routes is not None else {}
+
+    def drop_route_target(
+        self,
+        key: Any,
+        *,
+        types: "tuple[MessageType | str, ...] | None" = None,
+    ) -> int:
+        """Supervision hook: the consumer keyed ``key`` died — remove
+        it from the installed route tables (reclaiming its credits)
+        and return how many tables dropped it.  ``types`` restricts
+        the drop to the named message types (keys are only unique per
+        type: ru 0 and bu 0 are different consumers)."""
+        exe = self.executive
+        ledger = exe.dataflow if exe is not None else None
+        names = None if types is None else {
+            t if isinstance(t, str) else t.name for t in types
+        }
+        dropped = 0
+        for name, routes in self._type_routes.items():
+            if names is not None and name not in names:
+                continue
+            if routes.drop(key, ledger):
+                dropped += 1
+        return dropped
+
+    def on_dataflow_connected(self) -> None:
+        """Override: bootstrap finished installing this device's route
+        tables (all ``connect_route`` calls done, graph analysed)."""
+
+    def emit(
+        self,
+        mtype: "MessageType",
+        payload: bytes | bytearray | memoryview = b"",
+        *,
+        key: Any | None = None,
+        transaction_context: int = 0,
+        initiator_context: int = 0,
+    ) -> int:
+        """Typed frameSend: post ``payload`` along the declared route.
+
+        ``mode="one"`` needs no key (there is a single consumer);
+        ``mode="keyed"`` selects one consumer by ``key``;
+        ``mode="fanout"`` posts one frame per installed target.  When
+        bootstrap wired backpressure, a saturated edge parks the
+        payload in the node's outbox or sheds it, per the type's
+        ``on_saturation`` policy.  Returns the number of frames posted
+        *now* (parked/shed emissions are not counted).
+        """
+        routes = self._routes_required(mtype)
+        if mtype.mode == "fanout":
+            keys = list(routes.targets)
+        else:
+            keys = [self._resolve_key(routes, key)]
+        sent = 0
+        for k in keys:
+            if self._emit_to(routes, k, payload,
+                             transaction_context, initiator_context):
+                sent += 1
+        return sent
+
+    def emit_into(
+        self,
+        mtype: "MessageType",
+        payload_size: int,
+        writer: Callable[[memoryview], None],
+        *,
+        key: Any | None = None,
+        transaction_context: int = 0,
+        initiator_context: int = 0,
+    ) -> int:
+        """Typed frameSend, zero-copy form: ``writer`` builds each
+        payload directly in the loaned frame (once per target on
+        fanout; also once into a scratch buffer if the emission must
+        be parked or shed, so the writer must be repeatable)."""
+        routes = self._routes_required(mtype)
+        if mtype.mode == "fanout":
+            keys = list(routes.targets)
+        else:
+            keys = [self._resolve_key(routes, key)]
+        exe = self._require_live()
+        ledger = exe.dataflow
+        sent = 0
+        for k in keys:
+            edge = routes.edges.get(k) if routes.edges is not None else None
+            if edge is not None and ledger is not None \
+                    and not ledger.try_acquire(edge):
+                scratch = bytearray(payload_size)
+                if payload_size:
+                    writer(memoryview(scratch))
+                self._saturated(exe, routes, k, edge, bytes(scratch),
+                                transaction_context, initiator_context)
+                continue
+            self.send_into(
+                routes.targets[k], payload_size, writer,
+                xfunction=mtype.xfunction, function=mtype.function,
+                priority=mtype.priority, organization=mtype.organization,
+                transaction_context=transaction_context,
+                initiator_context=initiator_context,
+            )
+            sent += 1
+        return sent
+
+    def _routes_required(self, mtype: "MessageType") -> "TypeRoutes":
+        routes = self._type_routes.get(mtype.name)
+        if routes is None:
+            raise I2OError(
+                f"device {self.name!r} has no route for message type "
+                f"{mtype.name!r}; declare it in 'emits' and bootstrap "
+                f"with a consumer, or connect_route() by hand"
+            )
+        return routes
+
+    def _resolve_key(self, routes: "TypeRoutes", key: Any) -> Any:
+        if key is not None:
+            if key not in routes.targets:
+                raise I2OError(
+                    f"device {self.name!r}: no consumer keyed {key!r} "
+                    f"for message type {routes.mtype.name!r} "
+                    f"(known: {sorted(map(repr, routes.targets))})"
+                )
+            return key
+        if len(routes.targets) != 1:
+            raise I2OError(
+                f"device {self.name!r}: message type "
+                f"{routes.mtype.name!r} has {len(routes.targets)} "
+                f"targets; pass key=..."
+            )
+        return next(iter(routes.targets))
+
+    def _emit_to(
+        self,
+        routes: "TypeRoutes",
+        key: Any,
+        payload: bytes | bytearray | memoryview,
+        transaction_context: int,
+        initiator_context: int,
+    ) -> bool:
+        exe = self._require_live()
+        mtype = routes.mtype
+        edge = routes.edges.get(key) if routes.edges is not None else None
+        if edge is not None:
+            ledger = exe.dataflow
+            if ledger is not None and not ledger.try_acquire(edge):
+                return self._saturated(
+                    exe, routes, key, edge, bytes(payload),
+                    transaction_context, initiator_context,
+                )
+        self.send(
+            routes.targets[key], payload,
+            xfunction=mtype.xfunction, function=mtype.function,
+            priority=mtype.priority, organization=mtype.organization,
+            transaction_context=transaction_context,
+            initiator_context=initiator_context,
+        )
+        return True
+
+    def _saturated(
+        self,
+        exe: "Executive",
+        routes: "TypeRoutes",
+        key: Any,
+        edge: "Edge",
+        payload: bytes,
+        transaction_context: int,
+        initiator_context: int,
+    ) -> bool:
+        """The edge is out of credits: park or shed per policy."""
+        from repro.flightrec.records import (
+            EV_DATAFLOW_PARK,
+            EV_DATAFLOW_SHED,
+            pack3,
+        )
+
+        mtype = routes.mtype
+        outbox = exe.dataflow_outbox
+        recorder = exe.flightrec
+        if (
+            mtype.on_saturation == "park"
+            and outbox is not None
+            and outbox.park(self, mtype, key, payload,
+                            transaction_context, initiator_context)
+        ):
+            if recorder is not None:
+                recorder.record(
+                    EV_DATAFLOW_PARK,
+                    pack3(edge.consumer_node, edge.consumer_tid,
+                          mtype.xfunction),
+                    outbox.depth,
+                )
+            return False
+        if exe.dataflow is not None:
+            exe.dataflow.note_shed(exe.node)
+        if recorder is not None:
+            recorder.record(
+                EV_DATAFLOW_SHED,
+                pack3(edge.consumer_node, edge.consumer_tid,
+                      mtype.xfunction),
+                outbox.depth if outbox is not None else 0,
+            )
+        return False
 
     def reply(
         self,

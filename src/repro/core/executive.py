@@ -89,6 +89,7 @@ from repro.flightrec.records import (
 from repro.mem.pool import BufferPool, PoolExhausted
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.dataflow.routing import CreditLedger, DataflowOutbox
     from repro.flightrec.recorder import FlightRecorder
     from repro.transports.agent import PeerTransportAgent
 
@@ -275,6 +276,11 @@ class Executive:
         #: the black-box flight recorder; same off-mode discipline as
         #: the tracer (set via :meth:`attach_flight_recorder`).
         self.flightrec: "FlightRecorder | None" = None
+        #: backpressure state, set by bootstrap when the spec enables
+        #: the dataflow layer; ``None`` keeps the dispatch path at one
+        #: ``is None`` test (the tracer/flightrec off-mode discipline).
+        self.dataflow: "CreditLedger | None" = None
+        self.dataflow_outbox: "DataflowOutbox | None" = None
 
         self.tids = TidAllocator()
         self.scheduler = PriorityScheduler()
@@ -914,6 +920,12 @@ class Executive:
         frame = self.scheduler.pop()
         if frame is None:
             return False
+        if self.dataflow is not None:
+            # The frame left its priority FIFO: the consumer's queue
+            # slot is free, so the emitting edge gets its credit back.
+            self.dataflow.on_dispatched(
+                self.node, frame.target, frame.function, frame.xfunction
+            )
         tracer = self.tracer
         timed = self.metrics.timing
         fr = self.flightrec

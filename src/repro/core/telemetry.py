@@ -34,11 +34,19 @@ import re
 
 from repro.core.device import Listener, decode_params, encode_params
 from repro.core.tracing import Span
+from repro.dataflow.registry import message_type
 from repro.i2o.errors import I2OError
 from repro.i2o.frame import Frame
 from repro.i2o.function_codes import UTIL_PARAMS_GET
 from repro.i2o.tid import Tid
 from repro.core.metrics import prometheus_lines
+
+#: The sweep is an ordinary ``UtilParamsGet`` (no private verb); the
+#: declared type exists so the collector->agent edges show up in the
+#: dataflow DAG.
+MT_PARAMS_SWEEP = message_type(
+    "telemetry.params-sweep", 0, function=UTIL_PARAMS_GET, mode="fanout"
+)
 
 #: Timer context the sweeper arms its periodic timer with.  Small and
 #: untagged, so the tracer never mistakes it for a trace id.
@@ -137,6 +145,7 @@ class TelemetryAgent(Listener):
     """
 
     device_class = "telemetry_agent"
+    consumes = (MT_PARAMS_SWEEP,)
 
     def __init__(self, name: str = "telemetry-agent") -> None:
         super().__init__(name)
@@ -183,6 +192,7 @@ class TelemetryCollector(PeriodicSweeper, Listener):
     """
 
     device_class = "telemetry_collector"
+    emits = (MT_PARAMS_SWEEP,)
 
     def __init__(self, name: str = "telemetry", *, keep_spans: int = 8192) -> None:
         super().__init__(name)

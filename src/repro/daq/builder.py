@@ -13,9 +13,10 @@ import struct
 from repro.core.device import Listener
 from repro.daq.events import parse_fragment
 from repro.daq.protocol import (
-    DAQ_ORG,
+    MT_ALLOCATE,
+    MT_EVENT_DONE,
+    MT_REQUEST_FRAGMENT,
     XF_ALLOCATE,
-    XF_EVENT_DONE,
     XF_REQUEST_FRAGMENT,
 )
 from repro.i2o.errors import I2OError
@@ -29,13 +30,14 @@ class BuilderUnit(Listener):
     """Collects one fragment per readout unit into complete events."""
 
     device_class = "daq_builder"
+    consumes = (MT_ALLOCATE,)
+    emits = (MT_REQUEST_FRAGMENT, MT_EVENT_DONE)
 
     def __init__(self, name: str = "", bu_id: int = 0) -> None:
         super().__init__(name or f"bu{bu_id}")
         self.bu_id = bu_id
-        #: ru_id -> TiD (local or proxy); filled by ``connect``
-        self.ru_tids: dict[int, Tid] = {}
-        self.evm_tid: Tid | None = None
+        #: keyed ALLOCATE traffic reaches this builder under its bu_id
+        self.dataflow_key = bu_id
         self._pending: dict[int, dict[int, bytes]] = {}
         self.built = 0
         self.bytes_built = 0
@@ -46,8 +48,20 @@ class BuilderUnit(Listener):
         self.keep_completed = 1024
 
     def connect(self, evm_tid: Tid, ru_tids: dict[int, Tid]) -> None:
-        self.evm_tid = evm_tid
-        self.ru_tids = dict(ru_tids)
+        """Hand-wire the route tables (legacy path; bootstrap derives
+        the same structure from the declarations)."""
+        self.connect_route(MT_EVENT_DONE, {"evm": evm_tid}, replace=True)
+        self.connect_route(MT_REQUEST_FRAGMENT, dict(ru_tids), replace=True)
+
+    @property
+    def ru_tids(self) -> dict[int, Tid]:
+        """Live ru_id -> TiD view over the MT_REQUEST_FRAGMENT routes."""
+        return self.dataflow_targets(MT_REQUEST_FRAGMENT)
+
+    @property
+    def evm_tid(self) -> Tid | None:
+        targets = self.dataflow_targets(MT_EVENT_DONE)
+        return next(iter(targets.values()), None)
 
     def on_plugin(self) -> None:
         self.bind(XF_ALLOCATE, self._on_allocate)
@@ -64,14 +78,7 @@ class BuilderUnit(Listener):
             raise I2OError(f"builder {self.name} has no readout units")
         (event_id,) = _EVENT_ID.unpack_from(frame.payload, 0)
         self._pending[event_id] = {}
-        payload = _EVENT_ID.pack(event_id)
-        for ru_tid in self.ru_tids.values():
-            self.send(
-                ru_tid,
-                payload,
-                xfunction=XF_REQUEST_FRAGMENT,
-                organization=DAQ_ORG,
-            )
+        self.emit(MT_REQUEST_FRAGMENT, _EVENT_ID.pack(event_id))
 
     def _on_fragment_reply(self, frame: Frame) -> None:
         if not frame.is_reply:
@@ -102,13 +109,8 @@ class BuilderUnit(Listener):
         self.bytes_built += size
         if len(self.completed) < self.keep_completed:
             self.completed.append((event_id, size))
-        if self.evm_tid is not None:
-            self.send(
-                self.evm_tid,
-                _EVENT_ID.pack(event_id),
-                xfunction=XF_EVENT_DONE,
-                organization=DAQ_ORG,
-            )
+        if self.dataflow_targets(MT_EVENT_DONE):
+            self.emit(MT_EVENT_DONE, _EVENT_ID.pack(event_id))
 
     # -- supervision hook ---------------------------------------------------
     def on_peer_dead(self, node: int) -> None:
@@ -128,7 +130,7 @@ class BuilderUnit(Listener):
         if not dead:
             return
         for ru_id in dead:
-            del self.ru_tids[ru_id]
+            self.drop_route_target(ru_id, types=(MT_REQUEST_FRAGMENT,))
         self.readouts_dropped += len(dead)
         if not self.ru_tids:
             return

@@ -14,11 +14,12 @@ from typing import TYPE_CHECKING, Any
 
 from repro.core.device import Listener
 from repro.daq.protocol import (
-    DAQ_ORG,
-    XF_ALLOCATE,
-    XF_CLEAR,
+    MT_ALLOCATE,
+    MT_CLEAR,
+    MT_EVENT_DONE,
+    MT_READOUT,
+    MT_TRIGGER,
     XF_EVENT_DONE,
-    XF_READOUT,
     XF_TRIGGER,
 )
 from repro.i2o.errors import I2OError
@@ -63,6 +64,8 @@ class EventManager(Listener):
     """
 
     device_class = "daq_eventmanager"
+    consumes = (MT_TRIGGER, MT_EVENT_DONE)
+    emits = (MT_READOUT, MT_ALLOCATE, MT_CLEAR)
 
     def __init__(self, name: str = "evm",
                  max_in_flight: int | None = None,
@@ -76,8 +79,6 @@ class EventManager(Listener):
         self.max_in_flight = max_in_flight
         self.event_timeout_ns = event_timeout_ns
         self.max_reassignments = max_reassignments
-        self.ru_tids: dict[int, Tid] = {}
-        self.bu_tids: dict[int, Tid] = {}
         self._rr: list[int] = []
         self._rr_index = 0
         self._assigned: dict[int, int] = {}  # event_id -> bu_id
@@ -100,12 +101,32 @@ class EventManager(Listener):
         self.snapshot_store: "SnapshotStore | None" = None
 
     def connect(self, ru_tids: dict[int, Tid], bu_tids: dict[int, Tid]) -> None:
+        """Hand-wire the route tables (legacy path; bootstrap derives
+        the same structure from the declarations).  READOUT and CLEAR
+        share one live dict, so a dropped readout unit leaves both."""
         if not ru_tids or not bu_tids:
             raise I2OError("event manager needs at least one RU and one BU")
-        self.ru_tids = dict(ru_tids)
-        self.bu_tids = dict(bu_tids)
+        shared_rus = dict(ru_tids)
+        self.connect_route(MT_READOUT, shared_rus, replace=True)
+        self.connect_route(MT_CLEAR, shared_rus, replace=True)
+        self.connect_route(MT_ALLOCATE, dict(bu_tids), replace=True)
         self._rr = sorted(bu_tids)
         self._rr_index = 0
+
+    def on_dataflow_connected(self) -> None:
+        """Bootstrap installed the declared routes: build the ring."""
+        self._rr = sorted(self.bu_tids)
+        self._rr_index = 0
+
+    @property
+    def ru_tids(self) -> dict[int, Tid]:
+        """Live ru_id -> TiD view over the MT_READOUT route table."""
+        return self.dataflow_targets(MT_READOUT)
+
+    @property
+    def bu_tids(self) -> dict[int, Tid]:
+        """Live bu_id -> TiD view over the MT_ALLOCATE route table."""
+        return self.dataflow_targets(MT_ALLOCATE)
 
     def on_plugin(self) -> None:
         self.bind(XF_TRIGGER, self._on_trigger)
@@ -164,8 +185,7 @@ class EventManager(Listener):
         #    an RU regenerates deterministically and keeps existing
         #    buffers, so re-launching after a timeout is safe even when
         #    the original command was the message that got lost);
-        for ru_tid in self.ru_tids.values():
-            self.send(ru_tid, payload, xfunction=XF_READOUT, organization=DAQ_ORG)
+        self.emit(MT_READOUT, payload)
         # 2. hand the event to the next builder in the ring.
         self._assign(event_id, avoid=avoid)
 
@@ -183,10 +203,7 @@ class EventManager(Listener):
             self._deadlines[event_id] = self.start_timer(
                 self.event_timeout_ns, context=event_id
             )
-        self.send(
-            self.bu_tids[bu_id], _EVENT_ID.pack(event_id),
-            xfunction=XF_ALLOCATE, organization=DAQ_ORG,
-        )
+        self.emit(MT_ALLOCATE, _EVENT_ID.pack(event_id), key=bu_id)
 
     def on_timer(self, context: int, frame: Frame) -> None:
         """Completion deadline passed: reassign or declare the event lost."""
@@ -199,10 +216,7 @@ class EventManager(Listener):
             self.lost_events.append(event_id)
             self._attempts.pop(event_id, None)
             # Free the readout buffers of the abandoned event.
-            payload = _EVENT_ID.pack(event_id)
-            for ru_tid in self.ru_tids.values():
-                self.send(ru_tid, payload, xfunction=XF_CLEAR,
-                          organization=DAQ_ORG)
+            self.emit(MT_CLEAR, _EVENT_ID.pack(event_id))
             self._release_throttled()
             self._autosave()
             return
@@ -224,9 +238,7 @@ class EventManager(Listener):
         if len(self.completed_ids) < self.keep_completed:
             self.completed_ids.append(event_id)
         self._completed_set.add(event_id)
-        payload = _EVENT_ID.pack(event_id)
-        for ru_tid in self.ru_tids.values():
-            self.send(ru_tid, payload, xfunction=XF_CLEAR, organization=DAQ_ORG)
+        self.emit(MT_CLEAR, _EVENT_ID.pack(event_id))
         self._release_throttled()
         self._autosave()
 
@@ -251,12 +263,12 @@ class EventManager(Listener):
 
         dead_rus = [ru for ru, tid in self.ru_tids.items() if unreachable(tid)]
         for ru_id in dead_rus:
-            del self.ru_tids[ru_id]
+            self.drop_route_target(ru_id, types=(MT_READOUT, MT_CLEAR))
         self.readouts_dropped += len(dead_rus)
 
         dead_bus = [bu for bu, tid in self.bu_tids.items() if unreachable(tid)]
         for bu_id in dead_bus:
-            del self.bu_tids[bu_id]
+            self.drop_route_target(bu_id, types=(MT_ALLOCATE,))
         self.builders_dropped += len(dead_bus)
         if dead_bus:
             self._rr = sorted(self.bu_tids)
@@ -362,17 +374,12 @@ class EventManager(Listener):
                 self.reassignments += 1
                 self._launch(event_id)
                 continue
-            for ru_tid in self.ru_tids.values():
-                self.send(ru_tid, payloads[event_id],
-                          xfunction=XF_READOUT, organization=DAQ_ORG)
+            self.emit(MT_READOUT, payloads[event_id])
             if self.event_timeout_ns > 0:
                 self._deadlines[event_id] = self.start_timer(
                     self.event_timeout_ns, context=event_id
                 )
-            self.send(
-                self.bu_tids[bu_id], payloads[event_id],
-                xfunction=XF_ALLOCATE, organization=DAQ_ORG,
-            )
+            self.emit(MT_ALLOCATE, payloads[event_id], key=bu_id)
 
     def recover(self) -> bool:
         """Restore from the attached snapshot store, if it has state.

@@ -3,9 +3,18 @@
 All codes live in the private XFunctionCode space (Function = 0xFF)
 under organisation id ``DAQ_ORG``.  One table, shared by every DAQ
 device, so the protocol is greppable in one place.
+
+The ``MT_*`` declarations below give each code a typed identity in the
+dataflow registry — the emits/consumes contracts the devices declare
+and bootstrap turns into route tables.  ``MT_EVENT_DONE`` is the one
+intentional back-edge of the event builder (completion flowing against
+the data direction), so it is declared ``feedback=True``: the forward
+dataflow stays a DAG, the control loop that closes it is explicit.
 """
 
 from __future__ import annotations
+
+from repro.dataflow.registry import message_type
 
 DAQ_ORG = 0xCE12  # 'CERN-ish' vendor id for the private class
 
@@ -23,3 +32,24 @@ XF_EVENT_DONE = 0x0105
 XF_CLEAR = 0x0106
 # monitor pull: report counters
 XF_REPORT = 0x0107
+
+MT_TRIGGER = message_type(
+    "daq.trigger", XF_TRIGGER, organization=DAQ_ORG, mode="one",
+)
+MT_READOUT = message_type(
+    "daq.readout", XF_READOUT, organization=DAQ_ORG, mode="fanout",
+)
+MT_ALLOCATE = message_type(
+    "daq.allocate", XF_ALLOCATE, organization=DAQ_ORG, mode="keyed",
+)
+MT_REQUEST_FRAGMENT = message_type(
+    "daq.request-fragment", XF_REQUEST_FRAGMENT, organization=DAQ_ORG,
+    mode="fanout",
+)
+MT_EVENT_DONE = message_type(
+    "daq.event-done", XF_EVENT_DONE, organization=DAQ_ORG, mode="one",
+    feedback=True,
+)
+MT_CLEAR = message_type(
+    "daq.clear", XF_CLEAR, organization=DAQ_ORG, mode="fanout",
+)

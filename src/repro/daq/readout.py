@@ -16,7 +16,9 @@ import struct
 from repro.core.device import Listener, RETAIN
 from repro.daq.events import synthesize_fragment
 from repro.daq.protocol import (
-    DAQ_ORG,
+    MT_CLEAR,
+    MT_READOUT,
+    MT_REQUEST_FRAGMENT,
     XF_CLEAR,
     XF_READOUT,
     XF_REQUEST_FRAGMENT,
@@ -30,10 +32,16 @@ class ReadoutUnit(Listener):
     """One detector readout slice."""
 
     device_class = "daq_readout"
+    consumes = (MT_READOUT, MT_REQUEST_FRAGMENT, MT_CLEAR)
+    #: fragment buffers are the scarce resource: a small FIFO share
+    #: makes READOUT fan-out the edge that saturates first
+    queue_capacity = 64
 
     def __init__(self, name: str = "", ru_id: int = 0, *, mean_fragment: int = 2048) -> None:
         super().__init__(name or f"ru{ru_id}")
         self.ru_id = ru_id
+        #: fan-out traffic addresses this unit under its ru_id
+        self.dataflow_key = ru_id
         self.mean_fragment = mean_fragment
         self._buffers: dict[int, bytes] = {}
         self._parked: dict[int, list[Frame]] = {}

@@ -15,7 +15,7 @@ from __future__ import annotations
 import struct
 
 from repro.core.device import Listener
-from repro.daq.protocol import DAQ_ORG, XF_TRIGGER
+from repro.daq.protocol import MT_TRIGGER, XF_TRIGGER
 from repro.i2o.errors import I2OError
 from repro.i2o.frame import Frame
 from repro.i2o.tid import Tid
@@ -27,10 +27,10 @@ class TriggerSource(Listener):
     """Generates the event stream."""
 
     device_class = "daq_trigger"
+    emits = (MT_TRIGGER,)
 
     def __init__(self, name: str = "trigger") -> None:
         super().__init__(name)
-        self.evm_tid: Tid | None = None
         self.next_event_id = 1
         self.fired = 0
         self.max_events: int | None = None
@@ -39,7 +39,14 @@ class TriggerSource(Listener):
 
     def connect(self, evm_tid: Tid) -> None:
         """Point the trigger at the event manager (local or proxy TiD)."""
-        self.evm_tid = evm_tid
+        self.connect_route(MT_TRIGGER, {"evm": evm_tid}, replace=True)
+
+    @property
+    def evm_tid(self) -> Tid | None:
+        """The connected event manager (None before wiring) — a view
+        over the MT_TRIGGER route table."""
+        targets = self.dataflow_targets(MT_TRIGGER)
+        return next(iter(targets.values()), None)
 
     def export_counters(self) -> dict[str, object]:
         return {"fired": self.fired, "next_event_id": self.next_event_id}
@@ -47,17 +54,12 @@ class TriggerSource(Listener):
     # -- manual drive ---------------------------------------------------------
     def fire(self) -> int:
         """Emit one trigger; returns the event id used."""
-        if self.evm_tid is None:
+        if not self.dataflow_targets(MT_TRIGGER):
             raise I2OError("trigger is not connected to an event manager")
         event_id = self.next_event_id
         self.next_event_id += 1
         self.fired += 1
-        self.send(
-            self.evm_tid,
-            _EVENT_ID.pack(event_id),
-            xfunction=XF_TRIGGER,
-            organization=DAQ_ORG,
-        )
+        self.emit(MT_TRIGGER, _EVENT_ID.pack(event_id))
         return event_id
 
     def fire_burst(self, count: int) -> list[int]:

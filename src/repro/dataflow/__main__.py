@@ -1,0 +1,109 @@
+"""CLI: render or check a topology's dataflow DAG.
+
+Usage::
+
+    python -m repro.dataflow spec.json                  # human report
+    python -m repro.dataflow spec.json --check          # exit 1 on findings
+    python -m repro.dataflow --builtin event-builder \\
+        --dot dag.dot --json dag.json --check           # the CI gate
+
+The spec is the ordinary bootstrap spec (JSON file form); no cluster
+is built — classes are imported, their declarations read, the graph
+analysed.  ``--builtin`` uses the canonical topologies from
+:mod:`repro.dataflow.examples`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.dataflow.examples import BUILTIN_SPECS
+from repro.dataflow.graph import DataflowGraph, graph_from_spec
+
+
+def _render_report(graph: DataflowGraph) -> str:
+    lines = ["== devices =="]
+    for dev in sorted(graph.devices.values(), key=lambda d: (d.node, d.name)):
+        lines.append(
+            f"  node{dev.node} {dev.name} [{dev.device_class}] "
+            f"consumes={list(dev.consumes)} emits={list(dev.emits)}"
+        )
+    lines.append("== edges ==")
+    for edge in graph.edges():
+        marker = " (feedback)" if edge.feedback else ""
+        lines.append(f"  {edge.src} -> {edge.dst}  [{edge.mtype}]{marker}")
+    fan = graph.fan_report()
+    lines.append("== fan-in/fan-out ==")
+    for name, counts in fan["devices"].items():
+        lines.append(
+            f"  {name}: in={counts['fan_in']} out={counts['fan_out']}"
+        )
+    diagnostics = graph.analyze()
+    lines.append(f"== diagnostics ({len(diagnostics)}) ==")
+    for diag in diagnostics:
+        lines.append(f"  {diag.render()}")
+    if not diagnostics:
+        lines.append("  clean")
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.dataflow",
+        description="Render or check a cluster spec's dataflow DAG.",
+    )
+    parser.add_argument(
+        "spec", nargs="?",
+        help="bootstrap spec as a JSON file",
+    )
+    parser.add_argument(
+        "--builtin", choices=sorted(BUILTIN_SPECS),
+        help="use a canonical built-in topology instead of a spec file",
+    )
+    parser.add_argument(
+        "--dot", metavar="FILE", help="write the GraphViz rendering here"
+    )
+    parser.add_argument(
+        "--json", metavar="FILE",
+        help="write the full machine-readable report here",
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="exit 1 when the analysis produces any diagnostic",
+    )
+    args = parser.parse_args(argv)
+
+    if (args.spec is None) == (args.builtin is None):
+        parser.error("choose exactly one source: a spec file or --builtin")
+    if args.builtin:
+        spec = BUILTIN_SPECS[args.builtin]()
+    else:
+        with open(args.spec, encoding="utf-8") as fh:
+            raw = json.load(fh)
+        # JSON object keys are strings; node ids are ints in the spec.
+        raw["nodes"] = {int(k): v for k, v in raw.get("nodes", {}).items()}
+        spec = raw
+
+    graph = graph_from_spec(spec)
+    if args.dot:
+        with open(args.dot, "w", encoding="utf-8") as fh:
+            fh.write(graph.to_dot() + "\n")
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(graph.to_json(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+    print(_render_report(graph))
+    diagnostics = graph.analyze()
+    if args.check and diagnostics:
+        print(
+            f"dataflow check failed: {len(diagnostics)} diagnostic(s)",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,320 @@
+"""Runtime routing state: per-device route tables and edge credits.
+
+The graph (:mod:`repro.dataflow.graph`) is analytic; this module is
+what the hot path actually touches.  A device's typed ``emit`` resolves
+a :class:`TypeRoutes` — a plain ``key -> TiD`` mapping installed once
+by bootstrap (or by a legacy ``connect()`` hand-wiring the same
+structure) — and posts ordinary frames.  No graph walk, no registry
+lookup, no new send path: the frames leave through the same zero-copy
+``frameSend`` as before.
+
+Backpressure rides on top as per-edge *credit counters* derived from
+the consumer's priority-FIFO capacity:
+
+* ``emit`` acquires one credit per frame from the edge it targets; an
+  edge out of credits means the consumer's queue share is full, and
+  the emitter **parks** the payload in its node's bounded
+  :class:`DataflowOutbox` (flushed from the executive's poll loop) or
+  **sheds** it, per the message type's ``on_saturation`` policy.
+* the *consumer's* executive returns the credit when it pops the frame
+  for dispatch — the queue slot is free again — via one ``is None``
+  test on the dispatch path (the tracer/flightrec off-mode
+  discipline).
+
+Credits are conservative, not reliable-delivery: the
+:class:`CreditLedger` is the single-process bookkeeping all bootstrap
+clusters share (every transport in this reproduction is in-process).
+A frame that dead-letters between acquire and dispatch strands its
+credit until :meth:`CreditLedger.forget_edge` reclaims the edge —
+supervision calls that when it drops a dead consumer.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Any, Iterable
+
+from repro.dataflow.registry import MessageType
+from repro.i2o.tid import Tid
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.device import Listener
+    from repro.core.executive import Executive
+
+#: Default per-consumer queue capacity (frames) when neither the
+#: device class (``queue_capacity``) nor the spec (``edge_credits``)
+#: says otherwise.
+DEFAULT_EDGE_CREDITS = 64
+
+#: Default bound on parked emissions per node.
+DEFAULT_PARK_LIMIT = 256
+
+
+class Edge:
+    """One emits→consumes edge with its credit window."""
+
+    __slots__ = (
+        "mtype", "key", "emitter", "emitter_node",
+        "consumer", "consumer_node", "consumer_tid",
+        "capacity", "credits", "ledger_key",
+    )
+
+    def __init__(
+        self,
+        mtype: MessageType,
+        key: Any,
+        emitter: str,
+        emitter_node: int,
+        consumer: str,
+        consumer_node: int,
+        consumer_tid: Tid,
+        capacity: int,
+    ) -> None:
+        self.mtype = mtype
+        self.key = key
+        self.emitter = emitter
+        self.emitter_node = emitter_node
+        self.consumer = consumer
+        self.consumer_node = consumer_node
+        self.consumer_tid = consumer_tid
+        self.capacity = capacity
+        self.credits = capacity
+        #: how the *consumer's* dispatch loop identifies this traffic
+        self.ledger_key = (
+            consumer_node, consumer_tid, mtype.function, mtype.xfunction,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<Edge {self.emitter}->{self.consumer} {self.mtype.name} "
+            f"{self.credits}/{self.capacity}>"
+        )
+
+
+class CreditLedger:
+    """Cluster-wide credit bookkeeping (one per bootstrapped cluster).
+
+    ``try_acquire`` runs on the emitter side at ``emit`` time;
+    ``on_dispatched`` runs on the consumer side when its scheduler pops
+    a frame — the FIFO slot is free, so the oldest charged edge for
+    that ``(node, tid, function, xfunction)`` gets its credit back.
+    Attribution through the per-consumer FIFO keeps conservation exact
+    even when several emitters share one consumer.
+    """
+
+    def __init__(self) -> None:
+        #: (node, tid, function, xfunction) -> edges awaiting release
+        self._charged: dict[tuple[int, Tid, int, int], deque[Edge]] = {}
+        self._edges_by_node: dict[int, list[Edge]] = {}
+        self._shed: dict[int, int] = {}
+        self._resumed: dict[int, int] = {}
+
+    # -- wiring ------------------------------------------------------------
+    def register_edge(
+        self,
+        mtype: MessageType,
+        key: Any,
+        emitter: str,
+        emitter_node: int,
+        consumer: str,
+        consumer_node: int,
+        consumer_tid: Tid,
+        capacity: int,
+    ) -> Edge:
+        edge = Edge(
+            mtype, key, emitter, emitter_node,
+            consumer, consumer_node, consumer_tid, max(1, capacity),
+        )
+        self._edges_by_node.setdefault(emitter_node, []).append(edge)
+        return edge
+
+    def forget_edge(self, edge: Edge) -> None:
+        """Drop an edge (dead consumer): purge its pending charges so
+        the accounting does not strand credits forever."""
+        queue = self._charged.get(edge.ledger_key)
+        if queue:
+            remaining = deque(e for e in queue if e is not edge)
+            if remaining:
+                self._charged[edge.ledger_key] = remaining
+            else:
+                del self._charged[edge.ledger_key]
+        edges = self._edges_by_node.get(edge.emitter_node)
+        if edges is not None and edge in edges:
+            edges.remove(edge)
+
+    # -- the two hot-path operations ---------------------------------------
+    def try_acquire(self, edge: Edge) -> bool:
+        """Take one credit; False means the edge is saturated."""
+        if edge.credits <= 0:
+            return False
+        edge.credits -= 1
+        self._charged.setdefault(edge.ledger_key, deque()).append(edge)
+        return True
+
+    def on_dispatched(
+        self, node: int, tid: Tid, function: int, xfunction: int
+    ) -> None:
+        """Consumer-side release: a frame left the priority FIFO."""
+        queue = self._charged.get((node, tid, function, xfunction))
+        if queue:
+            edge = queue.popleft()
+            if edge.credits < edge.capacity:
+                edge.credits += 1
+
+    # -- accounting --------------------------------------------------------
+    def note_shed(self, node: int) -> None:
+        self._shed[node] = self._shed.get(node, 0) + 1
+
+    def note_resumed(self, node: int) -> None:
+        self._resumed[node] = self._resumed.get(node, 0) + 1
+
+    def shed(self, node: int) -> int:
+        return self._shed.get(node, 0)
+
+    def resumed(self, node: int) -> int:
+        return self._resumed.get(node, 0)
+
+    def credits_available(self, node: int) -> int:
+        """Remaining credits over every edge emitted from ``node``."""
+        return sum(e.credits for e in self._edges_by_node.get(node, ()))
+
+    def edges_from(self, node: int) -> tuple[Edge, ...]:
+        return tuple(self._edges_by_node.get(node, ()))
+
+
+class TypeRoutes:
+    """Installed routes for one message type on one emitting device.
+
+    ``targets`` maps consumer ``dataflow_key`` -> TiD (local or proxy).
+    The mapping may be *shared* between types (the event manager points
+    READOUT and CLEAR at the same live dict, so dropping a dead readout
+    unit updates both).  ``edges`` carries the per-key credit state
+    when bootstrap wired backpressure; ``None`` means uncapped
+    (hand-wired legacy routes behave exactly as before).
+    """
+
+    __slots__ = ("mtype", "targets", "edges")
+
+    def __init__(
+        self,
+        mtype: MessageType,
+        targets: dict[Any, Tid],
+        edges: dict[Any, Edge] | None = None,
+    ) -> None:
+        self.mtype = mtype
+        self.targets = targets
+        self.edges = edges
+
+    def drop(self, key: Any, ledger: CreditLedger | None = None) -> bool:
+        """Remove one target (supervision: the consumer died).
+
+        Targets and edges are dropped independently: when two types
+        share one targets dict, the first ``drop`` empties the mapping
+        but each type still owns its edge state.
+        """
+        found = key in self.targets
+        if found:
+            del self.targets[key]
+        if self.edges is not None:
+            edge = self.edges.pop(key, None)
+            if edge is not None:
+                found = True
+                if ledger is not None:
+                    ledger.forget_edge(edge)
+        return found
+
+
+class DataflowOutbox:
+    """Bounded per-node holding area for parked emissions.
+
+    Registered in the executive's poll loop: each step retries parked
+    entries against their edges' credits and re-posts the ones that
+    fit.  An entry whose route vanished (the consumer was dropped) is
+    shed.  ``park`` refuses beyond ``limit`` — the caller then sheds,
+    so a saturated system degrades by dropping, never by unbounded
+    buffering (the queue-capacity discipline, applied to the emitter).
+    """
+
+    def __init__(
+        self, executive: "Executive", ledger: CreditLedger,
+        limit: int = DEFAULT_PARK_LIMIT,
+    ) -> None:
+        self._exe = executive
+        self._ledger = ledger
+        self.limit = limit
+        #: (device, mtype, key, payload, transaction_ctx, initiator_ctx)
+        self._entries: deque[
+            tuple["Listener", MessageType, Any, bytes, int, int]
+        ] = deque()
+        self.parked_total = 0
+        self.shed_total = 0
+
+    @property
+    def depth(self) -> int:
+        return len(self._entries)
+
+    @property
+    def has_pending(self) -> bool:
+        return bool(self._entries)
+
+    def park(
+        self, device: "Listener", mtype: MessageType, key: Any,
+        payload: bytes, transaction_context: int, initiator_context: int,
+    ) -> bool:
+        if len(self._entries) >= self.limit:
+            return False
+        self._entries.append(
+            (device, mtype, key, payload,
+             transaction_context, initiator_context)
+        )
+        self.parked_total += 1
+        return True
+
+    def poll(self) -> bool:
+        """Retry every parked entry once; True if any frame moved."""
+        progressed = False
+        for _ in range(len(self._entries)):
+            entry = self._entries.popleft()
+            device, mtype, key, payload, tctx, ictx = entry
+            routes = device.routes_for(mtype)
+            if routes is None or key not in routes.targets:
+                # The consumer was dropped while the payload waited.
+                self.shed_total += 1
+                self._ledger.note_shed(self._exe.node)
+                progressed = True
+                continue
+            edge = routes.edges.get(key) if routes.edges else None
+            if edge is not None and not self._ledger.try_acquire(edge):
+                self._entries.append(entry)
+                continue
+            device.send(
+                routes.targets[key], payload,
+                xfunction=mtype.xfunction, function=mtype.function,
+                priority=mtype.priority, organization=mtype.organization,
+                transaction_context=tctx, initiator_context=ictx,
+            )
+            self._ledger.note_resumed(self._exe.node)
+            recorder = self._exe.flightrec
+            if recorder is not None:
+                from repro.flightrec.records import EV_DATAFLOW_RESUME, pack3
+
+                recorder.record(
+                    EV_DATAFLOW_RESUME,
+                    pack3(edge.consumer_node if edge is not None
+                          else self._exe.node,
+                          routes.targets.get(key, 0), mtype.xfunction),
+                    len(self._entries),
+                )
+            progressed = True
+        return progressed
+
+    def crash_detach(self) -> None:
+        """Hard-stop hook (the executive detaches every pollable):
+        abandon parked payloads without touching the ledger."""
+        self._entries.clear()
+
+    def drain(self) -> Iterable[tuple["Listener", MessageType, Any]]:
+        """Abandon everything parked (teardown); yields what was lost."""
+        while self._entries:
+            device, mtype, key, _payload, _t, _i = self._entries.popleft()
+            yield (device, mtype, key)

@@ -26,6 +26,7 @@ import struct
 
 from repro.config.schema import ParamSchema, ParamSpec, SchemaListenerMixin
 from repro.core.device import Listener
+from repro.dataflow.registry import message_type
 from repro.i2o.errors import I2OError
 from repro.i2o.frame import Frame
 from repro.i2o.tid import Tid
@@ -34,6 +35,12 @@ XF_BSA_READ = 0x0201
 XF_BSA_WRITE = 0x0202
 XF_BSA_STATUS = 0x0203
 XF_BSA_MEDIA_LOCK = 0x0204
+
+MT_BSA_READ = message_type("bsa.read", XF_BSA_READ, mode="one")
+MT_BSA_WRITE = message_type("bsa.write", XF_BSA_WRITE, mode="one")
+MT_BSA_STATUS = message_type("bsa.status", XF_BSA_STATUS, mode="one")
+MT_BSA_MEDIA_LOCK = message_type("bsa.media-lock", XF_BSA_MEDIA_LOCK,
+                                 mode="one")
 
 _RW_HEADER = struct.Struct("<QI")
 _STATUS = struct.Struct("<QIIQQB")
@@ -52,6 +59,7 @@ class BlockStorageDevice(SchemaListenerMixin, Listener):
     """An I2O BSA device over an in-memory medium."""
 
     device_class = "i2o_block_storage"
+    consumes = (MT_BSA_READ, MT_BSA_WRITE, MT_BSA_STATUS, MT_BSA_MEDIA_LOCK)
 
     schema = ParamSchema([
         ParamSpec("block_size", int, default=512, minimum=64, maximum=65536,
@@ -166,6 +174,7 @@ class BlockClient(Listener):
     """
 
     device_class = "i2o_block_client"
+    emits = (MT_BSA_READ, MT_BSA_WRITE, MT_BSA_STATUS, MT_BSA_MEDIA_LOCK)
 
     def __init__(self, name: str = "bsa-client", *, pump=None,
                  max_pumps: int = 100_000) -> None:

@@ -24,12 +24,16 @@ from __future__ import annotations
 import struct
 
 from repro.core.device import Listener
+from repro.dataflow.registry import message_type
 from repro.i2o.errors import I2OError
 from repro.i2o.frame import Frame
 from repro.i2o.tid import Tid
 
 XF_LAN_SEND = 0x0221
 XF_LAN_RECEIVED = 0x0222
+
+MT_LAN_SEND = message_type("lan.send", XF_LAN_SEND, mode="one")
+MT_LAN_RECEIVED = message_type("lan.received", XF_LAN_RECEIVED, mode="fanout")
 
 _MAC = struct.Struct("<Q")  # 48-bit MAC in the low bits
 BROADCAST_MAC = 0xFFFFFFFFFFFF
@@ -73,6 +77,8 @@ class LanDevice(Listener):
     """One port on a LAN segment."""
 
     device_class = "i2o_lan"
+    consumes = (MT_LAN_SEND,)
+    emits = (MT_LAN_RECEIVED,)
 
     def __init__(self, segment: LanSegment, mac: int, name: str = "") -> None:
         super().__init__(name or f"lan-{mac:04x}")
@@ -120,6 +126,8 @@ class LanClient(Listener):
     """A protocol endpoint: sends through a port, collects deliveries."""
 
     device_class = "i2o_lan_client"
+    consumes = (MT_LAN_RECEIVED,)
+    emits = (MT_LAN_SEND,)
 
     def __init__(self, name: str = "lan-client") -> None:
         super().__init__(name)

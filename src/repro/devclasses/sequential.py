@@ -21,6 +21,7 @@ from __future__ import annotations
 import struct
 
 from repro.core.device import Listener
+from repro.dataflow.registry import message_type
 from repro.i2o.errors import I2OError
 from repro.i2o.frame import Frame
 from repro.i2o.tid import Tid
@@ -30,6 +31,14 @@ XF_SEQ_READ = 0x0212
 XF_SEQ_REWIND = 0x0213
 XF_SEQ_SPACE = 0x0214
 XF_SEQ_WRITE_FILEMARK = 0x0215
+
+MT_SEQ_WRITE = message_type("seq.write", XF_SEQ_WRITE, mode="one")
+MT_SEQ_READ = message_type("seq.read", XF_SEQ_READ, mode="one")
+MT_SEQ_REWIND = message_type("seq.rewind", XF_SEQ_REWIND, mode="one")
+MT_SEQ_SPACE = message_type("seq.space", XF_SEQ_SPACE, mode="one")
+MT_SEQ_WRITE_FILEMARK = message_type(
+    "seq.write-filemark", XF_SEQ_WRITE_FILEMARK, mode="one"
+)
 
 _I32 = struct.Struct("<i")
 
@@ -55,6 +64,8 @@ class SequentialStorageDevice(Listener):
     """An I2O sequential-storage device over an in-memory medium."""
 
     device_class = "i2o_sequential_storage"
+    consumes = (MT_SEQ_WRITE, MT_SEQ_READ, MT_SEQ_REWIND, MT_SEQ_SPACE,
+                MT_SEQ_WRITE_FILEMARK)
 
     def __init__(self, name: str = "tape0", *, max_records: int = 100_000) -> None:
         super().__init__(name)
@@ -143,6 +154,8 @@ class SequentialClient(Listener):
     """Synchronous tape client."""
 
     device_class = "i2o_sequential_client"
+    emits = (MT_SEQ_WRITE, MT_SEQ_READ, MT_SEQ_REWIND, MT_SEQ_SPACE,
+             MT_SEQ_WRITE_FILEMARK)
 
     def __init__(self, name: str = "tape-client", *, pump=None,
                  max_pumps: int = 100_000) -> None:

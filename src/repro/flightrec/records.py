@@ -44,6 +44,9 @@ EV_CRASH_POINT          crash-point code       0                   0
 EV_WATCHDOG_TRIP        quarantined TiD        0                   0
 EV_SANITIZER            violation code         0                   0
 EV_HARD_STOP            0                      0                   0
+EV_DATAFLOW_SHED        pack3(node,tid,xfn)    outbox backlog      0
+EV_DATAFLOW_PARK        pack3(node,tid,xfn)    outbox backlog      0
+EV_DATAFLOW_RESUME      pack3(node,tid,xfn)    outbox backlog      0
 ======================  =====================  ==================  ============
 """
 
@@ -81,6 +84,9 @@ EV_CRASH_POINT = 17
 EV_WATCHDOG_TRIP = 18
 EV_SANITIZER = 19
 EV_HARD_STOP = 20
+EV_DATAFLOW_SHED = 21
+EV_DATAFLOW_PARK = 22
+EV_DATAFLOW_RESUME = 23
 
 KIND_NAMES: dict[int, str] = {
     EV_DISPATCH_BEGIN: "dispatch-begin",
@@ -103,6 +109,9 @@ KIND_NAMES: dict[int, str] = {
     EV_WATCHDOG_TRIP: "watchdog-trip",
     EV_SANITIZER: "sanitizer",
     EV_HARD_STOP: "hard-stop",
+    EV_DATAFLOW_SHED: "dataflow-shed",
+    EV_DATAFLOW_PARK: "dataflow-park",
+    EV_DATAFLOW_RESUME: "dataflow-resume",
 }
 
 #: EV_LIVENESS state codes (b argument)
@@ -209,6 +218,12 @@ class FlightRecord:
             return f"{self.kind_name:<16} quarantined=tid{a}"
         if k == EV_SANITIZER:
             return f"{self.kind_name:<16} {SANITIZER_NAMES.get(a, f'code{a}')}"
+        if k in (EV_DATAFLOW_SHED, EV_DATAFLOW_PARK, EV_DATAFLOW_RESUME):
+            node, tid, xfunction = unpack3(a)
+            return (
+                f"{self.kind_name:<16} edge=node{node}/tid{tid} "
+                f"xfn={xfunction:#06x} backlog={b}"
+            )
         return self.kind_name
 
     def pack(self) -> bytes:

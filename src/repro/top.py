@@ -92,7 +92,7 @@ def _fmt_count(value: float) -> str:
 
 COLUMNS = (
     "NODE", "DISP", "QUEUE", "POOL", "P50", "P99",
-    "JRNL", "COPIES", "DOWN", "ERR", "SPILL",
+    "JRNL", "COPIES", "DOWN", "ERR", "SPILL", "SHED",
 )
 
 
@@ -116,6 +116,7 @@ def node_row(node: int, metrics: dict[str, float]) -> tuple[str, ...]:
         _fmt_count(max(0.0, deaths - rejoins)),
         _fmt_count(metrics.get("exe_handler_errors_total", 0)),
         _fmt_count(metrics.get("flightrec_spills_total", 0)),
+        _fmt_count(metrics.get("dataflow_shed_total", 0)),
     )
 
 

@@ -31,12 +31,12 @@ def build_sector(*, n_aircraft=4, n_radars=2, conflict_pair=False, seed=0):
     correlator_tid = cluster[0].install(correlator)
     console = AlertConsole()
     console_tid = cluster[n_nodes - 1].install(console)
-    correlator.connect(cluster[0].create_proxy(n_nodes - 1, console_tid))
+    correlator.connect(cluster[0].create_proxy(n_nodes - 1, console_tid))  # repro: noqa DFL001
     radars = []
     for r in range(n_radars):
         radar = RadarSource(radar_id=r, traffic=traffic, seed=seed + r)
         cluster[1 + r].install(radar)
-        radar.connect(cluster[1 + r].create_proxy(0, correlator_tid))
+        radar.connect(cluster[1 + r].create_proxy(0, correlator_tid))  # repro: noqa DFL001
         radars.append(radar)
     return cluster, traffic, radars, correlator, console
 
@@ -123,7 +123,7 @@ class TestRealTimePath:
         console_tid = cluster[1].install(console)
         correlator = TrackCorrelator()
         cluster[0].install(correlator)
-        correlator.connect(cluster[0].create_proxy(1, console_tid))
+        correlator.connect(cluster[0].create_proxy(1, console_tid))  # repro: noqa DFL001
         # Queue many routine updates, then one alert, all before the
         # console's executive dispatches anything.
         from repro.atc.protocol import pack_position

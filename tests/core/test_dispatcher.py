@@ -9,14 +9,18 @@ from repro.i2o.errors import I2OError
 from repro.i2o.frame import Frame
 from repro.i2o.function_codes import PRIVATE, UTIL_NOP
 
+TARGET_TID = 1
+INITIATOR_TID = 2
+
 
 def private_frame(xfunction: int) -> Frame:
-    return Frame.build(target=1, initiator=2, function=PRIVATE,
-                       xfunction=xfunction)
+    return Frame.build(target=TARGET_TID, initiator=INITIATOR_TID,
+                       function=PRIVATE, xfunction=xfunction)
 
 
 def util_frame() -> Frame:
-    return Frame.build(target=1, initiator=2, function=UTIL_NOP)
+    return Frame.build(target=TARGET_TID, initiator=INITIATOR_TID,
+                       function=UTIL_NOP)
 
 
 class TestBinding:

@@ -19,6 +19,8 @@ from repro.i2o.tid import EXECUTIVE_TID, TID_BROADCAST
 
 from tests.conftest import assert_no_leaks, make_loopback_cluster, pump
 
+REMOTE_TID = 20
+
 
 class Seen:
     """Snapshot of a delivered frame: the block is recycled (and, under
@@ -184,10 +186,10 @@ class TestLocalRouting:
 class TestProxies:
     def test_create_proxy_idempotent(self):
         exe = Executive(node=0)
-        p1 = exe.create_proxy(1, 20)
-        p2 = exe.create_proxy(1, 20)
+        p1 = exe.create_proxy(1, REMOTE_TID)
+        p2 = exe.create_proxy(1, REMOTE_TID)
         assert p1 == p2
-        assert exe.route_for(p1) == Route(node=1, remote_tid=20)
+        assert exe.route_for(p1) == Route(node=1, remote_tid=REMOTE_TID)
 
     def test_proxy_for_local_is_identity(self):
         exe = Executive(node=0)

@@ -7,9 +7,13 @@ import threading
 from repro.core.queues import MessagingInstance
 from repro.i2o.frame import Frame
 
+TARGET_TID = 1
+INITIATOR_TID = 2
+
 
 def frame(tag: int = 0) -> Frame:
-    return Frame.build(target=1, initiator=2, transaction_context=tag)
+    return Frame.build(target=TARGET_TID, initiator=INITIATOR_TID,
+                       transaction_context=tag)
 
 
 def test_starts_idle():

@@ -10,10 +10,13 @@ from repro.core.scheduler import PriorityScheduler
 from repro.i2o.errors import I2OError
 from repro.i2o.frame import NUM_PRIORITIES, Frame
 
+INITIATOR_TID = 1
+
 
 def frame(target: int, priority: int = 3, tag: int = 0) -> Frame:
     return Frame.build(
-        target=target, initiator=1, priority=priority, transaction_context=tag
+        target=target, initiator=INITIATOR_TID, priority=priority,
+        transaction_context=tag
     )
 
 

@@ -20,6 +20,8 @@ from repro.i2o.function_codes import UTIL_PARAMS_GET
 
 from tests.conftest import make_loopback_cluster, pump
 
+SPAN_TID = 17
+
 
 class _ManualClock:
     def __init__(self) -> None:
@@ -48,7 +50,7 @@ def _telemetry_cluster(n_nodes: int = 2, *, tracing: bool = True):
 class TestSpanCodec:
     def test_round_trip(self):
         span = Span(
-            trace_id=0xACE0000000000001, span_id=9, node=3, tid=17,
+            trace_id=0xACE0000000000001, span_id=9, node=3, tid=SPAN_TID,
             function=0xFF, xfunction=0x104, start_ns=123456789,
             queue_wait_ns=42, dispatch_ns=7_000,
         )

@@ -92,6 +92,13 @@ class TestNodeRow:
         assert row[COLUMNS.index("JRNL")] == "5"
         assert row[COLUMNS.index("COPIES")] == "9"
 
+    def test_shed_column_reads_dataflow_counter(self):
+        metrics = _metrics_with_hist(dataflow_shed_total=7)
+        assert node_row(0, metrics)[COLUMNS.index("SHED")] == "7"
+
+    def test_shed_column_defaults_to_zero(self):
+        assert node_row(0, _metrics_with_hist())[COLUMNS.index("SHED")] == "0"
+
     def test_latency_columns_humanised(self):
         row = node_row(0, _metrics_with_hist())
         assert row[COLUMNS.index("P50")] == "10us"

@@ -16,6 +16,9 @@ from repro.i2o.tid import EXECUTIVE_TID, PTA_TID
 
 from tests.conftest import make_loopback_cluster, pump
 
+TARGET_TID = 2
+INITIATOR_TID = 1
+
 
 class _ManualClock:
     def __init__(self) -> None:
@@ -59,7 +62,10 @@ class TestTraceIds:
 
     def test_ids_are_unique_per_root(self):
         tracer = FrameTracer(node=1)
-        frames = [Frame.build(target=2, initiator=1) for _ in range(3)]
+        frames = [
+            Frame.build(target=TARGET_TID, initiator=INITIATOR_TID)
+            for _ in range(3)
+        ]
         for f in frames:
             tracer.stamp(f)
         contexts = {f.transaction_context for f in frames}
@@ -68,7 +74,8 @@ class TestTraceIds:
 
     def test_stamp_never_overwrites(self):
         tracer = FrameTracer(node=1)
-        frame = Frame.build(target=2, initiator=1, transaction_context=0x77)
+        frame = Frame.build(target=TARGET_TID, initiator=INITIATOR_TID,
+                            transaction_context=0x77)
         tracer.stamp(frame)
         assert frame.transaction_context == 0x77
 

@@ -30,14 +30,14 @@ def wire_daq(cluster, n_ru=2, n_bu=2, mean_fragment=512):
     ru_tids = {i: cluster[1 + i].install(ru) for i, ru in rus.items()}
     bus = {i: BuilderUnit(bu_id=i) for i in range(n_bu)}
     bu_tids = {i: cluster[1 + n_ru + i].install(bu) for i, bu in bus.items()}
-    evm.connect(
+    evm.connect(  # repro: noqa DFL001
         {i: cluster[0].create_proxy(1 + i, t) for i, t in ru_tids.items()},
         {i: cluster[0].create_proxy(1 + n_ru + i, t)
          for i, t in bu_tids.items()},
     )
     for i, bu in bus.items():
         node = 1 + n_ru + i
-        bu.connect(
+        bu.connect(  # repro: noqa DFL001
             cluster[node].create_proxy(0, evm_tid),
             {j: cluster[node].create_proxy(1 + j, t)
              for j, t in ru_tids.items()},

@@ -46,13 +46,13 @@ def build_lossy_daq(drop_rate: float, *, seed: int = 7):
     ru_tids = {i: cluster[1 + i].install(ru) for i, ru in rus.items()}
     bus = {i: BuilderUnit(bu_id=i) for i in (0, 1)}
     bu_tids = {i: cluster[3 + i].install(bu) for i, bu in bus.items()}
-    evm.connect(
+    evm.connect(  # repro: noqa DFL001
         {i: cluster[0].create_proxy(1 + i, t) for i, t in ru_tids.items()},
         {i: cluster[0].create_proxy(3 + i, t) for i, t in bu_tids.items()},
     )
     for i, bu in bus.items():
         node = 3 + i
-        bu.connect(
+        bu.connect(  # repro: noqa DFL001
             cluster[node].create_proxy(0, evm_tid),
             {j: cluster[node].create_proxy(1 + j, t)
              for j, t in ru_tids.items()},

@@ -1,0 +1,100 @@
+"""Seeded bad-topology device classes for bootstrap rejection tests.
+
+These live in an importable module (not a test file) because the
+bootstrap addresses device classes by import path.  The message types
+use a ``fix.`` namespace so they never collide with the real protocol
+modules.
+"""
+
+from __future__ import annotations
+
+from repro.core.device import Listener
+from repro.dataflow.registry import message_type
+
+XF_FIX_AB = 0x0F01
+XF_FIX_BC = 0x0F02
+XF_FIX_CA = 0x0F03
+XF_FIX_ORPHAN = 0x0F04
+XF_FIX_UNFED = 0x0F05
+
+MT_FIX_AB = message_type("fix.ab", XF_FIX_AB)
+MT_FIX_BC = message_type("fix.bc", XF_FIX_BC)
+MT_FIX_CA = message_type("fix.ca", XF_FIX_CA)
+#: emitted by CycleA below, consumed by nobody — the missing-consumer seed
+MT_FIX_ORPHAN = message_type("fix.orphan", XF_FIX_ORPHAN)
+#: consumed by Unfed below, emitted by nobody — the missing-provider seed
+MT_FIX_UNFED = message_type("fix.unfed", XF_FIX_UNFED)
+
+
+class CycleA(Listener):
+    """a -> b (and closes c -> a): one corner of the seeded cycle."""
+
+    device_class = "fixture"
+    consumes = (MT_FIX_CA,)
+    emits = (MT_FIX_AB,)
+
+
+class CycleB(Listener):
+    device_class = "fixture"
+    consumes = (MT_FIX_AB,)
+    emits = (MT_FIX_BC,)
+
+
+class CycleC(Listener):
+    device_class = "fixture"
+    consumes = (MT_FIX_BC,)
+    emits = (MT_FIX_CA,)
+
+
+class OrphanSource(Listener):
+    """Emits ``fix.orphan``, which nothing in any spec consumes."""
+
+    device_class = "fixture"
+    emits = (MT_FIX_ORPHAN,)
+
+
+class Unfed(Listener):
+    """Consumes ``fix.unfed``, which nothing in any spec emits."""
+
+    device_class = "fixture"
+    consumes = (MT_FIX_UNFED,)
+
+
+def cycle_spec() -> dict:
+    """Three devices whose forward dataflow is a loop."""
+    return {
+        "transport": "loopback",
+        "nodes": {
+            0: {"devices": [
+                {"class": "tests.dataflow.fixtures.CycleA", "name": "a"},
+                {"class": "tests.dataflow.fixtures.CycleB", "name": "b"},
+                {"class": "tests.dataflow.fixtures.CycleC", "name": "c"},
+            ]},
+        },
+        "dataflow": {},
+    }
+
+
+def missing_consumer_spec() -> dict:
+    return {
+        "transport": "loopback",
+        "nodes": {
+            0: {"devices": [
+                {"class": "tests.dataflow.fixtures.OrphanSource",
+                 "name": "orphan-source"},
+            ]},
+        },
+        "dataflow": {},
+    }
+
+
+def missing_provider_spec() -> dict:
+    return {
+        "transport": "loopback",
+        "nodes": {
+            0: {"devices": [
+                {"class": "tests.dataflow.fixtures.Unfed", "name": "unfed"},
+            ]},
+        },
+        "dataflow": {},
+    }

@@ -102,7 +102,7 @@ class TestKillAndRejoinLoopback:
         trigger2 = TriggerSource()
         exe.install(trigger2)
         trigger2.connect(evm2.tid)
-        evm2.connect(
+        evm2.connect(  # repro: noqa DFL001
             {i: exe.create_proxy(1 + i, t.tid) for i, t in rus.items()},
             {i: exe.create_proxy(3 + i, t.tid) for i, t in bus.items()},
         )

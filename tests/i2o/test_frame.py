@@ -20,9 +20,15 @@ from repro.i2o.frame import (
 )
 from repro.i2o.function_codes import PRIVATE, UTIL_NOP
 
+TARGET_TID = 5
+INITIATOR_TID = 17
+WIDE_TARGET_TID = 0xABC
+WIDE_INITIATOR_TID = 0x123
+OUT_OF_RANGE_TID = 0x1000  # one past the 12-bit TiD space
+
 
 def build(**overrides):
-    kwargs = dict(target=5, initiator=17, payload=b"hello")
+    kwargs = dict(target=TARGET_TID, initiator=INITIATOR_TID, payload=b"hello")
     kwargs.update(overrides)
     return Frame.build(**kwargs)
 
@@ -35,8 +41,8 @@ class TestBuild:
         frame = build()
         assert frame.version == I2O_VERSION
         assert frame.function == PRIVATE
-        assert frame.target == 5
-        assert frame.initiator == 17
+        assert frame.target == TARGET_TID
+        assert frame.initiator == INITIATOR_TID
         assert frame.payload_size == 5
         assert bytes(frame.payload) == b"hello"
         assert frame.priority == 3
@@ -45,8 +51,8 @@ class TestBuild:
 
     def test_all_fields_round_trip(self):
         frame = Frame.build(
-            target=0xABC,
-            initiator=0x123,
+            target=WIDE_TARGET_TID,
+            initiator=WIDE_INITIATOR_TID,
             function=UTIL_NOP,
             payload=b"x" * 100,
             priority=6,
@@ -56,8 +62,8 @@ class TestBuild:
             initiator_context=2**60,
             transaction_context=2**63 + 5,
         )
-        assert frame.target == 0xABC
-        assert frame.initiator == 0x123
+        assert frame.target == WIDE_TARGET_TID
+        assert frame.initiator == WIDE_INITIATOR_TID
         assert frame.function == UTIL_NOP
         assert frame.priority == 6
         assert frame.is_reply and frame.is_failure
@@ -73,11 +79,12 @@ class TestBuild:
 
     def test_oversized_payload_rejected(self):
         with pytest.raises(FrameFormatError, match="SGL"):
-            Frame.build(target=1, initiator=2, payload=b"x" * (MAX_PAYLOAD_SIZE + 1))
+            Frame.build(target=TARGET_TID, initiator=INITIATOR_TID,
+                        payload=b"x" * (MAX_PAYLOAD_SIZE + 1))
 
     def test_bad_tid_rejected(self):
         with pytest.raises(FrameFormatError):
-            build(target=0x1000)
+            build(target=OUT_OF_RANGE_TID)
         with pytest.raises(FrameFormatError):
             build(initiator=-1)
 
@@ -92,7 +99,7 @@ class TestBuild:
     def test_payload_must_fit_supplied_buffer(self):
         with pytest.raises(FrameFormatError):
             Frame.build(
-                target=1, initiator=2, payload=b"x" * 50,
+                target=TARGET_TID, initiator=INITIATOR_TID, payload=b"x" * 50,
                 buffer=bytearray(HEADER_SIZE + 10),
             )
 
@@ -164,8 +171,8 @@ class TestWireRoundTrip:
 class TestZeroCopy:
     def test_payload_is_view_not_copy(self):
         backing = bytearray(HEADER_SIZE + 4)
-        frame = Frame.build(target=1, initiator=2, payload=b"abcd",
-                            buffer=backing)
+        frame = Frame.build(target=TARGET_TID, initiator=INITIATOR_TID,
+                            payload=b"abcd", buffer=backing)
         frame.payload[0] = ord("Z")
         assert backing[HEADER_SIZE] == ord("Z")
 

@@ -15,6 +15,9 @@ from repro.i2o.frame import HEADER_SIZE, I2O_VERSION, Frame
 from repro.rmi.marshal import MarshalError, unmarshal
 from repro.transports.wire import decode_wire
 
+TARGET_TID = 5
+INITIATOR_TID = 6
+
 
 @given(st.binary(max_size=600))
 @settings(max_examples=300, deadline=None)
@@ -58,7 +61,8 @@ def test_mutated_valid_frame_never_escapes_validation(data):
     """Start from a valid frame, splice in arbitrary bytes: parse
     either rejects or yields a structurally sound frame."""
     base = bytearray(
-        Frame.build(target=5, initiator=6, payload=b"x" * 64).tobytes()
+        Frame.build(target=TARGET_TID, initiator=INITIATOR_TID,
+                    payload=b"x" * 64).tobytes()
     )
     splice = min(len(data), len(base))
     base[:splice] = data[:splice]

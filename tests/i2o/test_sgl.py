@@ -10,6 +10,10 @@ from repro.i2o.errors import SGLError
 from repro.i2o.frame import FLAG_LAST, FLAG_MORE, Frame
 from repro.i2o.sgl import Fragmenter, Reassembler, ScatterGatherList
 
+TARGET_TID = 1
+INITIATOR_TID = 2
+OTHER_INITIATOR_TID = 3
+
 
 class TestScatterGatherList:
     def test_gather_preserves_order(self):
@@ -69,7 +73,7 @@ class TestScatterGatherList:
 class TestFragmenter:
     def test_small_payload_single_frame_flag_last(self):
         frames = Fragmenter(max_fragment=100).fragment(
-            b"small", target=1, initiator=2, xfunction=9
+            b"small", target=TARGET_TID, initiator=INITIATOR_TID, xfunction=9
         )
         assert len(frames) == 1
         assert frames[0].flags == FLAG_LAST
@@ -78,7 +82,7 @@ class TestFragmenter:
     def test_large_payload_chains(self):
         payload = bytes(range(256)) * 4  # 1024 B
         frames = Fragmenter(max_fragment=300).fragment(
-            payload, target=1, initiator=2
+            payload, target=TARGET_TID, initiator=INITIATOR_TID
         )
         assert len(frames) == 4
         assert all(f.flags == FLAG_MORE for f in frames[:-1])
@@ -89,15 +93,15 @@ class TestFragmenter:
         assert [f.initiator_context for f in frames] == [0, 1, 2, 3]
 
     def test_empty_payload_still_one_frame(self):
-        frames = Fragmenter().fragment(b"", target=1, initiator=2)
+        frames = Fragmenter().fragment(b"", target=TARGET_TID, initiator=INITIATOR_TID)
         assert len(frames) == 1
         assert frames[0].flags == FLAG_LAST
         assert frames[0].payload_size == 0
 
     def test_distinct_transactions(self):
         frag = Fragmenter(max_fragment=10)
-        a = frag.fragment(b"x" * 20, target=1, initiator=2)
-        b = frag.fragment(b"y" * 20, target=1, initiator=2)
+        a = frag.fragment(b"x" * 20, target=TARGET_TID, initiator=INITIATOR_TID)
+        b = frag.fragment(b"y" * 20, target=TARGET_TID, initiator=INITIATOR_TID)
         assert a[0].transaction_context != b[0].transaction_context
 
     def test_bad_max_fragment(self):
@@ -106,9 +110,9 @@ class TestFragmenter:
 
 
 class TestReassembler:
-    def _chain(self, payload, max_fragment=64, initiator=2):
+    def _chain(self, payload, max_fragment=64, initiator=INITIATOR_TID):
         return Fragmenter(max_fragment=max_fragment).fragment(
-            payload, target=1, initiator=initiator
+            payload, target=TARGET_TID, initiator=initiator
         )
 
     def test_round_trip(self):
@@ -121,8 +125,8 @@ class TestReassembler:
 
     def test_interleaved_chains_by_initiator(self):
         pa, pb = b"A" * 200, b"B" * 150
-        chain_a = self._chain(pa, initiator=2)
-        chain_b = self._chain(pb, initiator=3)
+        chain_a = self._chain(pa, initiator=INITIATOR_TID)
+        chain_b = self._chain(pb, initiator=OTHER_INITIATOR_TID)
         reasm = Reassembler()
         done = []
         for fa, fb in zip(chain_a, chain_b):
@@ -151,14 +155,15 @@ class TestReassembler:
     def test_pending_limit(self):
         reasm = Reassembler(max_pending=1)
         frag = Fragmenter(max_fragment=4)
-        c1 = frag.fragment(b"x" * 10, target=1, initiator=2)
-        c2 = frag.fragment(b"y" * 10, target=1, initiator=3)
+        c1 = frag.fragment(b"x" * 10, target=TARGET_TID, initiator=INITIATOR_TID)
+        c2 = frag.fragment(b"y" * 10, target=TARGET_TID,
+                           initiator=OTHER_INITIATOR_TID)
         reasm.add(c1[0])
         with pytest.raises(SGLError, match="too many pending"):
             reasm.add(c2[0])
 
     def test_frame_without_more_or_last_rejected(self):
-        frame = Frame.build(target=1, initiator=2, payload=b"x",
+        frame = Frame.build(target=TARGET_TID, initiator=INITIATOR_TID, payload=b"x",
                             transaction_context=5)
         with pytest.raises(SGLError, match="neither MORE nor LAST"):
             Reassembler().add(frame)
@@ -167,7 +172,7 @@ class TestReassembler:
     @settings(max_examples=60, deadline=None)
     def test_property_fragment_reassemble_identity(self, payload, max_frag):
         frames = Fragmenter(max_fragment=max_frag).fragment(
-            payload, target=1, initiator=2
+            payload, target=TARGET_TID, initiator=INITIATOR_TID
         )
         reasm = Reassembler()
         out = None

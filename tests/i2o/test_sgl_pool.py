@@ -6,6 +6,9 @@ from repro.core.executive import Executive
 from repro.i2o.frame import Frame
 from repro.i2o.sgl import Fragmenter, Reassembler
 
+TARGET_TID = 5
+INITIATOR_TID = 6
+
 
 def pool_builder(exe: Executive):
     """A Fragmenter `build` callable backed by the executive's pool."""
@@ -30,7 +33,8 @@ def test_fragment_chain_uses_pool_blocks():
     fragmenter = Fragmenter(max_fragment=1000)
     payload = bytes(range(256)) * 20  # 5120 B -> 6 fragments
     frames = fragmenter.fragment(
-        payload, target=5, initiator=6, build=pool_builder(exe)
+        payload, target=TARGET_TID, initiator=INITIATOR_TID,
+        build=pool_builder(exe)
     )
     assert len(frames) == 6
     assert all(f.block is not None for f in frames)
@@ -52,7 +56,8 @@ def test_many_chains_conserve_pool():
     for i in range(20):
         payload = bytes([i]) * (100 + 137 * i)
         frames = fragmenter.fragment(
-            payload, target=5, initiator=6, build=pool_builder(exe)
+            payload, target=TARGET_TID, initiator=INITIATOR_TID,
+        build=pool_builder(exe)
         )
         out = None
         for frame in frames:

@@ -94,7 +94,7 @@ class _Cluster:
         self._connect_evm(self.evm)
         for i, bu in self.bus.items():
             node = 3 + i
-            bu.connect(
+            bu.connect(  # repro: noqa DFL001
                 self.exes[node].create_proxy(EVM_NODE, self.evm_tid),
                 {j: self.exes[node].create_proxy(1 + j, t)
                  for j, t in ru_tids.items()},
@@ -147,7 +147,7 @@ class _Cluster:
 
     def _connect_evm(self, evm):
         exe = self.exes[EVM_NODE]
-        evm.connect(
+        evm.connect(  # repro: noqa DFL001
             {i: exe.create_proxy(1 + i, t) for i, t in self.ru_tids.items()},
             {i: exe.create_proxy(3 + i, t) for i, t in self.bu_tids.items()},
         )

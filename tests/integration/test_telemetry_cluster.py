@@ -57,11 +57,11 @@ def _build_cluster():
     }
     cluster = bootstrap(spec)
     cluster.device("trigger").connect(cluster.tid("evm"))
-    cluster.device("evm").connect(
+    cluster.device("evm").connect(  # repro: noqa DFL001
         {0: cluster.proxy(0, "ru0"), 1: cluster.proxy(0, "ru1")},
         {0: cluster.proxy(0, "bu0")},
     )
-    cluster.device("bu0").connect(
+    cluster.device("bu0").connect(  # repro: noqa DFL001
         cluster.proxy(3, "evm"),
         {0: cluster.proxy(3, "ru0"), 1: cluster.proxy(3, "ru1")},
     )

@@ -10,6 +10,11 @@ from repro.transports.agent import PeerTransportAgent
 from repro.transports.base import PeerTransport, TransportError
 from repro.transports.loopback import LoopbackNetwork, LoopbackTransport
 
+REMOTE_TID = 1
+WIRE_TARGET_TID = 0x55
+LOCAL_TARGET_TID = 99
+INITIATOR_TID = 0
+
 
 class FakePt(PeerTransport):
     def __init__(self, name: str) -> None:
@@ -72,41 +77,41 @@ class TestResolution:
     def test_default_transport(self, exe_with_pta):
         _, pta = exe_with_pta
         pt = pta.register(FakePt("only"), default=True)
-        assert pta.resolve(Route(node=5, remote_tid=1)) is pt
+        assert pta.resolve(Route(node=5, remote_tid=REMOTE_TID)) is pt
 
     def test_per_node_pin_beats_default(self, exe_with_pta):
         _, pta = exe_with_pta
         default = pta.register(FakePt("default"), default=True)
         pinned = pta.register(FakePt("pinned"), nodes=[7])
-        assert pta.resolve(Route(node=7, remote_tid=1)) is pinned
-        assert pta.resolve(Route(node=8, remote_tid=1)) is default
+        assert pta.resolve(Route(node=7, remote_tid=REMOTE_TID)) is pinned
+        assert pta.resolve(Route(node=8, remote_tid=REMOTE_TID)) is default
 
     def test_route_pin_beats_everything(self, exe_with_pta):
         _, pta = exe_with_pta
         pta.register(FakePt("default"), default=True)
         special = pta.register(FakePt("special"))
-        route = Route(node=7, remote_tid=1, transport="special")
+        route = Route(node=7, remote_tid=REMOTE_TID, transport="special")
         assert pta.resolve(route) is special
 
     def test_unknown_route_transport(self, exe_with_pta):
         _, pta = exe_with_pta
         pta.register(FakePt("a"), default=True)
         with pytest.raises(TransportError, match="unknown transport"):
-            pta.resolve(Route(node=1, remote_tid=1, transport="nope"))
+            pta.resolve(Route(node=1, remote_tid=REMOTE_TID, transport="nope"))
 
     def test_no_transport_at_all(self, exe_with_pta):
         _, pta = exe_with_pta
         with pytest.raises(TransportError):
-            pta.resolve(Route(node=1, remote_tid=1))
+            pta.resolve(Route(node=1, remote_tid=REMOTE_TID))
 
 
 class TestForwarding:
     def test_forward_rewrites_wire_target(self, exe_with_pta):
         exe, pta = exe_with_pta
         pt = pta.register(FakePt("x"), default=True)
-        frame = exe.frame_alloc(0, target=99, initiator=0)
-        pta.forward(frame, Route(node=3, remote_tid=0x55))
-        assert pt.sent == [(3, 0x55)]
+        frame = exe.frame_alloc(0, target=LOCAL_TARGET_TID, initiator=INITIATOR_TID)
+        pta.forward(frame, Route(node=3, remote_tid=WIRE_TARGET_TID))
+        assert pt.sent == [(3, WIRE_TARGET_TID)]
         assert pta.forwarded == 1
 
     def test_failed_transmit_restores_target(self, exe_with_pta):
@@ -121,10 +126,10 @@ class TestForwarding:
                 raise TransportError("link down")
 
         pta.register(RefusingPt("bad"), default=True)
-        frame = exe.frame_alloc(0, target=99, initiator=0)
+        frame = exe.frame_alloc(0, target=LOCAL_TARGET_TID, initiator=INITIATOR_TID)
         with pytest.raises(TransportError, match="link down"):
-            pta.forward(frame, Route(node=3, remote_tid=0x55))
-        assert frame.target == 99
+            pta.forward(frame, Route(node=3, remote_tid=WIRE_TARGET_TID))
+        assert frame.target == LOCAL_TARGET_TID
         assert pta.forwarded == 0
         exe.frame_free(frame)
         exe.pool.check_conservation()
@@ -133,13 +138,13 @@ class TestForwarding:
         exe, pta = exe_with_pta
         pt = pta.register(FakePt("x"), default=True)
         pt.suspend()
-        frame = exe.frame_alloc(0, target=99, initiator=0)
+        frame = exe.frame_alloc(0, target=LOCAL_TARGET_TID, initiator=INITIATOR_TID)
         with pytest.raises(TransportError, match="suspended"):
-            pta.forward(frame, Route(node=3, remote_tid=0x55))
+            pta.forward(frame, Route(node=3, remote_tid=WIRE_TARGET_TID))
         exe.frame_free(frame)
         pt.resume()
-        frame2 = exe.frame_alloc(0, target=99, initiator=0)
-        pta.forward(frame2, Route(node=3, remote_tid=0x55))
+        frame2 = exe.frame_alloc(0, target=LOCAL_TARGET_TID, initiator=INITIATOR_TID)
+        pta.forward(frame2, Route(node=3, remote_tid=WIRE_TARGET_TID))
         assert len(pt.sent) == 1
 
     def test_suspended_route_dead_letters_not_crashes(self):

@@ -14,6 +14,9 @@ from repro.transports.agent import PeerTransportAgent
 from repro.transports.base import TransportError
 from repro.transports.simpci import SimPciTransport
 
+REMOTE_TID = 5
+INITIATOR_TID = 0
+
 
 def build(hardware: bool):
     sim = Simulator()
@@ -56,11 +59,12 @@ class TestTransport:
     def test_wrong_destination_rejected(self):
         sim, board, host_exe, _ = build(hardware=True)
         pt = host_exe.pta.transport("pci-host")
-        frame = host_exe.frame_alloc(0, target=5, initiator=0)
+        frame = host_exe.frame_alloc(0, target=REMOTE_TID,
+                                     initiator=INITIATOR_TID)
         from repro.core.executive import Route
 
         with pytest.raises(TransportError, match="reaches only"):
-            pt.transmit(frame, Route(node=9, remote_tid=5))
+            pt.transmit(frame, Route(node=9, remote_tid=REMOTE_TID))
         host_exe.frame_free(frame)
 
 

@@ -13,6 +13,9 @@ from repro.transports.tcp import TcpTransport
 
 from tests.transports.harness import Caller, Echo
 
+REMOTE_TID = 5
+INITIATOR_TID = 0
+
 # Round-trip, burst, large-payload and counter semantics are covered
 # for every transport by tests/transports/test_conformance.py; this
 # module keeps only what is TCP-specific (socket learning, dialing).
@@ -68,11 +71,12 @@ class TestTcp:
         pt = TcpTransport(name="tcp")
         PeerTransportAgent.attach(exe).register(pt, default=True)
         try:
-            frame = exe.frame_alloc(0, target=5, initiator=0)
+            frame = exe.frame_alloc(0, target=REMOTE_TID,
+                                    initiator=INITIATOR_TID)
             from repro.core.executive import Route
 
             with pytest.raises(TransportError, match="no TCP address"):
-                pt.transmit(frame, Route(node=42, remote_tid=5))
+                pt.transmit(frame, Route(node=42, remote_tid=REMOTE_TID))
             exe.frame_free(frame)
         finally:
             pt.shutdown()

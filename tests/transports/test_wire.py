@@ -21,8 +21,13 @@ from repro.transports.wire import (
 )
 
 
+TARGET_TID = 3
+INITIATOR_TID = 4
+
+
 def frame(payload=b"data"):
-    return Frame.build(target=3, initiator=4, payload=payload, xfunction=0x10)
+    return Frame.build(target=TARGET_TID, initiator=INITIATOR_TID,
+                       payload=payload, xfunction=0x10)
 
 
 def test_round_trip():
