@@ -16,8 +16,9 @@ accepted TID001 findings in ``Thing.method`` and a refactor adds a
 third, exactly one is reported as new.  Fingerprints carry no line
 numbers, so unrelated edits do not invalidate the pin.
 
-Policy (enforced by :func:`check_policy`): OWN* and DSP* findings are
-*errors* and may never be baselined — they get fixed.  Regenerate with
+Policy (enforced by :func:`check_policy`): OWN*, DSP*, RACE* and the
+contract-conformance rules DFL002/DFL003 are *errors* and may never be
+baselined — they get fixed.  Regenerate with
 ``python -m repro.analysis.lint <paths> --write-baseline``.
 """
 
@@ -31,7 +32,16 @@ from repro.analysis.violations import Severity, Violation
 
 BASELINE_VERSION = 1
 #: rules that the baseline refuses to pin (ownership/dispatch bugs)
-NEVER_BASELINE_PREFIXES = ("OWN", "DSP")
+NEVER_BASELINE_PREFIXES = ("OWN", "DSP", "RACE")
+#: exact rules outside those prefixes that are also never pinned —
+#: DFL001 (hand wiring, a warning) stays baselinable while the
+#: contract-conformance errors DFL002/DFL003 must be fixed
+NEVER_BASELINE_RULES = frozenset({"DFL002", "DFL003"})
+
+
+def never_baselined(rule: str) -> bool:
+    """Is ``rule`` excluded from baselines by policy?"""
+    return rule.startswith(NEVER_BASELINE_PREFIXES) or rule in NEVER_BASELINE_RULES
 
 
 class BaselineError(ValueError):
@@ -59,10 +69,11 @@ def load(path: str | Path) -> Counter:
 def check_policy(budget: Counter) -> None:
     """Refuse baselines that pin never-baseline rules."""
     for (path, rule, _ctx, _detail), count in budget.items():
-        if count and rule.startswith(NEVER_BASELINE_PREFIXES):
+        if count and never_baselined(rule):
             raise BaselineError(
                 f"baseline pins {count} {rule} finding(s) in {path}; "
-                "ownership/dispatch findings must be fixed, not baselined"
+                "ownership/dispatch/race/contract findings must be "
+                "fixed, not baselined"
             )
 
 
@@ -76,7 +87,7 @@ def save(path: str | Path, violations: list[Violation]) -> int:
     """
     budget: Counter = Counter()
     for v in violations:
-        if v.suppressed or v.rule.startswith(NEVER_BASELINE_PREFIXES):
+        if v.suppressed or never_baselined(v.rule):
             continue
         budget[v.fingerprint] += 1
     entries = [
@@ -124,5 +135,5 @@ def gating(violations: list[Violation]) -> list[Violation]:
 
 __all__ = [
     "BaselineError", "Severity", "apply", "check_policy", "gating",
-    "load", "save",
+    "load", "never_baselined", "save",
 ]

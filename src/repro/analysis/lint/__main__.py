@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from pathlib import Path
 
@@ -62,6 +63,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="also write the full JSON report to FILE (CI artifact)",
     )
     parser.add_argument(
+        "--race-report", metavar="FILE",
+        help="also write the RACE*/DFL002/DFL003 findings to FILE "
+        "(CI artifact)",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="parallel per-file analysis processes "
+        "(default: os.cpu_count(); 1 = serial)",
+    )
+    parser.add_argument(
         "--expect", action="append", default=[], metavar="RULE",
         help="invert the gate: succeed only if RULE fired (repeatable)",
     )
@@ -87,7 +98,10 @@ def main(argv: list[str] | None = None) -> int:
     excludes = list(args.exclude or [])
     if not args.no_default_excludes:
         excludes.extend(DEFAULT_EXCLUDES)
-    reports = lint_paths(args.paths, exclude=excludes)
+    jobs = args.jobs if args.jobs is not None else (os.cpu_count() or 1)
+    if jobs < 1:
+        parser.error(f"--jobs {jobs}: must be >= 1")
+    reports = lint_paths(args.paths, exclude=excludes, jobs=jobs)
     parse_errors = [r.parse_error for r in reports if r.parse_error]
     violations: list[Violation] = [
         v for r in reports for v in r.violations
@@ -98,8 +112,7 @@ def main(argv: list[str] | None = None) -> int:
         print(f"wrote {count} baseline entries to {args.baseline}")
         unbaselinable = [
             v for v in violations
-            if not v.suppressed
-            and v.rule.startswith(baseline_mod.NEVER_BASELINE_PREFIXES)
+            if not v.suppressed and baseline_mod.never_baselined(v.rule)
         ]
         for v in unbaselinable:
             print(f"NOT baselined (fix it): {v.render()}")
@@ -135,6 +148,22 @@ def main(argv: list[str] | None = None) -> int:
             json.dumps(
                 {"summary": summary,
                  "violations": [v.to_json() for v in violations]},
+                indent=2,
+            )
+            + "\n",
+            encoding="utf-8",
+        )
+
+    if args.race_report:
+        concurrency = [
+            v for v in violations
+            if v.rule.startswith("RACE") or v.rule in ("DFL002", "DFL003")
+        ]
+        Path(args.race_report).parent.mkdir(parents=True, exist_ok=True)
+        Path(args.race_report).write_text(
+            json.dumps(
+                {"findings": len(concurrency),
+                 "violations": [v.to_json() for v in concurrency]},
                 indent=2,
             )
             + "\n",

@@ -1,0 +1,551 @@
+"""Project-wide call graph, ownership summaries and the lint index.
+
+The intraprocedural OWN rules treat every call they cannot interpret as
+an *escape*: the frame is handed to code the checker cannot see, and
+the obligation is dropped.  That is sound but blind — a helper that
+merely inspects a frame relieves its caller of the leak check, and a
+helper that releases or transmits one is invisible to the double-free
+and use-after-transfer rules.
+
+This module closes the gap with **ownership summaries**.  Every
+function in the project is abstractly interpreted once per fixpoint
+round with its parameters seeded as owned frames; the join over its
+normal (return) exits classifies each parameter:
+
+========== =========================================================
+releases   every normal exit has dropped the reference
+transmits  every normal exit has transferred it to a transport/queue
+borrows    every normal exit leaves it owned — the callee only reads
+escapes    anything else (stored, re-escaped, path-dependent)
+========== =========================================================
+
+plus ``returns_fresh``: every return hands back a newly produced owned
+frame (the ``make_frame``-helper idiom).  Raise exits are ignored by
+design — the PR-3 contract says a transfer that raises leaves
+ownership with the caller, which is exactly how the caller-side
+``try`` handling already models it.
+
+Call sites resolve to summaries by name, never by type inference:
+
+* ``self.m(...)``   — walk the class's bases (by name, project-wide);
+* ``exe.m(...)``/``self.executive.m(...)`` — the ``Executive`` class;
+* ``f(...)``        — nested function, else same-module function;
+* ``obj.m(...)``    — only when every method of that name in the
+  project agrees, and then only for release/transmit effects.
+
+The first three are *confident* resolutions and honour all effects
+including ``borrows`` (which keeps the caller's obligation alive —
+the interprocedural teeth).  The last is weak: a borrowed verdict from
+an unknown receiver could be a stdlib object, so only the destructive
+effects travel.  Unresolved calls keep today's escape semantics; false
+negatives are acceptable, false positives are rule bugs.
+
+The resulting :class:`ProjectIndex` is plain picklable data (no AST
+nodes): summaries, execution contexts (:mod:`.contexts`), the class
+hierarchy, and the dataflow-contract tables used by DFL002/DFL003.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from repro.analysis.lint.ownership import (
+    PRODUCER_CALLEES,
+    OwnershipChecker,
+    Own,
+    Ref,
+    _callee_name,
+)
+
+#: summary effects, per parameter
+RELEASES = "releases"
+TRANSMITS = "transmits"
+BORROWS = "borrows"
+ESCAPES = "escapes"
+
+#: receiver spellings that denote "the executive" throughout the tree
+EXECUTIVE_NAMES = frozenset({"exe", "executive"})
+EXECUTIVE_ATTRS = frozenset({"executive", "_exe"})
+
+#: fixpoint rounds: summaries stabilise in (helper-chain depth) rounds;
+#: real chains in this tree are 2-3 deep
+_MAX_ROUNDS = 5
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Ownership effect of one function, joined over its return exits."""
+
+    params: tuple[str, ...]  # positional order, self/cls dropped
+    effects: tuple[tuple[str, str], ...]  # (param, effect) pairs
+    returns_fresh: bool = False
+
+    def effect_of(self, param: str) -> str:
+        for name, effect in self.effects:
+            if name == param:
+                return effect
+        return ESCAPES
+
+
+@dataclass
+class FunctionDecl:
+    """Transient per-function record used while building the index."""
+
+    path: str
+    qualname: str
+    name: str
+    cls: str | None
+    node: ast.FunctionDef | ast.AsyncFunctionDef
+    params: tuple[str, ...]
+    lineno: int
+
+    @property
+    def key(self) -> str:
+        return f"{self.path}::{self.qualname}"
+
+
+@dataclass
+class ClassDecl:
+    """One class definition: bases and contract declarations by name."""
+
+    name: str
+    path: str
+    bases: tuple[str, ...]
+    #: MT constant names from ``consumes = (...)`` / ``emits = (...)``;
+    #: None = not declared in this class body
+    consumes: tuple[str, ...] | None = None
+    emits: tuple[str, ...] | None = None
+
+
+@dataclass
+class ProjectIndex:
+    """Picklable cross-file facts shared by every per-file lint pass."""
+
+    #: "path::qualname" -> ownership summary
+    summaries: dict[str, Summary] = field(default_factory=dict)
+    #: (path, bare name) -> key, module-level and unambiguous nested defs
+    functions: dict[tuple[str, str], str] = field(default_factory=dict)
+    #: (class name, method name) -> keys (one per defining file)
+    methods: dict[tuple[str, str], list[str]] = field(default_factory=dict)
+    #: method name -> every defining key in the project
+    methods_by_name: dict[str, list[str]] = field(default_factory=dict)
+    #: class name -> direct base names (last definition wins)
+    class_bases: dict[str, tuple[str, ...]] = field(default_factory=dict)
+    #: classes that transitively subclass Listener / Executive
+    listener_classes: frozenset[str] = frozenset()
+    executive_classes: frozenset[str] = frozenset()
+    #: "path::qualname" -> execution contexts (see .contexts)
+    contexts: dict[str, frozenset[str]] = field(default_factory=dict)
+    #: class name -> (consumes | None, emits | None), names as declared
+    class_contracts: dict[str, tuple[tuple[str, ...] | None,
+                                     tuple[str, ...] | None]] = (
+        field(default_factory=dict))
+    #: known MessageType constant names (MT_x = message_type(...))
+    mt_names: frozenset[str] = frozenset()
+    #: XF constant name -> MT constant names registered under it
+    xf_to_mt: dict[str, frozenset[str]] = field(default_factory=dict)
+    #: XF constant int value -> MT constant names
+    xf_value_to_mt: dict[int, frozenset[str]] = field(default_factory=dict)
+    #: path -> module-level mutable bindings (RACE002 candidates)
+    module_state: dict[str, frozenset[str]] = field(default_factory=dict)
+
+    # -- class hierarchy -----------------------------------------------------
+    def mro_names(self, cls: str) -> list[str]:
+        """Name-based linearisation: the class, then BFS over bases."""
+        seen: list[str] = []
+        queue = [cls]
+        while queue:
+            name = queue.pop(0)
+            if name in seen:
+                continue
+            seen.append(name)
+            queue.extend(self.class_bases.get(name, ()))
+        return seen
+
+    def is_listener(self, cls: str | None) -> bool:
+        return cls is not None and cls in self.listener_classes
+
+    def is_executive(self, cls: str | None) -> bool:
+        return cls is not None and cls in self.executive_classes
+
+    def resolve_method(self, cls: str, method: str,
+                       prefer_path: str | None = None) -> str | None:
+        """Defining key of ``method`` on ``cls``, walking base names."""
+        for klass in self.mro_names(cls):
+            keys = self.methods.get((klass, method))
+            if keys:
+                if prefer_path is not None:
+                    for key in keys:
+                        if key.startswith(prefer_path + "::"):
+                            return key
+                return keys[0]
+        return None
+
+    # -- contracts -----------------------------------------------------------
+    def resolve_contract(
+        self, cls: str
+    ) -> tuple[frozenset[str], frozenset[str]]:
+        """(consumes, emits) for ``cls``: nearest declaration per field."""
+        consumes: tuple[str, ...] | None = None
+        emits: tuple[str, ...] | None = None
+        for klass in self.mro_names(cls):
+            declared = self.class_contracts.get(klass)
+            if declared is None:
+                continue
+            if consumes is None and declared[0] is not None:
+                consumes = declared[0]
+            if emits is None and declared[1] is not None:
+                emits = declared[1]
+        return frozenset(consumes or ()), frozenset(emits or ())
+
+    # -- call resolution -----------------------------------------------------
+    def resolve_call(
+        self, path: str, cls: str | None, qualname: str | None,
+        call: ast.Call,
+    ) -> tuple[Summary, bool] | None:
+        """(summary, confident) for a call site, or None.
+
+        ``qualname`` is the enclosing function (for nested-def lookup).
+        Star-args defeat positional matching, so such calls never
+        resolve.
+        """
+        if any(isinstance(a, ast.Starred) for a in call.args):
+            return None
+        func = call.func
+        if isinstance(func, ast.Name):
+            key = self._resolve_bare(path, qualname, func.id)
+            if key is not None and key in self.summaries:
+                return self.summaries[key], True
+            return None
+        if not isinstance(func, ast.Attribute):
+            return None
+        receiver, method = func.value, func.attr
+        if isinstance(receiver, ast.Name) and receiver.id in ("self", "cls"):
+            if cls is None:
+                return None
+            key = self.resolve_method(cls, method, prefer_path=path)
+            if key is not None and key in self.summaries:
+                return self.summaries[key], True
+            return None
+        if _is_executive_receiver(receiver):
+            for exec_cls in sorted(self.executive_classes):
+                key = self.resolve_method(exec_cls, method)
+                if key is not None and key in self.summaries:
+                    return self.summaries[key], True
+            return None
+        # obj.m(...): weak — only a project-unanimous verdict travels.
+        keys = self.methods_by_name.get(method)
+        if not keys:
+            return None
+        candidates = {self.summaries[k] for k in keys if k in self.summaries}
+        if len(candidates) == 1:
+            return next(iter(candidates)), False
+        return None
+
+    def _resolve_bare(
+        self, path: str, qualname: str | None, name: str
+    ) -> str | None:
+        if qualname is not None:
+            nested = f"{path}::{qualname}.{name}"
+            if nested in self.summaries:
+                return nested
+        return self.functions.get((path, name))
+
+    def make_resolver(self, path: str, cls: str | None, qualname: str | None):
+        """Bind resolve_call for one scope (the ownership checker hook)."""
+
+        def resolve(call: ast.Call) -> tuple[Summary, bool] | None:
+            return self.resolve_call(path, cls, qualname, call)
+
+        return resolve
+
+
+def _is_executive_receiver(expr: ast.expr) -> bool:
+    """``exe`` / ``executive`` / ``<x>.executive`` / ``<x>._exe``."""
+    if isinstance(expr, ast.Name):
+        return expr.id in EXECUTIVE_NAMES
+    if isinstance(expr, ast.Attribute):
+        return expr.attr in EXECUTIVE_ATTRS
+    return False
+
+
+# -- collection -------------------------------------------------------------
+def _params_of(
+    node: ast.FunctionDef | ast.AsyncFunctionDef, in_class: bool
+) -> tuple[str, ...]:
+    args = node.args
+    names = [a.arg for a in args.posonlyargs] + [a.arg for a in args.args]
+    is_static = any(
+        isinstance(d, ast.Name) and d.id == "staticmethod"
+        for d in node.decorator_list
+    )
+    if in_class and not is_static and names and names[0] in ("self", "cls"):
+        names = names[1:]
+    return tuple(names)
+
+
+class _Collector(ast.NodeVisitor):
+    """One pass per module: function decls, classes, contracts, MTs."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self.decls: list[FunctionDecl] = []
+        self.classes: list[ClassDecl] = []
+        self.mt_names: set[str] = set()
+        self.xf_to_mt: dict[str, set[str]] = {}
+        self.xf_values: dict[str, int] = {}
+        self.module_state: set[str] = set()
+        self._stack: list[str] = []
+        self._class: list[str] = []
+
+    def visit_Module(self, node: ast.Module) -> None:
+        for stmt in node.body:
+            self._scan_module_stmt(stmt)
+        self.generic_visit(node)
+
+    def _scan_module_stmt(self, stmt: ast.stmt) -> None:
+        targets: list[ast.expr] = []
+        value: ast.expr | None = None
+        if isinstance(stmt, ast.Assign):
+            targets, value = stmt.targets, stmt.value
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            targets, value = [stmt.target], stmt.value
+        else:
+            return
+        for target in targets:
+            if not isinstance(target, ast.Name):
+                continue
+            name = target.id
+            if name.startswith("__"):
+                continue
+            # MT_x = message_type("...", XF_y, ...) registration
+            if (isinstance(value, ast.Call)
+                    and _callee_name(value.func) == "message_type"):
+                self.mt_names.add(name)
+                if len(value.args) >= 2:
+                    xf = value.args[1]
+                    if isinstance(xf, ast.Name):
+                        self.xf_to_mt.setdefault(xf.id, set()).add(name)
+                    elif (isinstance(xf, ast.Constant)
+                          and isinstance(xf.value, int)):
+                        self.xf_to_mt.setdefault(
+                            f"0x{xf.value:04X}", set()).add(name)
+            elif (isinstance(value, ast.Constant)
+                  and isinstance(value.value, int) and not
+                  isinstance(value.value, bool)):
+                self.xf_values[name] = value.value
+            # Mutable module-level bindings are RACE002 candidates.
+            if isinstance(value, (ast.Dict, ast.List, ast.Set, ast.Call,
+                                  ast.DictComp, ast.ListComp, ast.SetComp)):
+                self.module_state.add(name)
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        bases = []
+        for base in node.bases:
+            if isinstance(base, ast.Name):
+                bases.append(base.id)
+            elif isinstance(base, ast.Attribute):
+                bases.append(base.attr)
+        decl = ClassDecl(name=node.name, path=self.path, bases=tuple(bases))
+        for stmt in node.body:
+            tgt: ast.expr | None = None
+            val: ast.expr | None = None
+            if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+                tgt, val = stmt.targets[0], stmt.value
+            elif isinstance(stmt, ast.AnnAssign):
+                tgt, val = stmt.target, stmt.value
+            if (isinstance(tgt, ast.Name) and tgt.id in ("consumes", "emits")
+                    and isinstance(val, (ast.Tuple, ast.List))):
+                names = tuple(
+                    e.id if isinstance(e, ast.Name) else e.attr
+                    for e in val.elts
+                    if isinstance(e, (ast.Name, ast.Attribute))
+                )
+                if tgt.id == "consumes":
+                    decl.consumes = names
+                else:
+                    decl.emits = names
+        self.classes.append(decl)
+        self._stack.append(node.name)
+        self._class.append(node.name)
+        self.generic_visit(node)
+        self._class.pop()
+        self._stack.pop()
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        in_class = bool(
+            self._class and self._stack and self._stack[-1] == self._class[-1]
+        )
+        qualname = ".".join(self._stack + [node.name])
+        self.decls.append(
+            FunctionDecl(
+                path=self.path,
+                qualname=qualname,
+                name=node.name,
+                cls=self._class[-1] if self._class else None,
+                node=node,
+                params=_params_of(node, in_class),
+                lineno=node.lineno,
+            )
+        )
+        self._stack.append(node.name)
+        self.generic_visit(node)
+        self._stack.pop()
+
+    visit_AsyncFunctionDef = visit_FunctionDef  # type: ignore[assignment]
+
+
+def _subclasses_of(
+    roots: frozenset[str], class_bases: dict[str, tuple[str, ...]]
+) -> frozenset[str]:
+    """Classes whose name-based base chain reaches any of ``roots``."""
+    hit: set[str] = set(roots)
+    changed = True
+    while changed:
+        changed = False
+        for cls, bases in class_bases.items():
+            if cls not in hit and any(b in hit for b in bases):
+                hit.add(cls)
+                changed = True
+    return frozenset(hit)
+
+
+# -- summaries ---------------------------------------------------------------
+def _summarize(decl: FunctionDecl, index: ProjectIndex) -> Summary:
+    """Abstractly interpret one function with owned parameters."""
+    resolve = index.make_resolver(decl.path, decl.cls, decl.qualname)
+    checker = OwnershipChecker(
+        path=decl.path, context=decl.qualname, resolve=resolve, muted=True,
+    )
+    checker.record_exits = []
+    state = {p: Ref(Own.OWNED) for p in decl.params}
+    end_state, terminated = checker._exec_block(list(decl.node.body), state)
+    exits = list(checker.record_exits)
+    if not terminated:
+        exits.append((dict(end_state), None))
+
+    effects: list[tuple[str, str]] = []
+    for param in decl.params:
+        effects.append((param, _join_effect(param, exits)))
+    return Summary(
+        params=decl.params,
+        effects=tuple(effects),
+        returns_fresh=_returns_fresh(decl, exits, resolve),
+    )
+
+
+def _join_effect(
+    param: str, exits: list[tuple[dict[str, Ref], ast.expr | None]]
+) -> str:
+    if not exits:
+        return ESCAPES  # always raises: callee consumed nothing we trust
+    statuses: set[Own] = set()
+    for state, _retval in exits:
+        ref = state.get(param)
+        if ref is None or ref.extra_refs:
+            return ESCAPES
+        statuses.add(ref.status)
+    if statuses == {Own.OWNED}:
+        return BORROWS
+    if statuses == {Own.RELEASED}:
+        return RELEASES
+    if statuses == {Own.TRANSFERRED}:
+        return TRANSMITS
+    return ESCAPES
+
+
+def _returns_fresh(
+    decl: FunctionDecl,
+    exits: list[tuple[dict[str, Ref], ast.expr | None]],
+    resolve,
+) -> bool:
+    if not exits:
+        return False
+    for state, retval in exits:
+        if retval is None:
+            return False
+        if isinstance(retval, ast.Name):
+            ref = state.get(retval.id)
+            if (retval.id in decl.params or ref is None
+                    or ref.status is not Own.OWNED or ref.extra_refs):
+                return False
+        elif isinstance(retval, ast.Call):
+            if _callee_name(retval.func) in PRODUCER_CALLEES:
+                continue
+            resolved = resolve(retval)
+            if not (resolved and resolved[1] and resolved[0].returns_fresh):
+                return False
+        else:
+            return False
+    return True
+
+
+# -- index construction ------------------------------------------------------
+def build_index(units: list[tuple[str, ast.Module]]) -> ProjectIndex:
+    """Build the cross-file index from parsed (path, tree) units."""
+    from repro.analysis.lint import contexts as contexts_mod
+
+    index = ProjectIndex()
+    decls: list[FunctionDecl] = []
+    seen_bare: dict[tuple[str, str], int] = {}
+    xf_values: dict[str, int] = {}
+
+    for path, tree in units:
+        collector = _Collector(path)
+        collector.visit(tree)
+        decls.extend(collector.decls)
+        index.mt_names = index.mt_names | frozenset(collector.mt_names)
+        for xf, mts in collector.xf_to_mt.items():
+            index.xf_to_mt[xf] = index.xf_to_mt.get(xf, frozenset()) | mts
+        xf_values.update(collector.xf_values)
+        index.module_state[path] = frozenset(collector.module_state)
+        for cls in collector.classes:
+            index.class_bases[cls.name] = cls.bases
+            if cls.consumes is not None or cls.emits is not None:
+                index.class_contracts[cls.name] = (cls.consumes, cls.emits)
+
+    for xf_name, mts in index.xf_to_mt.items():
+        value = xf_values.get(xf_name)
+        if value is not None:
+            index.xf_value_to_mt[value] = (
+                index.xf_value_to_mt.get(value, frozenset()) | mts)
+
+    index.listener_classes = _subclasses_of(
+        frozenset({"Listener"}), index.class_bases)
+    index.executive_classes = _subclasses_of(
+        frozenset({"Executive"}), index.class_bases)
+
+    for decl in decls:
+        if decl.cls is not None and decl.qualname.count(".") == 1:
+            index.methods.setdefault(
+                (decl.cls, decl.name), []).append(decl.key)
+            index.methods_by_name.setdefault(decl.name, []).append(decl.key)
+        else:
+            # Module-level and nested defs resolve by bare name; an
+            # ambiguous name within one file resolves to nothing.
+            slot = (decl.path, decl.name)
+            seen_bare[slot] = seen_bare.get(slot, 0) + 1
+            if seen_bare[slot] == 1:
+                index.functions[slot] = decl.key
+            else:
+                index.functions.pop(slot, None)
+
+    for _round in range(_MAX_ROUNDS):
+        changed = False
+        for decl in decls:
+            summary = _summarize(decl, index)
+            if index.summaries.get(decl.key) != summary:
+                index.summaries[decl.key] = summary
+                changed = True
+        if not changed:
+            break
+
+    index.contexts = contexts_mod.assign_contexts(decls, index)
+    return index
+
+
+__all__ = [
+    "BORROWS", "ESCAPES", "RELEASES", "TRANSMITS",
+    "ClassDecl", "FunctionDecl", "ProjectIndex", "Summary", "build_index",
+]

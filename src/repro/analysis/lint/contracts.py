@@ -1,0 +1,165 @@
+"""DFL002 / DFL003: static dataflow-contract conformance.
+
+PR 8 gave devices declared ``consumes``/``emits`` tuples and a runtime
+DAG analysis over them.  These rules close the loop statically: the
+declarations must match what the class body actually does.
+
+* **DFL002** — ``self.emit(MT_X, ...)`` / ``self.emit_into(MT_X, ...)``
+  where ``MT_X`` is a registered message type absent from the class's
+  resolved ``emits``.  The bootstrap DAG routes only declared types;
+  an undeclared emission either dead-letters or silently bypasses the
+  topology diagnostics.
+* **DFL003** — ``self.bind(XF_Y, handler)`` where ``XF_Y`` carries a
+  registered message type matching neither ``consumes`` nor ``emits``.
+  ``emits`` counts because request/reply builders bind their *emitted*
+  xfunction to receive the replies (the EventBuilder idiom); a binding
+  matching neither is a handler the DAG cannot see.
+
+Contracts resolve through base classes by name, so harness subclasses
+inherit the production declaration.  Classes whose resolved contract
+is empty are skipped entirely — an empty contract means the device
+stays outside the dataflow layer (hand wiring is legal there), and
+xfunctions with no registered ``MessageType`` (heartbeats, the
+reliable-stream control codes) are never judged.  Both rules are
+errors and never baselined: the fix is a one-line contract edit.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING
+
+from repro.analysis.violations import Violation
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.analysis.lint.callgraph import ProjectIndex
+
+#: Listener methods whose first argument is a MessageType
+EMIT_METHODS = frozenset({"emit", "emit_into"})
+
+
+def _const_name(expr: ast.expr) -> str | None:
+    if isinstance(expr, ast.Name):
+        return expr.id
+    if isinstance(expr, ast.Attribute):
+        return expr.attr
+    return None
+
+
+class ContractChecker(ast.NodeVisitor):
+    """One pass per file over classes with non-empty contracts."""
+
+    def __init__(self, path: str, index: "ProjectIndex") -> None:
+        self.path = path
+        self.index = index
+        self.violations: list[Violation] = []
+        self._stack: list[str] = []
+        #: (consumes, emits) of the innermost contracted class, or None
+        self._contract: list[tuple[frozenset[str], frozenset[str]] | None] = []
+
+    def _report(self, rule: str, node: ast.AST, message: str,
+                detail: str) -> None:
+        self.violations.append(
+            Violation(
+                rule=rule,
+                path=self.path,
+                line=getattr(node, "lineno", 0),
+                col=getattr(node, "col_offset", 0) + 1,
+                message=message,
+                context=".".join(self._stack),
+                detail=detail,
+            )
+        )
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        consumes, emits = self.index.resolve_contract(node.name)
+        contract = (consumes, emits) if (consumes or emits) else None
+        self._stack.append(node.name)
+        self._contract.append(contract)
+        self.generic_visit(node)
+        self._contract.pop()
+        self._stack.pop()
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._stack.append(node.name)
+        self.generic_visit(node)
+        self._stack.pop()
+
+    visit_AsyncFunctionDef = visit_FunctionDef  # type: ignore[assignment]
+
+    def visit_Call(self, node: ast.Call) -> None:
+        contract = self._contract[-1] if self._contract else None
+        if contract is not None:
+            self._check_emit(node, contract)
+            self._check_bind(node, contract)
+        self.generic_visit(node)
+
+    def _check_emit(
+        self, node: ast.Call,
+        contract: tuple[frozenset[str], frozenset[str]],
+    ) -> None:
+        func = node.func
+        if not (isinstance(func, ast.Attribute)
+                and func.attr in EMIT_METHODS
+                and isinstance(func.value, ast.Name)
+                and func.value.id == "self"
+                and node.args):
+            return
+        mt_name = _const_name(node.args[0])
+        if mt_name is None or mt_name not in self.index.mt_names:
+            return  # dynamic mtype or unregistered constant: not ours
+        _consumes, emits = contract
+        if mt_name not in emits:
+            self._report(
+                "DFL002",
+                node,
+                f"emits {mt_name} which is not in the declared emits "
+                f"contract ({', '.join(sorted(emits)) or 'empty'}); the "
+                "dataflow DAG cannot route an undeclared emission",
+                mt_name,
+            )
+
+    def _check_bind(
+        self, node: ast.Call,
+        contract: tuple[frozenset[str], frozenset[str]],
+    ) -> None:
+        func = node.func
+        if not (isinstance(func, ast.Attribute)
+                and func.attr == "bind"
+                and isinstance(func.value, ast.Name)
+                and func.value.id == "self"
+                and len(node.args) >= 2):
+            return
+        xf = node.args[0]
+        mts: frozenset[str] = frozenset()
+        xf_label = None
+        if isinstance(xf, (ast.Name, ast.Attribute)):
+            xf_label = _const_name(xf)
+            mts = self.index.xf_to_mt.get(xf_label or "", frozenset())
+        elif isinstance(xf, ast.Constant) and isinstance(xf.value, int):
+            xf_label = f"0x{xf.value:04X}"
+            mts = self.index.xf_value_to_mt.get(xf.value, frozenset())
+        if not mts:
+            return  # no MessageType registered under this xfunction
+        consumes, emits = contract
+        if not (mts & (consumes | emits)):
+            expected = ", ".join(sorted(mts))
+            self._report(
+                "DFL003",
+                node,
+                f"handler bound for {xf_label} (message type {expected}) "
+                "matching neither consumes nor emits; the dispatch "
+                "registration is invisible to the dataflow contract",
+                xf_label or "",
+            )
+
+
+def check_contracts(
+    path: str, tree: ast.AST, index: "ProjectIndex"
+) -> list[Violation]:
+    checker = ContractChecker(path, index)
+    checker.visit(tree)
+    return checker.violations
+
+
+__all__ = ["EMIT_METHODS", "check_contracts"]

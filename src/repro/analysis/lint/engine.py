@@ -1,4 +1,22 @@
-"""Lint driver: parse files, run rules, apply noqa and baselines."""
+"""Lint driver: parse files, build the project index, run rules.
+
+The run is two-phase.  Phase A parses every file once and builds the
+:class:`~repro.analysis.lint.callgraph.ProjectIndex` — ownership
+summaries, execution contexts, the class hierarchy and the dataflow
+contract tables.  Phase B lints each file against that shared index;
+with ``jobs > 1`` phase B fans out over a multiprocessing pool (the
+index is plain picklable data; workers re-parse only their own file).
+
+``lint_source`` without an explicit index builds a single-file index
+on the fly, so the interprocedural rules still see helpers defined in
+the same source — which is exactly what the unit tests exercise.
+
+noqa handling is statement-aware: a ``# repro: noqa [RULE]`` anywhere
+within the smallest enclosing simple statement (or the header of a
+compound statement — decorator stacks included) suppresses matching
+findings of that statement, not just findings on its first physical
+line.
+"""
 
 from __future__ import annotations
 
@@ -6,14 +24,22 @@ import ast
 import re
 from pathlib import Path
 
+from repro.analysis.lint.callgraph import ProjectIndex, build_index
+from repro.analysis.lint.contracts import check_contracts
 from repro.analysis.lint.framework import check_framework
 from repro.analysis.lint.ownership import check_ownership
+from repro.analysis.lint.races import check_races
 from repro.analysis.violations import RULES, FileReport, Violation
 
 #: trailing per-line suppression: `# repro: noqa` or `# repro: noqa OWN001[, OWN002]`
 _NOQA = re.compile(
     r"#\s*repro:\s*noqa(?P<rules>(?:\s*:?\s*[A-Z]+\d+[,\s]*)+)?", re.ASCII
 )
+
+_COMPOUND = (
+    ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef, ast.If, ast.While,
+    ast.For, ast.AsyncFor, ast.With, ast.AsyncWith, ast.Try, ast.Match,
+) + ((ast.TryStar,) if hasattr(ast, "TryStar") else ())
 
 
 def _noqa_rules(line: str) -> frozenset[str] | None:
@@ -27,13 +53,59 @@ def _noqa_rules(line: str) -> frozenset[str] | None:
     return frozenset(re.findall(r"[A-Z]+\d+", rules))
 
 
+def _stmt_spans(tree: ast.AST) -> list[tuple[int, int]]:
+    """(first, last) physical-line spans a noqa comment covers.
+
+    Simple statements span all their lines.  Compound statements span
+    only their *header* (decorators through the line before the first
+    body statement) — a noqa inside a function must not blanket the
+    whole function.
+    """
+    spans: list[tuple[int, int]] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.stmt):
+            continue
+        end = getattr(node, "end_lineno", None) or node.lineno
+        if isinstance(node, _COMPOUND):
+            start = node.lineno
+            decorators = getattr(node, "decorator_list", None)
+            if decorators:
+                start = min([d.lineno for d in decorators] + [start])
+            body = getattr(node, "body", None)
+            header_end = body[0].lineno - 1 if body else end
+            spans.append((start, max(start, header_end)))
+        else:
+            spans.append((node.lineno, end))
+    return spans
+
+
+def _suppressed_rules(
+    line: int, lines: list[str], spans: list[tuple[int, int]]
+) -> frozenset[str]:
+    """Union of noqa rules on ``line`` and its smallest enclosing span."""
+    covered = {line}
+    containing = [s for s in spans if s[0] <= line <= s[1]]
+    if containing:
+        start, end = min(containing, key=lambda s: s[1] - s[0])
+        covered.update(range(start, end + 1))
+    suppressed: set[str] = set()
+    for lineno in covered:
+        if 1 <= lineno <= len(lines):
+            rules = _noqa_rules(lines[lineno - 1])
+            if rules is not None:
+                suppressed.update(rules)
+    return frozenset(suppressed)
+
+
 class _OwnershipVisitor(ast.NodeVisitor):
     """Runs the OWN checker over every function scope (and the module)."""
 
-    def __init__(self, path: str) -> None:
+    def __init__(self, path: str, index: ProjectIndex) -> None:
         self.path = path
+        self.index = index
         self.violations: list[Violation] = []
         self._stack: list[str] = []
+        self._class: list[str] = []
 
     def visit_Module(self, node: ast.Module) -> None:
         body = [
@@ -41,18 +113,25 @@ class _OwnershipVisitor(ast.NodeVisitor):
             if not isinstance(s, (ast.FunctionDef, ast.AsyncFunctionDef,
                                   ast.ClassDef))
         ]
-        self.violations.extend(check_ownership(self.path, "<module>", body))
+        resolve = self.index.make_resolver(self.path, None, None)
+        self.violations.extend(
+            check_ownership(self.path, "<module>", body, resolve=resolve)
+        )
         self.generic_visit(node)
 
     def visit_ClassDef(self, node: ast.ClassDef) -> None:
         self._stack.append(node.name)
+        self._class.append(node.name)
         self.generic_visit(node)
+        self._class.pop()
         self._stack.pop()
 
     def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
         qualname = ".".join(self._stack + [node.name])
+        cls = self._class[-1] if self._class else None
+        resolve = self.index.make_resolver(self.path, cls, qualname)
         self.violations.extend(
-            check_ownership(self.path, qualname, node.body)
+            check_ownership(self.path, qualname, node.body, resolve=resolve)
         )
         self._stack.append(node.name)
         self.generic_visit(node)
@@ -61,8 +140,15 @@ class _OwnershipVisitor(ast.NodeVisitor):
     visit_AsyncFunctionDef = visit_FunctionDef  # type: ignore[assignment]
 
 
-def lint_source(source: str, path: str) -> FileReport:
-    """Lint one file's source text; ``path`` is used verbatim in output."""
+def lint_source(
+    source: str, path: str, index: ProjectIndex | None = None
+) -> FileReport:
+    """Lint one file's source text; ``path`` is used verbatim in output.
+
+    Without ``index``, a single-file index is built from this source —
+    helpers defined in the same file still feed the interprocedural
+    rules.  CLI runs share one project-wide index across all files.
+    """
     report = FileReport(path=path)
     try:
         tree = ast.parse(source, filename=path)
@@ -70,16 +156,23 @@ def lint_source(source: str, path: str) -> FileReport:
         report.parse_error = f"{path}:{exc.lineno}: {exc.msg}"
         return report
 
-    visitor = _OwnershipVisitor(path)
+    if index is None:
+        index = build_index([(path, tree)])
+
+    visitor = _OwnershipVisitor(path, index)
     visitor.visit(tree)
-    violations = visitor.violations + check_framework(path, tree)
+    violations = (
+        visitor.violations
+        + check_framework(path, tree)
+        + check_races(path, tree, index)
+        + check_contracts(path, tree, index)
+    )
 
     lines = source.splitlines()
+    spans = _stmt_spans(tree)
     for violation in violations:
-        if 1 <= violation.line <= len(lines):
-            suppressed = _noqa_rules(lines[violation.line - 1])
-            if suppressed is not None and violation.rule in suppressed:
-                violation.suppressed = True
+        if violation.rule in _suppressed_rules(violation.line, lines, spans):
+            violation.suppressed = True
 
     violations.sort(key=lambda v: (v.line, v.col, v.rule))
     report.violations = violations
@@ -106,11 +199,54 @@ def iter_python_files(paths: list[str | Path], exclude: list[str] = ()) -> list[
     return sorted(p for p in found if not excluded(p))
 
 
+def build_project_index(
+    items: list[tuple[str, str]]
+) -> ProjectIndex:
+    """Parse ``(path, source)`` items and build the shared index.
+
+    Unparseable files are skipped here; the per-file lint pass reports
+    the syntax error itself.
+    """
+    units: list[tuple[str, ast.Module]] = []
+    for path, source in items:
+        try:
+            units.append((path, ast.parse(source, filename=path)))
+        except SyntaxError:
+            continue
+    return build_index(units)
+
+
+#: per-worker shared index (set once by the pool initializer)
+_WORKER_INDEX: ProjectIndex | None = None
+
+
+def _worker_init(index: ProjectIndex) -> None:
+    global _WORKER_INDEX
+    _WORKER_INDEX = index
+
+
+def _worker_lint(item: tuple[str, str]) -> FileReport:
+    path, source = item
+    return lint_source(source, path, index=_WORKER_INDEX)
+
+
 def lint_paths(
-    paths: list[str | Path], exclude: list[str] = ()
+    paths: list[str | Path], exclude: list[str] = (),
+    jobs: int | None = None,
 ) -> list[FileReport]:
-    reports = []
-    for file_path in iter_python_files(paths, exclude):
-        source = file_path.read_text(encoding="utf-8")
-        reports.append(lint_source(source, file_path.as_posix()))
-    return reports
+    """Lint files/directories; ``jobs > 1`` fans phase B out to a pool."""
+    files = iter_python_files(paths, exclude)
+    items = [
+        (p.as_posix(), p.read_text(encoding="utf-8")) for p in files
+    ]
+    index = build_project_index(items)
+
+    effective = min(jobs or 1, len(items))
+    if effective > 1 and len(items) >= 4:
+        import multiprocessing
+
+        with multiprocessing.Pool(
+            effective, initializer=_worker_init, initargs=(index,)
+        ) as pool:
+            return pool.map(_worker_lint, items)
+    return [lint_source(source, path, index=index) for path, source in items]

@@ -37,8 +37,15 @@ import ast
 import enum
 import re
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable
 
 from repro.analysis.violations import Violation
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.analysis.lint.callgraph import Summary
+
+#: resolver hook: call site -> (summary, confident) or None
+Resolver = Callable[[ast.Call], "tuple[Summary, bool] | None"]
 
 #: calls that move ownership away from the named first argument
 TRANSFER_CALLEES = frozenset(
@@ -108,7 +115,7 @@ def _first_arg_name(call: ast.Call) -> str | None:
 class _Action:
     """One ownership-relevant call found in a statement."""
 
-    kind: str  # "transfer" | "release" | "addref"
+    kind: str  # "transfer" | "release" | "addref" | "borrow"
     var: str
     node: ast.Call
     arg_node: ast.Name | None = None
@@ -116,17 +123,29 @@ class _Action:
 
 @dataclass
 class OwnershipChecker:
-    """Analyses one function (or the module body) for OWN rules."""
+    """Analyses one function (or the module body) for OWN rules.
+
+    ``resolve`` is the interprocedural hook (see
+    :mod:`repro.analysis.lint.callgraph`): calls that resolve to an
+    ownership summary apply the callee's per-parameter effects instead
+    of the blanket escape.  ``muted`` suppresses reporting entirely
+    (summary computation interprets bodies without emitting findings)
+    and ``record_exits``, when set, collects ``(state, return value)``
+    at every unmuted ``return`` for the summary join.
+    """
 
     path: str
     context: str
     violations: list[Violation] = field(default_factory=list)
+    resolve: Resolver | None = None
+    muted: bool = False
+    record_exits: list[tuple[State, ast.expr | None]] | None = None
     _try_depth: int = 0
     _mute_depth: int = 0
 
     # -- reporting ---------------------------------------------------------
     def _report(self, rule: str, node: ast.AST, message: str, var: str) -> None:
-        if self._mute_depth:
+        if self._mute_depth or self.muted:
             return
         self.violations.append(
             Violation(
@@ -229,6 +248,11 @@ class OwnershipChecker:
             return term
 
         if isinstance(stmt, ast.Return):
+            if self.record_exits is not None and not self._mute_depth:
+                # Snapshot before the bare-return escape conversion and
+                # the leak check mutate the path state: the summary
+                # join needs the state the caller actually observes.
+                self.record_exits.append((dict(state), stmt.value))
             if stmt.value is not None:
                 if isinstance(stmt.value, ast.Name):
                     # Bare `return v`: ownership (or the alias) goes to
@@ -324,9 +348,9 @@ class OwnershipChecker:
             self._scan_expr(stmt.target, state)
             return
 
-        produced = (
-            isinstance(value, ast.Call)
-            and _callee_name(value.func) in PRODUCER_CALLEES
+        produced = isinstance(value, ast.Call) and (
+            _callee_name(value.func) in PRODUCER_CALLEES
+            or self._returns_fresh(value)
         )
         if value is not None:
             self._scan_expr(value, state)
@@ -350,6 +374,14 @@ class OwnershipChecker:
                 # frame.attr = x / d[k] = v: a store through the var is
                 # a read of the base — handled by the value/target scan.
                 self._scan_expr(target, state)
+                # Storing the object itself (self.pending = frame)
+                # hands the reference to state we cannot see.  The
+                # value scan misses this only for a bare name, whose
+                # walk starts at the root with no parent context.
+                if isinstance(value, ast.Name):
+                    ref = state.get(value.id)
+                    if ref is not None and ref.status is Own.OWNED:
+                        state[value.id] = Ref(Own.ESCAPED)
 
     # -- expression scanning -------------------------------------------------
     def _scan_expr(self, expr: ast.expr, state: State) -> None:
@@ -388,11 +420,28 @@ class OwnershipChecker:
                 # Unknown origin: only draft frame/block-looking names —
                 # `release()` alone is too common (locks, semaphores,
                 # sim resources) to track every receiver.
-                if not _FRAMEISH.search(action.var):
+                if action.kind == "borrow" or not _FRAMEISH.search(action.var):
                     continue
                 ref = Ref(Own.MAYBE)
                 if action.kind == "addref":
                     continue
+            if action.kind == "borrow":
+                # The callee only reads: the obligation stays here (no
+                # escape), but handing over a dead frame is still a use.
+                if ref.status in _DEAD:
+                    verb = (
+                        "transmitted"
+                        if ref.status is Own.TRANSFERRED
+                        else "released"
+                    )
+                    self._report(
+                        "OWN001",
+                        action.node,
+                        f"{action.var!r} passed to a helper after it "
+                        f"was {verb}",
+                        action.var,
+                    )
+                continue
             if action.kind == "addref":
                 state[action.var] = Ref(ref.status, ref.extra_refs + 1)
             elif action.kind == "release":
@@ -462,7 +511,49 @@ class OwnershipChecker:
                     _Action("addref", node.func.value.id, node,
                             node.func.value)
                 )
+            else:
+                actions.extend(self._summary_actions(node))
         return actions
+
+    def _summary_actions(self, node: ast.Call) -> list[_Action]:
+        """Interprocedural actions: apply the callee's summary, if any.
+
+        Borrow effects are only honoured on *confident* resolutions
+        (own method, same-module function): keeping the obligation
+        alive on a guessed callee would manufacture leak reports.
+        """
+        if self.resolve is None:
+            return []
+        resolved = self.resolve(node)
+        if resolved is None:
+            return []
+        summary, confident = resolved
+        kind_of = {"releases": "release", "transmits": "transfer"}
+        if confident:
+            kind_of["borrows"] = "borrow"
+        actions: list[_Action] = []
+        for i, arg in enumerate(node.args):
+            if not isinstance(arg, ast.Name) or i >= len(summary.params):
+                continue
+            kind = kind_of.get(summary.effect_of(summary.params[i]))
+            if kind is not None:
+                actions.append(_Action(kind, arg.id, node, arg))
+        for keyword in node.keywords:
+            if keyword.arg is None or not isinstance(keyword.value, ast.Name):
+                continue
+            kind = kind_of.get(summary.effect_of(keyword.arg))
+            if kind is not None:
+                actions.append(
+                    _Action(kind, keyword.value.id, node, keyword.value))
+        return actions
+
+    def _returns_fresh(self, call: ast.Call) -> bool:
+        """Does this call resolve to a fresh-frame producer summary?"""
+        if self.resolve is None:
+            return False
+        resolved = self.resolve(call)
+        return (resolved is not None and resolved[1]
+                and resolved[0].returns_fresh)
 
     # -- leak checking -------------------------------------------------------
     def _check_leaks(self, at: ast.stmt, state: State) -> None:
@@ -497,10 +588,11 @@ class OwnershipChecker:
 
 
 def check_ownership(
-    path: str, context: str, body: list[ast.stmt]
+    path: str, context: str, body: list[ast.stmt],
+    resolve: Resolver | None = None,
 ) -> list[Violation]:
     """Run the OWN rules over one function (or module) body."""
-    checker = OwnershipChecker(path=path, context=context)
+    checker = OwnershipChecker(path=path, context=context, resolve=resolve)
     state, terminated = checker._exec_block(body, {})
     if not terminated:
         checker.finish(state, body[-1] if body else None)

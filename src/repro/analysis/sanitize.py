@@ -21,6 +21,13 @@ with ``--sanitize``) and every default-constructed
 :class:`~repro.mem.pool.TableAllocator` for the instrumented
 :class:`SanitizingTableAllocator`.  Production code paths never import
 this module.
+
+The **affinity guard** is the runtime twin of the static RACE rules:
+set ``REPRO_AFFINITY=1`` and :func:`install_affinity_guard` records
+the thread that drives each executive's loop of control, then raises
+:class:`AffinityViolationError` whenever any other non-main thread
+assigns an attribute on a plugged-in device — the same cross-thread
+device mutation RACE001 flags in the AST, caught live.
 """
 
 from __future__ import annotations
@@ -272,3 +279,106 @@ def assert_clean(pool: BufferPool) -> None:
         )
     if problems:
         raise LeakError("pool sanitizer report:\n" + "\n".join(problems))
+
+
+# ---------------------------------------------------------------------------
+# thread-affinity guard (runtime twin of the static RACE rules)
+# ---------------------------------------------------------------------------
+
+class AffinityViolationError(RuntimeError):
+    """A device attribute was assigned from the wrong thread.
+
+    Device state belongs to the thread that drives its executive's loop
+    of control; transport receive threads must hand work over with
+    :meth:`~repro.core.executive.Executive.post_inbound` instead of
+    reaching into devices directly.
+    """
+
+
+def affinity_enabled() -> bool:
+    """Is the thread-affinity guard switched on for this process?"""
+    return os.environ.get("REPRO_AFFINITY", "").strip().lower() in _TRUTHY
+
+
+#: attributes the lifecycle itself assigns from arbitrary call sites
+#: (``plugin``/``unplug`` run wherever registration happens)
+_AFFINITY_EXEMPT_ATTRS = frozenset({"executive", "tid"})
+
+#: saved originals while the guard is installed: (Executive.step,
+#: Listener.__setattr__) — ``None`` when not installed
+_affinity_originals: tuple[Callable[..., Any], Callable[..., Any]] | None = None
+
+
+def install_affinity_guard() -> None:
+    """Patch the core classes to enforce dispatch-thread affinity.
+
+    * :meth:`Executive.step` records the thread driving the loop of
+      control as the executive's **owner thread** (re-recorded every
+      step, so a restarted executive's fresh loop thread takes over);
+    * :meth:`Listener.__setattr__` raises
+      :class:`AffinityViolationError` when a plugged-in device's
+      attribute is assigned by a thread that is neither the owner
+      thread nor the main thread (single-threaded tests and
+      registration-time setup stay unaffected).
+
+    Classes with ``affinity_exempt = True`` (peer transports, which
+    serialise their own state with explicit locks) are skipped.
+    Idempotent; undo with :func:`uninstall_affinity_guard`.
+    """
+    global _affinity_originals
+    if _affinity_originals is not None:
+        return
+    # Imported lazily: production code never pays for this module, and
+    # the analysis package must not hard-depend on the core at import.
+    from repro.core.device import Listener
+    from repro.core.executive import Executive
+
+    orig_step = Executive.step
+    orig_setattr = Listener.__setattr__
+
+    def recording_step(self: Any) -> bool:
+        # Recorded on every call, not just the first: a restarted
+        # executive gets a fresh loop thread, and ownership follows
+        # whoever legitimately drives the loop of control now.
+        self._affinity_thread = threading.get_ident()
+        return orig_step(self)
+
+    def guarded_setattr(self: Any, name: str, value: Any) -> None:
+        exe = self.__dict__.get("executive")
+        if (
+            exe is not None
+            and name not in _AFFINITY_EXEMPT_ATTRS
+            and not getattr(type(self), "affinity_exempt", False)
+        ):
+            owner = getattr(exe, "_affinity_thread", None)
+            current = threading.current_thread()
+            if (
+                owner is not None
+                and current.ident != owner
+                and current is not threading.main_thread()
+            ):
+                raise AffinityViolationError(
+                    f"{type(self).__name__}.{name} assigned from thread "
+                    f"{current.name!r} but device {self.name!r} belongs "
+                    f"to the loop-of-control thread (ident {owner}); "
+                    "marshal via Executive.post_inbound instead"
+                )
+        orig_setattr(self, name, value)
+
+    Executive.step = recording_step  # type: ignore[method-assign]
+    Listener.__setattr__ = guarded_setattr  # type: ignore[method-assign]
+    _affinity_originals = (orig_step, orig_setattr)
+
+
+def uninstall_affinity_guard() -> None:
+    """Restore the unpatched ``step``/``__setattr__``; idempotent."""
+    global _affinity_originals
+    if _affinity_originals is None:
+        return
+    from repro.core.device import Listener
+    from repro.core.executive import Executive
+
+    orig_step, orig_setattr = _affinity_originals
+    Executive.step = orig_step  # type: ignore[method-assign]
+    Listener.__setattr__ = orig_setattr  # type: ignore[method-assign]
+    _affinity_originals = None

@@ -57,6 +57,25 @@ RULES: dict[str, tuple[Severity, str]] = {
         "hand-wired route: connect() fed proxy TiDs instead of a "
         "declared dataflow route",
     ),
+    "DFL002": (
+        Severity.ERROR,
+        "device emits a message type absent from its declared emits",
+    ),
+    "DFL003": (
+        Severity.ERROR,
+        "handler bound for a message type matching neither consumes "
+        "nor emits",
+    ),
+    "RACE001": (
+        Severity.ERROR,
+        "device/executive state mutated from an rx-thread context "
+        "without a lock or dispatch marshalling",
+    ),
+    "RACE002": (
+        Severity.ERROR,
+        "shared class/module-level state mutated from an rx-thread "
+        "context without a lock",
+    ),
 }
 
 

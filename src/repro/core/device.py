@@ -93,6 +93,11 @@ class Listener:
     #: Inbound queue share (frames) granted to this device's consumed
     #: types; ``None`` falls back to the spec's ``edge_credits``.
     queue_capacity: int | None = None
+    #: Opt out of the runtime thread-affinity guard
+    #: (:mod:`repro.analysis.sanitize`).  Devices that run their own
+    #: threads and serialise state with explicit locks (peer
+    #: transports) set this True.
+    affinity_exempt = False
 
     def __init__(self, name: str = "") -> None:
         self.name = name or type(self).__name__

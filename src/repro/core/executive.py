@@ -297,6 +297,10 @@ class Executive:
         self._names: dict[str, Tid] = {}
         self._routes: dict[Tid, Route] = {}
         self._proxies: dict[tuple[int, Tid, str | None], Tid] = {}
+        #: Serialises proxy/route table writes: task-mode transports
+        #: call ``create_proxy`` from their receive threads while the
+        #: loop of control rebinds/parks routes on the dispatch thread.
+        self._route_lock = threading.Lock()
         self.pta: "PeerTransportAgent | None" = None
         self._pollable: list[object] = []  # polling-mode PTs, set by the PTA
 
@@ -497,16 +501,18 @@ class Executive:
         Idempotent per ``(node, remote_tid)``.
         """
         check_tid(remote_tid)
-        existing = self._proxies.get((node, remote_tid, transport))
-        if existing is not None:
-            return existing
         if node == self.node:
             # A proxy for a local device is just the device itself.
             return remote_tid
-        tid = self.tids.allocate()
-        self._routes[tid] = Route(node=node, remote_tid=remote_tid, transport=transport)
-        self._proxies[(node, remote_tid, transport)] = tid
-        return tid
+        with self._route_lock:
+            existing = self._proxies.get((node, remote_tid, transport))
+            if existing is not None:
+                return existing
+            tid = self.tids.allocate()
+            self._routes[tid] = Route(
+                node=node, remote_tid=remote_tid, transport=transport)
+            self._proxies[(node, remote_tid, transport)] = tid
+            return tid
 
     def route_for(self, tid: Tid) -> Route | None:
         return self._routes.get(tid)
@@ -537,11 +543,12 @@ class Executive:
         check_tid(remote_tid)
         if node == self.node:
             raise AddressingError("cannot rebind a route to the local node")
-        self._proxies.pop((old.node, old.remote_tid, old.transport), None)
         new = Route(node=node, remote_tid=remote_tid, transport=transport)
-        self._routes[proxy_tid] = new
-        # Keep proxy idempotency pointing at the earliest binding.
-        self._proxies.setdefault((node, remote_tid, transport), proxy_tid)
+        with self._route_lock:
+            self._proxies.pop((old.node, old.remote_tid, old.transport), None)
+            self._routes[proxy_tid] = new
+            # Keep proxy idempotency pointing at the earliest binding.
+            self._proxies.setdefault((node, remote_tid, transport), proxy_tid)
         self.rebinds += 1
         logger.info(
             "node %s: rebound proxy %d: %s:%d -> %s:%d",
@@ -555,10 +562,11 @@ class Executive:
         if old is None:
             raise AddressingError(f"TiD {proxy_tid} is not a proxy")
         if not old.parked:
-            self._routes[proxy_tid] = Route(
-                node=old.node, remote_tid=old.remote_tid,
-                transport=old.transport, parked=True,
-            )
+            with self._route_lock:
+                self._routes[proxy_tid] = Route(
+                    node=old.node, remote_tid=old.remote_tid,
+                    transport=old.transport, parked=True,
+                )
             self.parks += 1
         return self._routes[proxy_tid]
 
@@ -568,10 +576,11 @@ class Executive:
         if old is None:
             raise AddressingError(f"TiD {proxy_tid} is not a proxy")
         if old.parked:
-            self._routes[proxy_tid] = Route(
-                node=old.node, remote_tid=old.remote_tid,
-                transport=old.transport,
-            )
+            with self._route_lock:
+                self._routes[proxy_tid] = Route(
+                    node=old.node, remote_tid=old.remote_tid,
+                    transport=old.transport,
+                )
         return self._routes[proxy_tid]
 
     def is_local(self, tid: Tid) -> bool:

@@ -67,6 +67,7 @@ from repro.i2o.tid import Tid
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.durable.segments import SegmentStore
+    from repro.flightrec.recorder import FlightRecorder
 
 XF_REL_DATA = 0xF001
 XF_REL_ACK = 0xF002
@@ -243,7 +244,7 @@ class ReliableEndpoint(Listener):
         return exe.node, target
 
     @property
-    def _flightrec(self):  # -> FlightRecorder | None
+    def _flightrec(self) -> "FlightRecorder | None":
         exe = self.executive
         return exe.flightrec if exe is not None else None
 

@@ -53,6 +53,10 @@ class PeerTransport(Listener):
     """
 
     device_class = "peer_transport"
+    #: Task-mode PTs account traffic from their own receive threads
+    #: and guard shared state with explicit locks, so the runtime
+    #: affinity guard skips them.
+    affinity_exempt = True
 
     def __init__(self, name: str = "", mode: str = "polling") -> None:
         if mode not in ("polling", "task"):

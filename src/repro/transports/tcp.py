@@ -179,7 +179,10 @@ class TcpTransport(PeerTransport):
             daemon=True,
         )
         reader.start()
-        self._readers.append(reader)
+        # Spawned from both the accept thread and (lazily, on first
+        # transmit) the dispatch thread; shutdown() joins the list.
+        with self._conn_lock:
+            self._readers.append(reader)
 
     def _reader_loop(self, sock: socket.socket) -> None:
         while not self._stop.is_set():

@@ -1,0 +1,44 @@
+"""Deliberately contract-violating dataflow code, seeded.
+
+The devices declare ``consumes``/``emits`` contracts that disagree
+with what their bodies do: one emits a registered message type it
+never declared (DFL002), the other binds a handler for a type its
+contract cannot see (DFL003).  CI lints this file with
+``--no-default-excludes --expect DFL002 --expect DFL003``.  Never
+import this module; never "fix" it.
+"""
+
+from __future__ import annotations
+
+XF_SEEDED_SAMPLE = 0x7F01
+XF_SEEDED_RESULT = 0x7F02
+
+MT_SEEDED_SAMPLE = message_type(  # noqa: F821 - lint-only, never imported
+    "seeded_sample", XF_SEEDED_SAMPLE
+)
+MT_SEEDED_RESULT = message_type(  # noqa: F821 - lint-only
+    "seeded_result", XF_SEEDED_RESULT
+)
+
+
+class UndeclaredEmitter(Listener):  # noqa: F821 - lint-only
+    """Declares only the input side, then emits an undeclared type."""
+
+    consumes = (MT_SEEDED_SAMPLE,)
+    emits = ()
+
+    def _on_seeded_sample(self, frame):
+        self.emit(MT_SEEDED_RESULT, payload=b"")  # DFL002: not in emits
+
+
+class MisboundSink(Listener):  # noqa: F821 - lint-only
+    """Binds a handler for a type its contract never mentions."""
+
+    consumes = (MT_SEEDED_RESULT,)
+    emits = ()
+
+    def on_plugin(self):
+        self.bind(XF_SEEDED_SAMPLE, self._on_stray)  # DFL003
+
+    def _on_stray(self, frame):
+        frame.release()

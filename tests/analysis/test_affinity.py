@@ -1,0 +1,136 @@
+"""The runtime thread-affinity guard (REPRO_AFFINITY).
+
+The static RACE001 rule flags cross-thread device mutation in the AST;
+this guard catches the same bug live: once the guard is installed and
+an executive's loop of control has run, assigning a device attribute
+from any thread that is neither the loop's owner nor the main thread
+raises :class:`AffinityViolationError`.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.analysis.sanitize import (
+    AffinityViolationError,
+    affinity_enabled,
+    install_affinity_guard,
+    uninstall_affinity_guard,
+)
+from repro.core.device import Listener
+from repro.core.executive import Executive
+from repro.transports.base import PeerTransport
+
+
+@pytest.fixture
+def guard():
+    install_affinity_guard()
+    try:
+        yield
+    finally:
+        uninstall_affinity_guard()
+
+
+def plugged_device(name: str = "dev") -> tuple[Executive, Listener]:
+    exe = Executive(node=0)
+    dev = Listener(name)
+    exe.install(dev)
+    exe.run_until_idle()  # records the owner thread via step()
+    return exe, dev
+
+
+def run_in_thread(fn) -> Exception | None:
+    caught: list[Exception] = []
+
+    def runner() -> None:
+        try:
+            fn()
+        except Exception as exc:  # noqa - relayed to the test thread
+            caught.append(exc)
+
+    thread = threading.Thread(target=runner, name="stray-mutator")
+    thread.start()
+    thread.join(timeout=5)
+    assert not thread.is_alive()
+    return caught[0] if caught else None
+
+
+class TestEnableSwitch:
+    def test_env_parsing(self, monkeypatch):
+        for value, expected in [("1", True), ("true", True), ("ON", True),
+                                ("0", False), ("", False)]:
+            monkeypatch.setenv("REPRO_AFFINITY", value)
+            assert affinity_enabled() is expected
+        monkeypatch.delenv("REPRO_AFFINITY")
+        assert not affinity_enabled()
+
+
+class TestViolations:
+    def test_cross_thread_mutation_raises(self, guard):
+        _exe, dev = plugged_device()
+
+        def mutate() -> None:
+            dev.last_frame = object()
+
+        exc = run_in_thread(mutate)
+        assert isinstance(exc, AffinityViolationError)
+        assert "last_frame" in str(exc)
+
+    def test_owner_thread_mutation_is_fine(self, guard):
+        exe = Executive(node=0)
+        dev = Listener("dev")
+        exe.install(dev)
+
+        def own_and_mutate() -> None:
+            exe.step()  # this thread becomes the owner
+            dev.last_frame = object()
+
+        assert run_in_thread(own_and_mutate) is None
+
+    def test_main_thread_mutation_is_fine(self, guard):
+        _exe, dev = plugged_device()
+        dev.last_frame = object()  # registration-time setup idiom
+
+    def test_unplugged_device_is_unguarded(self, guard):
+        dev = Listener("loose")
+        assert run_in_thread(lambda: setattr(dev, "x", 1)) is None
+
+    def test_lifecycle_attrs_are_exempt(self, guard):
+        exe, dev = plugged_device()
+
+        def replug() -> None:
+            dev.unplug()  # assigns executive/tid from a foreign thread
+
+        assert run_in_thread(replug) is None
+
+    def test_peer_transport_is_exempt(self, guard):
+        exe = Executive(node=0)
+        pt = PeerTransport("pt")
+        exe.install(pt)
+        exe.run_until_idle()
+
+        def account() -> None:
+            pt.frames_received += 1  # rx-thread accounting idiom
+
+        assert run_in_thread(account) is None
+
+
+class TestInstallation:
+    def test_install_is_idempotent_and_reversible(self):
+        plain_step = Executive.step
+        plain_setattr = Listener.__setattr__
+        install_affinity_guard()
+        install_affinity_guard()
+        assert Executive.step is not plain_step
+        uninstall_affinity_guard()
+        uninstall_affinity_guard()
+        assert Executive.step is plain_step
+        assert Listener.__setattr__ is plain_setattr
+
+    def test_uninstalled_guard_is_silent(self):
+        _exe, dev = plugged_device()
+        assert run_in_thread(
+            lambda: setattr(dev, "last_frame", object())
+        ) is None

@@ -4,6 +4,8 @@ from __future__ import annotations
 
 import json
 
+import pytest
+
 from repro.analysis.lint.__main__ import main
 
 CLEAN = "def f(pool):\n    block = pool.alloc(4)\n    block.release()\n"
@@ -93,6 +95,16 @@ class TestSeededFixtures:
             "tests/analysis/fixtures", "--no-default-excludes",
             "--no-baseline",
             "--expect", "OWN001", "--expect", "OWN002", "--expect", "OWN003",
+            "--expect", "RACE001", "--expect", "RACE002",
+            "--expect", "DFL002", "--expect", "DFL003",
+        ]) == 0
+
+    def test_interprocedural_fixtures_detected(self):
+        """Helper-mediated bugs: only the summaries can see these."""
+        assert main([
+            "tests/analysis/fixtures/seeded_interproc.py",
+            "--no-default-excludes", "--no-baseline",
+            "--expect", "OWN001", "--expect", "OWN002", "--expect", "OWN003",
         ]) == 0
 
     def test_fixtures_excluded_by_default(self, capsys):
@@ -106,3 +118,64 @@ class TestSeededFixtures:
     def test_checked_in_baseline_covers_tests(self):
         assert main(["src", "tests", "examples",
                      "--baseline", "analysis/baseline.json"]) == 0
+
+
+class TestParallelJobs:
+    def seed_tree(self, tmp_path):
+        # Enough files to cross the pool threshold, plus an
+        # interprocedural bug a summary-blind per-file pass would miss.
+        write(tmp_path, "ok1.py", CLEAN)
+        write(tmp_path, "ok2.py", CLEAN.replace("def f", "def g"))
+        write(tmp_path, "ok3.py", CLEAN.replace("def f", "def h"))
+        write(tmp_path, "ok4.py", CLEAN.replace("def f", "def i"))
+        return write(
+            tmp_path, "bad.py",
+            "def drop(frame):\n"
+            "    frame.release()\n"
+            "def f(pool):\n"
+            "    frame = pool.alloc(4)\n"
+            "    drop(frame)\n"
+            "    frame.release()\n",
+        )
+
+    def test_jobs_match_serial(self, tmp_path, capsys):
+        self.seed_tree(tmp_path)
+
+        def findings(jobs):
+            code = main([str(tmp_path), "--no-baseline",
+                         "--format", "json", "--jobs", jobs])
+            doc = json.loads(capsys.readouterr().out)
+            rendered = sorted(
+                (v["path"].rsplit("/", 1)[-1], v["line"], v["rule"])
+                for v in doc["violations"]
+            )
+            return code, rendered
+
+        serial = findings("1")
+        parallel = findings("4")
+        assert serial == parallel
+        assert serial[0] == 1
+        assert ("bad.py", 6, "OWN003") in serial[1]
+
+    def test_jobs_zero_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main([write(tmp_path, "ok.py", CLEAN), "--jobs", "0"])
+
+
+class TestRaceReport:
+    RACY = (
+        "class Dev(Listener):\n"
+        "    def on_plugin(self):\n"
+        "        threading.Thread(target=self._rx).start()\n"
+        "    def _rx(self):\n"
+        "        self.last = object()\n"
+    )
+
+    def test_artifact_has_only_concurrency_findings(self, tmp_path):
+        write(tmp_path, "racy.py", self.RACY)
+        write(tmp_path, "leaky.py", LEAKY)
+        out = tmp_path / "race-report.json"
+        main([str(tmp_path), "--no-baseline", "--race-report", str(out)])
+        doc = json.loads(out.read_text())
+        assert doc["findings"] == 1
+        assert {v["rule"] for v in doc["violations"]} == {"RACE001"}

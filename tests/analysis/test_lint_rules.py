@@ -406,6 +406,47 @@ class TestNoqaSuppression:
         ]
 
 
+class TestMultilineNoqa:
+    def test_noqa_anywhere_in_a_parenthesized_statement(self):
+        # The violation anchors inside the call; the noqa sits on the
+        # statement's first line.  Same statement, same suppression.
+        assert rules("""
+            def f(exe):
+                exe.frame_alloc(  # repro: noqa TID001
+                    0,
+                    target=42,
+                )
+        """) == []
+
+    def test_noqa_on_closing_line(self):
+        assert rules("""
+            def f(exe):
+                exe.frame_alloc(
+                    0,
+                    target=42,
+                )  # repro: noqa TID001
+        """) == []
+
+    def test_noqa_covers_a_decorator_stack(self):
+        # Compound statements suppress over their *header* — decorators
+        # through the def line — but never the body.
+        assert rules("""
+            @register(
+                exe.frame_alloc(0, target=42),
+            )  # repro: noqa TID001
+            def f(exe):
+                exe.frame_alloc(0, target=7)
+        """) == ["TID001"]
+
+    def test_noqa_does_not_leak_to_the_next_statement(self):
+        assert rules("""
+            def f(pool):
+                a = pool.alloc(10)
+                a.release()  # repro: noqa OWN003
+                a.release()
+        """) == ["OWN003"]
+
+
 class TestModuleLevelCode:
     def test_module_body_is_checked(self):
         violations = run("""

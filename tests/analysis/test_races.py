@@ -1,0 +1,126 @@
+"""RACE001/RACE002: thread-affinity race detection."""
+
+from __future__ import annotations
+
+import textwrap
+
+import pytest
+
+from repro.analysis import baseline
+from repro.analysis.lint import lint_source
+from repro.analysis.violations import Violation
+
+RX_DEVICE = """
+    class Dev(Listener):
+        def on_plugin(self):
+            threading.Thread(target=self._rx_loop).start()
+
+        def _rx_loop(self):
+            {body}
+"""
+
+
+def rules(source: str) -> list[str]:
+    report = lint_source(textwrap.dedent(source), "t.py")
+    assert report.parse_error is None
+    return [v.rule for v in report.violations if not v.suppressed]
+
+
+def rx_rules(body: str) -> list[str]:
+    return rules(RX_DEVICE.format(body=body))
+
+
+class TestRace001:
+    def test_device_attribute_store_from_rx(self):
+        assert rx_rules("self.last_frame = object()") == ["RACE001"]
+
+    def test_executive_mutation_from_rx(self):
+        assert rx_rules("self.executive.stats['rx'] = 1") == ["RACE001"]
+
+    def test_mutator_call_from_rx(self):
+        assert rx_rules("self.pending.append(1)") == ["RACE001"]
+
+    def test_same_store_from_dispatch_is_fine(self):
+        assert rules("""
+            class Dev(Listener):
+                def on_plugin(self):
+                    self.last_frame = None
+        """) == []
+
+    def test_lock_region_is_exempt(self):
+        assert rx_rules(
+            "with self._lock:\n                self.last_frame = object()"
+        ) == []
+
+    def test_counter_augassign_is_exempt(self):
+        # PT accounting idiom: rx threads bump their own counters.
+        assert rx_rules("self.frames_received += 1") == []
+
+    def test_executive_counter_is_not_exempt(self):
+        assert rx_rules("self.executive.drops += 1") == ["RACE001"]
+
+    def test_local_state_is_fine(self):
+        assert rx_rules("buf = []\n            buf.append(1)") == []
+
+    def test_noqa_suppresses(self):
+        assert rx_rules(
+            "self.last_frame = object()  # repro: noqa RACE001"
+        ) == []
+
+
+class TestRace002:
+    def test_module_state_from_rx(self):
+        assert rules("""
+            _SEEN: dict = {}
+
+            class Dev(Listener):
+                def on_plugin(self):
+                    threading.Thread(target=self._rx_loop).start()
+
+                def _rx_loop(self):
+                    _SEEN['x'] = 1
+        """) == ["RACE002"]
+
+    def test_class_attribute_from_rx(self):
+        assert rx_rules("Dev.instances = []") == ["RACE002"]
+
+    def test_shadowing_local_is_fine(self):
+        assert rules("""
+            _SEEN: dict = {}
+
+            class Dev(Listener):
+                def on_plugin(self):
+                    threading.Thread(target=self._rx_loop).start()
+
+                def _rx_loop(self):
+                    _SEEN = {}
+                    _SEEN['x'] = 1
+        """) == []
+
+    def test_module_state_from_dispatch_is_fine(self):
+        assert rules("""
+            _SEEN: dict = {}
+
+            class Dev(Listener):
+                def on_plugin(self):
+                    _SEEN['x'] = 1
+        """) == []
+
+
+class TestNeverBaselined:
+    @pytest.mark.parametrize("rule", ["RACE001", "RACE002"])
+    def test_save_refuses_race_rules(self, tmp_path, rule):
+        v = Violation(rule=rule, path="t.py", line=1, col=1,
+                      message="m", context="c", detail="d")
+        path = tmp_path / "baseline.json"
+        assert baseline.save(path, [v]) == 0  # nothing written
+
+    @pytest.mark.parametrize("rule", ["RACE001", "RACE002"])
+    def test_load_refuses_pinned_race_rules(self, tmp_path, rule):
+        path = tmp_path / "baseline.json"
+        path.write_text(
+            '{"version": 1, "entries": [{"path": "t.py", '
+            f'"rule": "{rule}", "count": 1}}]}}'
+        )
+        with pytest.raises(baseline.BaselineError):
+            baseline.load(path)

@@ -19,11 +19,24 @@ def pytest_addoption(parser):
         help="run the whole suite with the runtime pool sanitizer on "
         "(equivalent to REPRO_SANITIZE=1)",
     )
+    parser.addoption(
+        "--affinity",
+        action="store_true",
+        default=False,
+        help="run the whole suite with the thread-affinity guard on "
+        "(equivalent to REPRO_AFFINITY=1)",
+    )
 
 
 def pytest_configure(config):
     if config.getoption("--sanitize"):
         os.environ["REPRO_SANITIZE"] = "1"
+    if config.getoption("--affinity"):
+        os.environ["REPRO_AFFINITY"] = "1"
+    from repro.analysis.sanitize import affinity_enabled, install_affinity_guard
+
+    if affinity_enabled():
+        install_affinity_guard()
 
 
 def make_loopback_cluster(n_nodes: int) -> dict[int, Executive]:
