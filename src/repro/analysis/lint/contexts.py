@@ -15,6 +15,9 @@ sweep       ``sweep`` methods of ``PeriodicSweeper`` hosts (driven by
             the telemetry timer, also on the dispatch thread)
 rx-thread   a ``threading.Thread`` target that is *not* the dispatch
             loop: transport accept/reader threads
+sampler     a ``threading.Thread`` target that walks
+            ``sys._current_frames()`` (directly or through one
+            self-method hop): the profiler's observation thread
 main        ``main()`` entry points — the blessed control plane
 test        ``test_*`` functions
 ==========  =========================================================
@@ -22,7 +25,12 @@ test        ``test_*`` functions
 ``dispatch``/``timer``/``sweep`` are **dispatch-affine**: they all
 execute on the executive's loop thread and can never race each other.
 ``rx-thread`` is the dangerous one — RACE001/RACE002 fire only on
-mutations reachable from it.  Contexts propagate over the name-based
+mutations reachable from it or from ``sampler``.  ``sampler`` is
+recognised separately so the read-only frame walk is never mistaken
+for a transport reader: it is read-only *by contract*, which makes
+the race rules stricter there — even the ``+=`` stat-counter idiom
+the transports are allowed is a violation on a sampler thread.
+Contexts propagate over the name-based
 call graph (``self.m``, ``exe.m``/``self.executive.m``, and bare
 same-module calls) to a fixpoint; dynamically dispatched calls
 (``obj.m``) propagate nothing, so unregistered helpers stay
@@ -41,6 +49,7 @@ DISPATCH = "dispatch"
 TIMER = "timer"
 SWEEP = "sweep"
 RX = "rx-thread"
+SAMPLER = "sampler"
 MAIN = "main"
 TEST = "test"
 
@@ -101,6 +110,39 @@ def _drives_step(decl: "FunctionDecl") -> bool:
         if (isinstance(item, ast.Call)
                 and isinstance(item.func, ast.Attribute)
                 and item.func.attr == "step"):
+            return True
+    return False
+
+
+def _touches_current_frames(decl: "FunctionDecl") -> bool:
+    for item in _own_statements(decl.node):
+        if isinstance(item, ast.Attribute) and item.attr == "_current_frames":
+            return True
+    return False
+
+
+def _walks_frames(
+    decl: "FunctionDecl",
+    index: "ProjectIndex",
+    decls_by_key: dict[str, "FunctionDecl"],
+) -> bool:
+    """Is this thread target the sampler idiom — does it walk
+    ``sys._current_frames()`` itself, or through one self-method hop
+    (the ``_run`` → ``sample_once`` loop shape)?"""
+    if _touches_current_frames(decl):
+        return True
+    if decl.cls is None:
+        return False
+    for item in _own_statements(decl.node):
+        if not (isinstance(item, ast.Call)
+                and isinstance(item.func, ast.Attribute)
+                and isinstance(item.func.value, ast.Name)
+                and item.func.value.id in ("self", "cls")):
+            continue
+        key = index.resolve_method(
+            decl.cls, item.func.attr, prefer_path=decl.path)
+        callee = decls_by_key.get(key) if key is not None else None
+        if callee is not None and _touches_current_frames(callee):
             return True
     return False
 
@@ -178,6 +220,9 @@ def assign_contexts(
                     root = decls_by_key.get(key)
                     if root is not None and _drives_step(root):
                         contexts.setdefault(key, set()).add(DISPATCH)
+                    elif root is not None and _walks_frames(
+                            root, index, decls_by_key):
+                        contexts.setdefault(key, set()).add(SAMPLER)
                     else:
                         contexts.setdefault(key, set()).add(RX)
             # plain call edges for propagation
@@ -223,5 +268,5 @@ def assign_contexts(
 
 __all__ = [
     "DISPATCH", "DISPATCH_AFFINE", "LIFECYCLE_HOOKS", "MAIN", "RX",
-    "SWEEP", "TEST", "TIMER", "assign_contexts",
+    "SAMPLER", "SWEEP", "TEST", "TIMER", "assign_contexts",
 ]

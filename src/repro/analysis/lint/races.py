@@ -21,6 +21,15 @@ the executive's inbound queue (``post_inbound``) or hold a lock.
   any rx-thread writer races the dispatch thread *and* other readers
   of the same shared binding.
 
+The ``sampler`` context (a thread target that walks
+``sys._current_frames()`` — see :mod:`.contexts`) is scanned by both
+rules exactly like ``rx-thread``, with one tightening: the sampler is
+an *observer* and read-only by contract, so the ``+=`` stat-counter
+pass that transport rx threads enjoy does not apply — any mutation of
+device, executive or shared state from a sampler-reachable function
+is flagged.  Its own plain-object tallies (sample counters on the
+profiler itself) stay exempt as for any non-device object.
+
 Both are errors and never baselined: a data race does not age into
 acceptability.  Reachability comes from :mod:`.contexts`; functions
 with no classified context (or only main/test) are never flagged —
@@ -36,11 +45,14 @@ from repro.analysis.lint.callgraph import (
     EXECUTIVE_ATTRS,
     EXECUTIVE_NAMES,
 )
-from repro.analysis.lint.contexts import RX
+from repro.analysis.lint.contexts import RX, SAMPLER
 from repro.analysis.violations import Violation
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.analysis.lint.callgraph import ProjectIndex
+
+#: contexts whose functions get the race scan
+_RACY = frozenset({RX, SAMPLER})
 
 #: container methods that mutate their receiver in place
 MUTATORS = frozenset(
@@ -220,7 +232,7 @@ class _FunctionScan:
                 rule = "RACE001"
                 what = "executive state"
             elif index.is_listener(self.cls):
-                if counter:
+                if counter and SAMPLER not in self.contexts:
                     return  # accepted stat-counter accumulation
                 rule = "RACE001"
                 what = "device state"
@@ -233,10 +245,11 @@ class _FunctionScan:
             rule = "RACE002"
             what = f"shared {owner.kind}-level state"
         contexts = ",".join(sorted(self.contexts))
+        thread = "an rx-thread" if RX in self.contexts else "a sampler-thread"
         self.checker.report(
             rule, node,
-            f"{owner.detail!r} ({what}) mutated via {verb} from an "
-            f"rx-thread-reachable context [{contexts}] without a lock "
+            f"{owner.detail!r} ({what}) mutated via {verb} from "
+            f"{thread}-reachable context [{contexts}] without a lock "
             "or dispatch marshalling (post_inbound)",
             self.qualname, owner.detail,
         )
@@ -277,7 +290,7 @@ class RaceChecker(ast.NodeVisitor):
         qualname = ".".join(self._stack + [node.name])
         key = f"{self.path}::{qualname}"
         contexts = self.index.contexts.get(key, frozenset())
-        if RX in contexts:
+        if contexts & _RACY:
             cls = self._class[-1] if self._class else None
             _FunctionScan(self, qualname, cls, contexts).run(node)
         self._stack.append(node.name)

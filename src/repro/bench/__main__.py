@@ -99,6 +99,12 @@ def _backpressure() -> str:
     return run_backpressure().report()
 
 
+def _profile() -> str:
+    from repro.bench.profile import run_profile
+
+    return run_profile().report()
+
+
 EXPERIMENTS: dict[str, tuple[str, Callable[[], str]]] = {
     "fig6": ("Figure 6: blackbox ping-pong latencies", _fig6),
     "tab1": ("Table 1: whitebox stage breakdown", _tab1),
@@ -116,6 +122,8 @@ EXPERIMENTS: dict[str, tuple[str, Callable[[], str]]] = {
                   _flightrec),
     "backpressure": ("X10: queue depth under fan-out saturation",
                      _backpressure),
+    "profile": ("X11: continuous-profiling overhead on the native "
+                "ping-pong", _profile),
 }
 
 

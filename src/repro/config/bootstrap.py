@@ -81,7 +81,7 @@ class UnknownDeviceError(BootstrapError, KeyError):
 #: Every key :func:`bootstrap` understands at the top of a spec.
 SPEC_KEYS = frozenset({
     "transport", "nodes", "supervision", "telemetry", "durability",
-    "flight_recorder", "dataflow",
+    "flight_recorder", "dataflow", "profiling",
 })
 
 
@@ -103,6 +103,10 @@ class Cluster:
     snapshots: dict[str, Any] = field(default_factory=dict)
     #: node -> its FlightRecorder, when the spec asked for one
     flight_recorders: dict[int, Any] = field(default_factory=dict)
+    #: the cluster-wide SamplingProfiler, when the spec asked for one
+    profiler: Any = None
+    #: node -> its SlowFrameWatch, when the spec set a dispatch budget
+    slow_watches: dict[int, Any] = field(default_factory=dict)
     #: the static emits→consumes DAG, when the spec asked for dataflow
     dataflow_graph: Any = None
     #: the cluster-wide credit ledger, when dataflow backpressure is on
@@ -154,8 +158,12 @@ class Cluster:
     def start_all(self, poll_interval: float = 0.001) -> None:
         for exe in self.executives.values():
             exe.start(poll_interval=poll_interval)
+        if self.profiler is not None:
+            self.profiler.start()
 
     def stop_all(self) -> None:
+        if self.profiler is not None:
+            self.profiler.stop()
         for exe in self.executives.values():
             exe.stop()
 
@@ -249,6 +257,10 @@ def bootstrap(spec: dict[str, Any]) -> Cluster:
     flightrec = spec.get("flight_recorder")
     if flightrec is not None:
         _wire_flightrec(cluster, dict(flightrec))
+    profiling = spec.get("profiling")
+    if profiling is not None:
+        # After flight_recorder, so the slow-frame watch can spill.
+        _wire_profiling(cluster, dict(profiling))
     dataflow = spec.get("dataflow")
     if dataflow is not None:
         if not isinstance(dataflow, dict):
@@ -408,6 +420,69 @@ def _wire_flightrec(cluster: Cluster, conf: dict[str, Any]) -> None:
         )
         exe.attach_flight_recorder(recorder)
         cluster.flight_recorders[node] = recorder
+
+
+def _wire_profiling(cluster: Cluster, conf: dict[str, Any]) -> None:
+    """Arm the continuous-profiling kit per the spec section.
+
+    Spec section (all keys optional — see
+    :data:`repro.config.schema.PROFILING_SCHEMA`)::
+
+        "profiling": {
+            "sampling": True,           # stack sampler over loop threads
+            "hz": 97.0,                 # sampling rate
+            "max_depth": 48,            # frames per collapsed stack
+            "exemplars": True,          # trace ids on latency buckets
+            "dispatch_budget_ns": 0,    # slow-frame watch (0 = off)
+            "trace_budget_ns": 0,       # end-to-end budget (0 = off)
+            "spill_on_trip": True,      # spill flightrec on overrun
+            "max_spills": 4,            # spill cap per node
+        }
+
+    The sampler registers every executive (its loop thread is resolved
+    live at each tick, so ``start``/``stop``/restart of nodes needs no
+    re-wiring) but its thread only starts with
+    :meth:`Cluster.start_all` — in single-threaded pump loops call
+    ``cluster.profiler.watch_thread(node)`` then ``start()`` yourself.
+    """
+    from repro.config.schema import PROFILING_SCHEMA, SchemaError
+    from repro.core.executive import DISPATCH_LATENCY_BUCKETS_NS
+    from repro.profile.sampler import SamplingProfiler
+    from repro.profile.watch import SlowFrameWatch
+
+    try:
+        options = PROFILING_SCHEMA.validate_update(
+            {key: PROFILING_SCHEMA.spec(key).format(value)
+             if not isinstance(value, str) else value
+             for key, value in conf.items()}
+        )
+    except SchemaError as exc:
+        raise BootstrapError(f"bad profiling section: {exc}") from exc
+    merged = {spec.name: spec.default for spec in PROFILING_SCHEMA}
+    merged.update(options)
+    if bool(merged["sampling"]):
+        profiler = SamplingProfiler(
+            hz=float(merged["hz"]), max_depth=int(merged["max_depth"])
+        )
+        cluster.profiler = profiler
+        for exe in cluster.executives.values():
+            profiler.register(exe)
+    if bool(merged["exemplars"]):
+        for exe in cluster.executives.values():
+            exe.metrics.histogram(
+                "exe_dispatch_ns", DISPATCH_LATENCY_BUCKETS_NS
+            ).enable_exemplars()
+    budget = int(merged["dispatch_budget_ns"])
+    if budget:
+        for node in sorted(cluster.executives):
+            watch = SlowFrameWatch(
+                budget,
+                trace_budget_ns=int(merged["trace_budget_ns"]),
+                spill_on_trip=bool(merged["spill_on_trip"]),
+                max_spills=int(merged["max_spills"]),
+            )
+            watch.attach(cluster.executives[node])
+            cluster.slow_watches[node] = watch
 
 
 def _wire_telemetry(cluster: Cluster, conf: dict[str, Any]) -> None:

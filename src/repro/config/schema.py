@@ -192,6 +192,35 @@ FLIGHT_RECORDER_SCHEMA = ParamSchema([
               description="black-box ring capacity in records per node"),
 ])
 
+#: Typed schema for the bootstrap spec's ``profiling`` section
+#: (``repro.profile``): the sampling profiler, dispatch-histogram
+#: exemplar capture, and the slow-frame watchdog.
+PROFILING_SCHEMA = ParamSchema([
+    ParamSpec("sampling", bool, default=True,
+              description="run the sampling profiler thread over every "
+                          "executive loop thread"),
+    ParamSpec("hz", float, default=97.0, minimum=1.0, maximum=10_000.0,
+              description="stack sampling rate (prime-ish defaults "
+                          "avoid lockstep with periodic work)"),
+    ParamSpec("max_depth", int, default=48, minimum=1,
+              description="frames kept per collapsed stack"),
+    ParamSpec("exemplars", bool, default=True,
+              description="capture trace-id exemplars into the dispatch "
+                          "latency histogram (visible with telemetry "
+                          "metrics_timing on)"),
+    ParamSpec("dispatch_budget_ns", int, default=0, minimum=0,
+              description="slow-frame budget per dispatch; overruns "
+                          "record EV_SLOW_FRAME and spill the flight "
+                          "recorder (0 = watch off)"),
+    ParamSpec("trace_budget_ns", int, default=0, minimum=0,
+              description="end-to-end budget for whole traces, checked "
+                          "by the critical-path tooling (0 = off)"),
+    ParamSpec("spill_on_trip", bool, default=True,
+              description="spill the flight recorder on budget overrun"),
+    ParamSpec("max_spills", int, default=4, minimum=0,
+              description="cap on slow-frame spills per node"),
+])
+
 #: Typed schema for the bootstrap spec's ``dataflow`` section
 #: (``repro.dataflow``): route tables derived from the devices'
 #: consumes/emits declarations, plus backpressure tuning.

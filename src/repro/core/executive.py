@@ -31,7 +31,7 @@ from repro.core.device import RETAIN, Listener
 from repro.core.interrupts import InterruptController
 from repro.core.metrics import MetricsRegistry
 from repro.core.probes import Probes
-from repro.core.tracing import FrameTracer
+from repro.core.tracing import FrameTracer, is_trace_context
 from repro.core.queues import MessagingInstance
 from repro.core.registry import ModuleRegistry
 from repro.core.scheduler import PriorityScheduler
@@ -91,6 +91,8 @@ from repro.mem.pool import BufferPool, PoolExhausted
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.dataflow.routing import CreditLedger, DataflowOutbox
     from repro.flightrec.recorder import FlightRecorder
+    from repro.profile.sampler import DispatchSlot
+    from repro.profile.watch import SlowFrameWatch
     from repro.transports.agent import PeerTransportAgent
 
 logger = logging.getLogger(__name__)
@@ -281,6 +283,16 @@ class Executive:
         #: ``is None`` test (the tracer/flightrec off-mode discipline).
         self.dataflow: "CreditLedger | None" = None
         self.dataflow_outbox: "DataflowOutbox | None" = None
+        #: current-dispatch slot for the sampling profiler: the
+        #: dispatch loop publishes ``(target, function, xfunction)``
+        #: with one reference store per dispatch while a profiler is
+        #: attached; ``None`` keeps the hot path at one ``is None``
+        #: test (the tracer off-mode discipline).
+        self.profile: "DispatchSlot | None" = None
+        #: slow-frame watchdog: when set, a dispatch exceeding its
+        #: budget records EV_SLOW_FRAME and spills the flight
+        #: recorder; same ``is None`` off-mode contract.
+        self.slow_watch: "SlowFrameWatch | None" = None
 
         self.tids = TidAllocator()
         self.scheduler = PriorityScheduler()
@@ -938,21 +950,27 @@ class Executive:
         tracer = self.tracer
         timed = self.metrics.timing
         fr = self.flightrec
-        if tracer is not None or timed or fr is not None:
+        sw = self.slow_watch
+        prof = self.profile
+        if prof is not None:
+            # Publish the dispatch context for the sampler thread: one
+            # reference store of an immutable tuple, read racily but
+            # atomically from the sampler side.
+            prof.current = (frame.target, frame.function, frame.xfunction)
+        if tracer is not None or timed or fr is not None or sw is not None:
             start_ns = self.clock.now_ns()
             token = tracer.begin_dispatch(frame, start_ns) if tracer else None
-        else:
-            start_ns, token = 0, None
-        if fr is not None:
             # Snapshot before dispatch: the handler may free the frame,
             # after which reading it is a use-after-free.
             dispatch_ctx = frame.transaction_context
             dispatch_hdr = pack3(frame.target, frame.function, frame.xfunction)
+        else:
+            start_ns, token = 0, None
+            dispatch_ctx = dispatch_hdr = 0
+        if fr is not None:
             fr.record(
                 EV_DISPATCH_BEGIN, dispatch_ctx, dispatch_hdr, t_ns=start_ns
             )
-        else:
-            dispatch_ctx = dispatch_hdr = 0
         try:
             with self.probes.measure("demultiplex"):
                 device = self._devices.get(frame.target)
@@ -960,6 +978,8 @@ class Executive:
                     # Device vanished between queueing and dispatch.
                     self._release_frame(frame)
                     self.dropped += 1
+                    if prof is not None:
+                        prof.current = None
                     if tracer is not None:
                         tracer.end_dispatch(token, self.clock.now_ns())
                     if fr is not None:
@@ -1020,17 +1040,27 @@ class Executive:
         with self.probes.measure("postprocess"):
             if result is not RETAIN:
                 self.frame_free(frame)
-        if tracer is not None or timed or fr is not None:
+        if prof is not None:
+            prof.current = None
+        if tracer is not None or timed or fr is not None or sw is not None:
             end_ns = self.clock.now_ns()
+            elapsed = end_ns - start_ns
             if tracer is not None:
                 tracer.end_dispatch(token, end_ns)
             if timed:
-                self._dispatch_hist.observe(end_ns - start_ns)
+                # Traced dispatches pin their trace id to the latency
+                # bucket they land in (OpenMetrics exemplars).
+                self._dispatch_hist.observe(
+                    elapsed,
+                    dispatch_ctx if is_trace_context(dispatch_ctx) else 0,
+                )
             if fr is not None:
                 fr.record(
                     EV_DISPATCH_END, dispatch_ctx, dispatch_hdr,
-                    end_ns - start_ns, t_ns=end_ns,
+                    elapsed, t_ns=end_ns,
                 )
+            if sw is not None and elapsed > sw.budget_ns:
+                sw.note(dispatch_ctx, dispatch_hdr, elapsed, end_ns)
         return True
 
     def _send_failure_reply(self, request: Frame) -> None:

@@ -26,7 +26,9 @@ endpoint), ``hb_``/``peer_`` (liveness), ``trace_`` (frame tracer).
 from __future__ import annotations
 
 import re
+import time
 from bisect import bisect_left
+from dataclasses import dataclass
 from typing import Callable, Iterable, Mapping
 
 from repro.i2o.errors import I2OError
@@ -93,6 +95,24 @@ class Gauge:
         return self._value
 
 
+@dataclass(frozen=True, slots=True)
+class Exemplar:
+    """One slow-observation exemplar pinned to a histogram bucket.
+
+    Carries the trace id of a concrete observation that landed in the
+    bucket, so a p99 spike in the exposition links straight to a
+    stitched trace (``TelemetryCollector.timeline``) or a flight-
+    recorder dump — the OpenMetrics exemplar model.
+    """
+
+    trace_id: int
+    value: float
+    ts: float
+
+    def labels(self) -> dict[str, str]:
+        return {"trace_id": format(self.trace_id, "x")}
+
+
 class Histogram:
     """Fixed-bucket histogram with inclusive upper bounds.
 
@@ -101,9 +121,15 @@ class Histogram:
     places ``v`` in the first bucket whose bound is >= v (Prometheus
     ``le`` semantics), tracked per-bucket; the snapshot export is
     *cumulative*, matching the Prometheus text format.
+
+    Exemplar capture is opt-in (:meth:`enable_exemplars`): when on,
+    ``observe(v, exemplar=trace_id)`` remembers the latest exemplar
+    per bucket — one slot per bucket, overwrite-newest, so the memory
+    cost is fixed and the hot path pays one slot store only for
+    observations that actually carry a trace id.
     """
 
-    __slots__ = ("name", "buckets", "counts", "count", "sum")
+    __slots__ = ("name", "buckets", "counts", "count", "sum", "exemplars")
 
     def __init__(self, name: str, buckets: Iterable[float]) -> None:
         bounds = list(buckets)
@@ -114,11 +140,33 @@ class Histogram:
         self.counts = [0] * (len(bounds) + 1)  # last slot is +Inf
         self.count = 0
         self.sum = 0.0
+        self.exemplars: list[Exemplar | None] | None = None
 
-    def observe(self, value: float) -> None:
-        self.counts[bisect_left(self.buckets, value)] += 1
+    def enable_exemplars(self) -> None:
+        """Start capturing per-bucket exemplars (idempotent)."""
+        if self.exemplars is None:
+            self.exemplars = [None] * (len(self.buckets) + 1)
+
+    def observe(self, value: float, exemplar: int = 0) -> None:
+        index = bisect_left(self.buckets, value)
+        self.counts[index] += 1
         self.count += 1
         self.sum += value
+        if exemplar and self.exemplars is not None:
+            self.exemplars[index] = Exemplar(exemplar, value, time.time())
+
+    def exemplar_for(self, bound: float) -> Exemplar | None:
+        """Latest exemplar of the bucket with upper bound ``bound``
+        (``inf`` for the overflow bucket); ``None`` when capture is
+        off or the bucket never saw a traced observation."""
+        if self.exemplars is None:
+            return None
+        if bound == float("inf"):
+            return self.exemplars[-1]
+        index = bisect_left(self.buckets, bound)
+        if index == len(self.buckets) or self.buckets[index] != bound:
+            raise I2OError(f"histogram {self.name!r} has no bucket le={bound}")
+        return self.exemplars[index]
 
     def bucket_count(self, bound: float) -> int:
         """Non-cumulative count of the bucket with upper bound ``bound``."""
@@ -230,8 +278,31 @@ class MetricsRegistry:
         return out
 
     def render_prometheus(self, labels: Mapping[str, object] | None = None) -> str:
-        """This registry's snapshot in the Prometheus text format."""
+        """This registry's snapshot in the Prometheus text format.
+
+        Plain Prometheus mode: exemplars are *omitted* — the classic
+        text parser chokes on the ``#`` exemplar suffix.  Use
+        :meth:`render_openmetrics` to expose them.
+        """
         return "\n".join(prometheus_lines(self.snapshot(), labels or {})) + "\n"
+
+    def render_openmetrics(
+        self, labels: Mapping[str, object] | None = None
+    ) -> str:
+        """The snapshot in OpenMetrics text format, exemplars included.
+
+        Histogram bucket lines carry their latest captured exemplar in
+        the OpenMetrics syntax (``... # {trace_id="..."} value ts``),
+        linking a slow bucket straight to a stitched trace id; every
+        other instrument renders exactly as in Prometheus mode.  Ends
+        with the mandatory ``# EOF`` terminator.
+        """
+        return "\n".join(
+            openmetrics_lines(
+                self.snapshot(), labels or {},
+                list(self._histograms.values()),
+            )
+        ) + "\n"
 
 
 def prometheus_lines(
@@ -256,6 +327,62 @@ def prometheus_lines(
             suffix = f"{{{base}}}" if base else ""
             lines.append(f"repro_{key}{suffix} {_fmt_value(value)}")
     return lines
+
+
+def openmetrics_lines(
+    flat: Mapping[str, float],
+    labels: Mapping[str, object],
+    histograms: Iterable[Histogram] = (),
+) -> list[str]:
+    """Render a flat snapshot in OpenMetrics text format.
+
+    Identical line shape to :func:`prometheus_lines` except that label
+    values are escaped per the OpenMetrics ABNF, bucket lines whose
+    histogram captured an exemplar grow the
+    `` # {trace_id="..."} value timestamp`` suffix, and the exposition
+    ends with ``# EOF``.
+    """
+    by_name = {h.name: h for h in histograms}
+    base = ",".join(
+        f'{k}="{openmetrics_escape(str(v))}"' for k, v in labels.items()
+    )
+    lines: list[str] = []
+    for key in sorted(flat, key=_bucket_sort_key):
+        value = flat[key]
+        name, sep, bound = key.partition("_bucket_le_")
+        if sep:
+            le = "+Inf" if bound == "inf" else bound.replace("p", ".").replace("m", "-")
+            labelset = f'{base},le="{le}"' if base else f'le="{le}"'
+            line = f"repro_{name}_bucket{{{labelset}}} {_fmt_value(value)}"
+            hist = by_name.get(name)
+            if hist is not None:
+                numeric = float("inf") if bound == "inf" else float(
+                    bound.replace("p", ".").replace("m", "-")
+                )
+                ex = hist.exemplar_for(numeric)
+                if ex is not None:
+                    line += _exemplar_suffix(ex)
+            lines.append(line)
+        else:
+            suffix = f"{{{base}}}" if base else ""
+            lines.append(f"repro_{key}{suffix} {_fmt_value(value)}")
+    lines.append("# EOF")
+    return lines
+
+
+def openmetrics_escape(value: str) -> str:
+    """Escape a label value per the OpenMetrics exposition ABNF:
+    backslash, double-quote and newline, in that order."""
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _exemplar_suffix(ex: Exemplar) -> str:
+    pairs = ",".join(
+        f'{k}="{openmetrics_escape(v)}"' for k, v in ex.labels().items()
+    )
+    return f" # {{{pairs}}} {_fmt_value(ex.value)} {ex.ts:.3f}"
 
 
 def _bucket_sort_key(key: str) -> tuple[str, float, str]:

@@ -47,6 +47,7 @@ EV_HARD_STOP            0                      0                   0
 EV_DATAFLOW_SHED        pack3(node,tid,xfn)    outbox backlog      0
 EV_DATAFLOW_PARK        pack3(node,tid,xfn)    outbox backlog      0
 EV_DATAFLOW_RESUME      pack3(node,tid,xfn)    outbox backlog      0
+EV_SLOW_FRAME           ctx                    pack3(tgt,fn,xfn)   duration_ns
 ======================  =====================  ==================  ============
 """
 
@@ -87,6 +88,7 @@ EV_HARD_STOP = 20
 EV_DATAFLOW_SHED = 21
 EV_DATAFLOW_PARK = 22
 EV_DATAFLOW_RESUME = 23
+EV_SLOW_FRAME = 24
 
 KIND_NAMES: dict[int, str] = {
     EV_DISPATCH_BEGIN: "dispatch-begin",
@@ -112,6 +114,7 @@ KIND_NAMES: dict[int, str] = {
     EV_DATAFLOW_SHED: "dataflow-shed",
     EV_DATAFLOW_PARK: "dataflow-park",
     EV_DATAFLOW_RESUME: "dataflow-resume",
+    EV_SLOW_FRAME: "slow-frame",
 }
 
 #: EV_LIVENESS state codes (b argument)
@@ -218,6 +221,13 @@ class FlightRecord:
             return f"{self.kind_name:<16} quarantined=tid{a}"
         if k == EV_SANITIZER:
             return f"{self.kind_name:<16} {SANITIZER_NAMES.get(a, f'code{a}')}"
+        if k == EV_SLOW_FRAME:
+            target, function, xfunction = unpack3(b)
+            return (
+                f"{self.kind_name:<16} ctx={a:#x} tid={target} "
+                f"fn={function_name(function)} xfn={xfunction:#06x} "
+                f"took={c}ns"
+            )
         if k in (EV_DATAFLOW_SHED, EV_DATAFLOW_PARK, EV_DATAFLOW_RESUME):
             node, tid, xfunction = unpack3(a)
             return (

@@ -1,0 +1,41 @@
+"""Continuous profiling and latency attribution.
+
+Three instruments answering "why is p99 slow?" from one command:
+
+* :mod:`repro.profile.sampler` — a background thread walks
+  ``sys._current_frames()`` for registered executive loop threads at a
+  configurable rate, attributing each sample to the dispatch context
+  the executive publishes (node, device TiD, message type) and
+  aggregating collapsed-stack counts for flamegraph rendering;
+* :mod:`repro.profile.critical` — decomposes an end-to-end traced
+  frame lifetime into named per-hop segments (queue-wait, dispatch,
+  encode, wire, journal, ack), reports per-segment p50/p99 and names
+  the dominant hop and segment of slow traces;
+* :mod:`repro.profile.watch` — a slow-frame watchdog: a dispatch
+  exceeding its budget records an ``EV_SLOW_FRAME`` flight-recorder
+  event and spills the ring, capturing the incident without a crash.
+
+All three follow the tracer's off-mode discipline: an executive
+without a profiler attached pays exactly one ``is None`` test per
+dispatch.  ``python -m repro.profile`` runs the whole kit against the
+traced 4-node event builder.
+"""
+
+from repro.profile.critical import (
+    SEGMENTS,
+    CriticalPathAnalyzer,
+    HopBreakdown,
+    TracePath,
+)
+from repro.profile.sampler import DispatchSlot, SamplingProfiler
+from repro.profile.watch import SlowFrameWatch
+
+__all__ = [
+    "SEGMENTS",
+    "CriticalPathAnalyzer",
+    "DispatchSlot",
+    "HopBreakdown",
+    "SamplingProfiler",
+    "SlowFrameWatch",
+    "TracePath",
+]

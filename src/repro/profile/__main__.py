@@ -1,0 +1,173 @@
+"""``python -m repro.profile`` — profile the traced event builder.
+
+Boots the 4-node event-builder acceptance topology (trigger + EVM,
+two readout units, one builder unit) with tracing, metrics timing and
+the sampling profiler armed, drives a stream of events through it on
+native executive threads, then emits:
+
+* a collapsed-stack flamegraph input (``--out``, default stdout) whose
+  root frames attribute every sample to node + device + message type;
+* the top-N hot dispatch contexts by sample count;
+* a critical-path report decomposing the slowest traces hop by hop and
+  naming each hop's dominant segment (``--json`` for the raw data).
+
+Feed the collapsed stacks straight to ``flamegraph.pl`` or any
+speedscope-compatible viewer.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.config.bootstrap import bootstrap
+from repro.core.metrics import openmetrics_lines
+from repro.dataflow.examples import event_builder_spec
+from repro.profile.critical import CriticalPathAnalyzer
+from repro.profile.sampler import context_label
+
+
+def build_cluster(hz: float, budget_ns: int):
+    spec = event_builder_spec(2, 1)
+    spec["telemetry"] = {
+        "tracing": True,
+        "trace_capacity": 4096,
+        "metrics_timing": True,
+        "collector_node": 0,
+    }
+    spec["profiling"] = {"hz": hz, "dispatch_budget_ns": budget_ns}
+    return bootstrap(spec)
+
+
+def _drive_threaded(
+    cluster, events: int, duration: float, interval_ns: int
+) -> int:
+    """Run the cluster on native threads until ``events`` triggers
+    complete (or ``duration`` seconds pass).  The trigger self-drives
+    on the I2O timer, so every fire happens on node 0's loop thread —
+    the main thread only watches; returns events fired."""
+    trigger = cluster.device("trigger")
+    evm = cluster.device("evm")
+    trigger.max_events = events
+    trigger.parameters["interval_ns"] = str(interval_ns)
+    trigger.on_enable()
+    cluster.start_all()
+    try:
+        deadline = time.monotonic() + duration
+        while evm.completed < events and time.monotonic() < deadline:
+            time.sleep(0.002)
+        trigger.on_quiesce()
+        # Collect: one sweep, then wait for every node to report.
+        collector = cluster.collector
+        collector.sweep()
+        waited = time.monotonic()
+        while (len(collector.node_metrics) < len(cluster.executives)
+               and time.monotonic() - waited < 5.0):
+            time.sleep(0.005)
+    finally:
+        cluster.stop_all()
+    return trigger.fired
+
+
+def _drive_sync(cluster, events: int) -> int:
+    """Deterministic single-threaded drive: everything (including the
+    sampled 'loop threads') runs on the calling thread."""
+    profiler = cluster.profiler
+    if profiler is not None:
+        for node in cluster.executives:
+            profiler.watch_thread(node)
+        profiler.start()
+    try:
+        cluster.device("trigger").fire_burst(events)
+        cluster.pump()
+        cluster.collector.sweep()
+        cluster.pump()
+    finally:
+        if profiler is not None:
+            profiler.stop()
+    return events
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.profile", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument("--events", type=int, default=200,
+                        help="events to push through the builder")
+    parser.add_argument("--interval-ns", type=int, default=2_000_000,
+                        help="trigger self-drive period (threaded mode)")
+    parser.add_argument("--duration", type=float, default=5.0,
+                        help="wall-clock cap for the threaded run (s)")
+    parser.add_argument("--hz", type=float, default=487.0,
+                        help="sampling rate (high: the run is short)")
+    parser.add_argument("--budget-ns", type=int, default=0,
+                        help="slow-frame dispatch budget (0 = watch off)")
+    parser.add_argument("--sync", action="store_true",
+                        help="single-threaded deterministic drive")
+    parser.add_argument("--top", type=int, default=10,
+                        help="hot contexts / slow traces to show")
+    parser.add_argument("--out", metavar="FILE",
+                        help="write collapsed stacks here (default stdout)")
+    parser.add_argument("--json", metavar="FILE",
+                        help="write the critical-path JSON report here")
+    parser.add_argument("--metrics", action="store_true",
+                        help="also print node 0's OpenMetrics exposition "
+                             "(exemplar-bearing buckets included)")
+    args = parser.parse_args(argv)
+
+    cluster = build_cluster(args.hz, args.budget_ns)
+    if args.sync:
+        fired = _drive_sync(cluster, args.events)
+    else:
+        fired = _drive_threaded(
+            cluster, args.events, args.duration, args.interval_ns
+        )
+    evm = cluster.device("evm")
+    profiler = cluster.profiler
+    print(f"# events: fired={fired} completed={evm.completed}")
+    print(f"# samples: {sum(profiler.node_samples.values())} over "
+          f"{profiler.ticks} tick(s) at {args.hz:g} Hz")
+
+    collapsed = profiler.collapsed()
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write("\n".join(collapsed) + "\n")
+        print(f"# collapsed stacks: {len(collapsed)} -> {args.out}")
+    else:
+        print(f"# --- collapsed stacks ({len(collapsed)}) ---")
+        for line in collapsed:
+            print(line)
+
+    print(f"# --- top {args.top} hot contexts ---")
+    for node, ctx, count in profiler.hot_contexts(args.top):
+        print(f"{count:>8}  node{node}  {context_label(ctx)}")
+
+    analyzer = CriticalPathAnalyzer(cluster.collector)
+    paths = analyzer.paths()
+    print(analyzer.report(paths, top=args.top))
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            fh.write(analyzer.to_json(paths))
+        print(f"# critical-path JSON -> {args.json}")
+
+    if args.metrics:
+        exe = cluster.executive(0)
+        print("# --- node 0 OpenMetrics exposition ---")
+        print("\n".join(
+            openmetrics_lines(
+                exe.metrics.snapshot(), {"node": 0},
+                list(exe.metrics._histograms.values()),
+            )
+        ))
+
+    for node, watch in sorted(cluster.slow_watches.items()):
+        if watch.trips:
+            print(f"# slow frames: node{node} tripped {watch.trips}x "
+                  f"(spilled {watch.spills}x)")
+    return 0 if evm.completed else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

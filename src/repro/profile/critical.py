@@ -1,0 +1,354 @@
+"""Per-hop critical-path decomposition of traced frame lifetimes.
+
+Input is the stitched cross-node trace the telemetry collector already
+holds (PR 2): per-hop queue-wait and dispatch durations on a shared
+clock domain.  This module turns one trace into a :class:`TracePath` —
+an ordered list of hops, each broken into named segments — and a set
+of traces into per-segment p50/p99 plus the dominant hop of the slow
+ones.
+
+Segment taxonomy (DESIGN §13 carries the full table):
+
+==========  ============================================================
+segment     covers
+==========  ============================================================
+queue-wait  scheduler entry → dispatch start on the hop's node
+dispatch    the handler upcall itself
+encode      previous hop's dispatch end → ``frame-transmit`` (header
+            serialisation, transport staging); needs flightrec records
+wire        ``frame-transmit`` → ``frame-ingest`` on the next node;
+            needs flightrec records
+transit     inter-hop gap not attributable to encode/wire (the whole
+            gap when no flight-recorder dump is supplied)
+journal     ``rel-send`` → ``journal-commit`` on the sending node
+            (inside the encode window; reported, not double-counted)
+ack         ``frame-transmit`` → ``rel-ack`` back on the sender
+            (feedback path, off the forward critical path)
+==========  ============================================================
+
+``queue-wait + dispatch + encode + wire + transit`` over all hops sums
+to the end-to-end lifetime; ``journal`` and ``ack`` are overlapping
+diagnostics, never added to the total.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterable, Mapping
+
+from repro.flightrec.records import (
+    EV_FRAME_INGEST,
+    EV_FRAME_TRANSMIT,
+    EV_JOURNAL_COMMIT,
+    EV_REL_ACK,
+    EV_REL_SEND,
+)
+from repro.i2o.errors import I2OError
+from repro.profile.sampler import context_label
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.telemetry import TelemetryCollector
+    from repro.flightrec.timeline import MergedTimeline
+
+#: Every segment name the decomposition can emit, report order.
+SEGMENTS: tuple[str, ...] = (
+    "queue-wait", "dispatch", "encode", "wire", "transit",
+    "journal", "ack",
+)
+
+#: Segments that sum to the end-to-end lifetime (the rest overlap).
+ADDITIVE_SEGMENTS: tuple[str, ...] = (
+    "queue-wait", "dispatch", "encode", "wire", "transit",
+)
+
+
+@dataclass
+class HopBreakdown:
+    """One dispatch hop of a trace, decomposed into segments."""
+
+    node: int
+    tid: int
+    function: int
+    xfunction: int
+    start_ns: int
+    segments: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def label(self) -> str:
+        return context_label((self.tid, self.function, self.xfunction))
+
+    @property
+    def total_ns(self) -> int:
+        return sum(self.segments.get(s, 0) for s in ADDITIVE_SEGMENTS)
+
+    @property
+    def dominant(self) -> tuple[str, int]:
+        """The segment owning most of this hop's additive time."""
+        best = max(
+            ADDITIVE_SEGMENTS, key=lambda s: self.segments.get(s, 0)
+        )
+        return best, self.segments.get(best, 0)
+
+
+@dataclass
+class TracePath:
+    """One end-to-end trace as an ordered hop decomposition."""
+
+    trace_id: int
+    total_ns: int
+    hops: list[HopBreakdown]
+
+    @property
+    def dominant_hop(self) -> tuple[int, HopBreakdown]:
+        if not self.hops:
+            raise I2OError(f"trace {self.trace_id:#x} has no hops")
+        index = max(
+            range(len(self.hops)), key=lambda i: self.hops[i].total_ns
+        )
+        return index, self.hops[index]
+
+
+class CriticalPathAnalyzer:
+    """Decompose stitched traces and aggregate segment statistics."""
+
+    def __init__(self, collector: "TelemetryCollector | None" = None) -> None:
+        self.collector = collector
+
+    # -- single-trace decomposition -----------------------------------------
+    def path(
+        self,
+        trace_id: int,
+        timeline: "Iterable[Mapping[str, int]] | None" = None,
+        merged: "MergedTimeline | None" = None,
+    ) -> TracePath:
+        """Decompose one trace.
+
+        ``timeline`` defaults to the collector's stitched hop list;
+        ``merged`` (a flight-recorder :class:`MergedTimeline`) refines
+        the inter-hop gaps into encode/wire and attributes journal and
+        ack latencies.
+        """
+        if timeline is None:
+            if self.collector is None:
+                raise I2OError("no collector and no timeline supplied")
+            timeline = self.collector.timeline(trace_id)
+        hops: list[HopBreakdown] = []
+        prev_end = 0
+        for i, hop in enumerate(timeline):
+            enqueue = hop["start_ns"] - hop["queue_wait_ns"]
+            breakdown = HopBreakdown(
+                node=hop["node"],
+                tid=hop["tid"],
+                function=hop["function"],
+                xfunction=hop["xfunction"],
+                start_ns=hop["start_ns"],
+                segments={
+                    "queue-wait": hop["queue_wait_ns"],
+                    "dispatch": hop["dispatch_ns"],
+                },
+            )
+            if i > 0:
+                breakdown.segments["transit"] = max(0, enqueue - prev_end)
+            hops.append(breakdown)
+            prev_end = hop["start_ns"] + hop["dispatch_ns"]
+        if not hops:
+            return TracePath(trace_id=trace_id, total_ns=0, hops=[])
+        first_enqueue = hops[0].start_ns - hops[0].segments["queue-wait"]
+        total = prev_end - first_enqueue
+        path = TracePath(trace_id=trace_id, total_ns=total, hops=hops)
+        if merged is not None:
+            self._refine(path, merged)
+        return path
+
+    def _refine(self, path: TracePath, merged: "MergedTimeline") -> None:
+        """Split transit into encode/wire and attribute journal/ack
+        using the merged flight-recorder record stream."""
+        ctx_events = merged.trace(path.trace_id)
+        for i in range(1, len(path.hops)):
+            prev, hop = path.hops[i - 1], path.hops[i]
+            if hop.node == prev.node or "transit" not in hop.segments:
+                continue
+            prev_end = prev.start_ns + prev.segments["dispatch"]
+            enqueue = hop.start_ns - hop.segments["queue-wait"]
+            transmit = ingest = None
+            for event in ctx_events:
+                t = event.record.t_ns
+                if not prev_end <= t <= enqueue:
+                    continue
+                if (event.record.kind == EV_FRAME_TRANSMIT
+                        and event.node == prev.node and transmit is None):
+                    transmit = event
+                elif (event.record.kind == EV_FRAME_INGEST
+                        and event.node == hop.node and ingest is None):
+                    ingest = event
+            if transmit is None or ingest is None:
+                continue
+            encode = max(0, transmit.record.t_ns - prev_end)
+            wire = max(0, ingest.record.t_ns - transmit.record.t_ns)
+            residual = max(0, hop.segments["transit"] - encode - wire)
+            hop.segments.update(
+                {"encode": encode, "wire": wire, "transit": residual}
+            )
+            self._attribute_reliable(
+                hop, merged, prev.node, prev_end, enqueue
+            )
+
+    @staticmethod
+    def _attribute_reliable(
+        hop: HopBreakdown,
+        merged: "MergedTimeline",
+        sender: int,
+        window_start: int,
+        window_end: int,
+    ) -> None:
+        """Journal-commit and ack latency of the reliable send that
+        carried this hop's frame, matched by seq within the window."""
+        send_t: dict[int, int] = {}
+        for event in merged.events:
+            record = event.record
+            if event.node != sender:
+                continue
+            t = record.t_ns
+            if record.kind == EV_REL_SEND and \
+                    window_start <= t <= window_end:
+                send_t.setdefault(record.a, t)
+            elif record.kind == EV_JOURNAL_COMMIT and record.a in send_t:
+                hop.segments["journal"] = max(
+                    hop.segments.get("journal", 0), t - send_t[record.a]
+                )
+            elif record.kind == EV_REL_ACK and record.a in send_t:
+                hop.segments["ack"] = max(
+                    hop.segments.get("ack", 0), t - send_t[record.a]
+                )
+
+    # -- aggregation ---------------------------------------------------------
+    def paths(
+        self, merged: "MergedTimeline | None" = None
+    ) -> list[TracePath]:
+        """Every stitched trace the collector holds, decomposed."""
+        if self.collector is None:
+            raise I2OError("analyzer has no collector to enumerate traces")
+        return [
+            self.path(trace_id, merged=merged)
+            for trace_id in self.collector.trace_ids()
+        ]
+
+    @staticmethod
+    def segment_quantiles(
+        paths: Iterable[TracePath],
+    ) -> dict[str, dict[str, int]]:
+        """Exact per-segment p50/p99 across every hop of every path."""
+        values: dict[str, list[int]] = {}
+        for path in paths:
+            for hop in path.hops:
+                for segment, ns in hop.segments.items():
+                    values.setdefault(segment, []).append(ns)
+        out: dict[str, dict[str, int]] = {}
+        for segment in SEGMENTS:
+            samples = sorted(values.get(segment, ()))
+            if not samples:
+                continue
+            out[segment] = {
+                "count": len(samples),
+                "p50": _quantile(samples, 0.50),
+                "p99": _quantile(samples, 0.99),
+                "max": samples[-1],
+            }
+        return out
+
+    @staticmethod
+    def slowest(paths: Iterable[TracePath], top: int = 5) -> list[TracePath]:
+        return sorted(paths, key=lambda p: p.total_ns, reverse=True)[:top]
+
+    # -- rendering -----------------------------------------------------------
+    def report(
+        self,
+        paths: "list[TracePath] | None" = None,
+        merged: "MergedTimeline | None" = None,
+        top: int = 3,
+    ) -> str:
+        """Human-readable critical-path report: segment quantiles, then
+        the slowest traces hop by hop with each hop's dominant segment."""
+        if paths is None:
+            paths = self.paths(merged=merged)
+        lines = [f"=== critical path: {len(paths)} trace(s) ==="]
+        quantiles = self.segment_quantiles(paths)
+        if quantiles:
+            lines.append(
+                f"{'segment':<12}{'count':>8}{'p50_ns':>12}"
+                f"{'p99_ns':>12}{'max_ns':>12}"
+            )
+            for segment, stats in quantiles.items():
+                lines.append(
+                    f"{segment:<12}{stats['count']:>8}{stats['p50']:>12}"
+                    f"{stats['p99']:>12}{stats['max']:>12}"
+                )
+        for path in self.slowest(paths, top):
+            lines.append(
+                f"--- trace {path.trace_id:x}: total {path.total_ns} ns, "
+                f"{len(path.hops)} hop(s) ---"
+            )
+            lines.append(
+                f"{'hop':>4} {'node':>5} {'message':<28}"
+                f"{'queue-wait':>11}{'dispatch':>10}{'transit':>9}  dominant"
+            )
+            for i, hop in enumerate(path.hops):
+                segment, ns = hop.dominant
+                lines.append(
+                    f"{i:>4} {hop.node:>5} {hop.label:<28}"
+                    f"{hop.segments.get('queue-wait', 0):>11}"
+                    f"{hop.segments.get('dispatch', 0):>10}"
+                    f"{hop.segments.get('transit', 0):>9}"
+                    f"  {segment} ({ns} ns)"
+                )
+            if path.hops:
+                index, hop = path.dominant_hop
+                segment, ns = hop.dominant
+                share = 100 * hop.total_ns / path.total_ns \
+                    if path.total_ns else 0.0
+                lines.append(
+                    f"dominant hop: #{index} node{hop.node} {hop.label} — "
+                    f"{segment} ({share:.0f}% of total)"
+                )
+        return "\n".join(lines)
+
+    def to_json(
+        self,
+        paths: "list[TracePath] | None" = None,
+        merged: "MergedTimeline | None" = None,
+    ) -> str:
+        if paths is None:
+            paths = self.paths(merged=merged)
+        return json.dumps(
+            {
+                "segments": self.segment_quantiles(paths),
+                "traces": [
+                    {
+                        "trace_id": format(path.trace_id, "x"),
+                        "total_ns": path.total_ns,
+                        "hops": [
+                            {
+                                "node": hop.node,
+                                "tid": hop.tid,
+                                "message": hop.label,
+                                "segments": hop.segments,
+                                "dominant": hop.dominant[0],
+                            }
+                            for hop in path.hops
+                        ],
+                    }
+                    for path in paths
+                ],
+            },
+            sort_keys=True,
+        )
+
+
+def _quantile(sorted_samples: list[int], q: float) -> int:
+    """Exact upper-value quantile of a sorted sample list."""
+    if not sorted_samples:
+        raise I2OError("quantile of an empty sample set")
+    rank = max(1, math.ceil(q * len(sorted_samples)))
+    return sorted_samples[rank - 1]

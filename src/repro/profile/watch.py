@@ -1,0 +1,103 @@
+"""Slow-frame auto-capture: budget overruns spill the black box.
+
+A :class:`SlowFrameWatch` attached to an executive gives the dispatch
+loop a latency budget.  When a dispatch exceeds it, the watch records
+an ``EV_SLOW_FRAME`` flight-recorder event carrying the frame's trace
+context, addressing triple and measured duration, then triggers a
+recorder spill — so the post-mortem tooling (``python -m
+repro.flightrec``) holds the complete ring *around* the slow incident
+without anything having crashed.
+
+Spills are capped (``max_spills``) so one pathological device cannot
+turn the watchdog into a disk-thrashing loop; every overrun is still
+counted and recorded in the ring regardless.
+
+The executive's hot path pays one ``is None`` test when no watch is
+attached, and one integer comparison per dispatch when one is — the
+clock read it needs is the same one the trace/flightrec/timing paths
+already share.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.flightrec.records import EV_SLOW_FRAME
+from repro.i2o.errors import I2OError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.executive import Executive
+
+
+class SlowFrameWatch:
+    """Threshold watchdog for dispatch (and whole-trace) latency."""
+
+    __slots__ = (
+        "budget_ns", "trace_budget_ns", "spill_on_trip", "max_spills",
+        "trips", "trace_trips", "spills", "_exe",
+    )
+
+    def __init__(
+        self,
+        budget_ns: int,
+        *,
+        trace_budget_ns: int = 0,
+        spill_on_trip: bool = True,
+        max_spills: int = 4,
+    ) -> None:
+        if budget_ns <= 0:
+            raise I2OError(
+                f"slow-frame budget must be positive, got {budget_ns}"
+            )
+        self.budget_ns = budget_ns
+        #: end-to-end budget for whole traces (0 disables); checked by
+        #: the critical-path tooling, not the dispatch loop.
+        self.trace_budget_ns = trace_budget_ns
+        self.spill_on_trip = spill_on_trip
+        self.max_spills = max_spills
+        self.trips = 0
+        self.trace_trips = 0
+        self.spills = 0
+        self._exe: "Executive | None" = None
+
+    def attach(self, exe: "Executive") -> "SlowFrameWatch":
+        """Arm this watch on an executive and expose trip counters."""
+        if exe.slow_watch is not None:
+            raise I2OError(
+                f"node {exe.node} already has a slow-frame watch"
+            )
+        exe.slow_watch = self
+        self._exe = exe
+        exe.metrics.gauge("prof_slow_frames_total", lambda: self.trips)
+        exe.metrics.gauge("prof_slow_traces_total", lambda: self.trace_trips)
+        exe.metrics.gauge("prof_slow_spills_total", lambda: self.spills)
+        return self
+
+    def detach(self) -> None:
+        if self._exe is not None:
+            self._exe.slow_watch = None
+            self._exe = None
+
+    # -- called from the dispatch loop --------------------------------------
+    def note(self, ctx: int, hdr: int, elapsed_ns: int, end_ns: int) -> None:
+        """One dispatch blew the budget: record, maybe spill."""
+        self.trips += 1
+        self._capture(ctx, hdr, elapsed_ns, end_ns, "slow-frame")
+
+    # -- called from trace-level tooling -------------------------------------
+    def note_trace(self, trace_id: int, total_ns: int, end_ns: int = 0) -> None:
+        """A whole stitched trace blew the end-to-end budget."""
+        self.trace_trips += 1
+        self._capture(trace_id, 0, total_ns, end_ns, "slow-trace")
+
+    def _capture(
+        self, ctx: int, hdr: int, elapsed_ns: int, end_ns: int, reason: str
+    ) -> None:
+        exe = self._exe
+        fr = exe.flightrec if exe is not None else None
+        if fr is None:
+            return
+        fr.record(EV_SLOW_FRAME, ctx, hdr, elapsed_ns, t_ns=end_ns or None)
+        if self.spill_on_trip and self.spills < self.max_spills:
+            self.spills += 1
+            fr.spill(reason)

@@ -90,10 +90,47 @@ def _fmt_count(value: float) -> str:
     return str(int(value))
 
 
+def hot_ratio(metrics: dict[str, float]) -> float | None:
+    """Fraction of profiler samples that landed inside a dispatch —
+    the sampling profiler's busy ratio, ``None`` when no sampler ran."""
+    total = metrics.get("prof_samples_total", 0)
+    if not total:
+        return None
+    return metrics.get("prof_busy_samples_total", 0) / total
+
+
+def _fmt_pct(value: float | None) -> str:
+    return "-" if value is None else f"{100 * value:.0f}%"
+
+
 COLUMNS = (
-    "NODE", "DISP", "QUEUE", "POOL", "P50", "P99",
+    "NODE", "DISP", "QUEUE", "POOL", "P50", "P99", "HOT",
     "JRNL", "COPIES", "DOWN", "ERR", "SPILL", "SHED",
 )
+
+#: Per-column numeric sort key over one node's snapshot.  ``--sort``
+#: orders by *these*, not the humanised cell strings, so "9us" never
+#: sorts above "10ms".
+_SORT_KEYS = {
+    "NODE": lambda node, m: node,
+    "DISP": lambda node, m: m.get("exe_dispatched_total", 0),
+    "QUEUE": lambda node, m: m.get("exe_scheduler_depth", 0),
+    "POOL": lambda node, m: m.get("pool_blocks_in_flight", 0),
+    "P50": lambda node, m: dispatch_quantile(m, 0.50) or -1,
+    "P99": lambda node, m: dispatch_quantile(m, 0.99) or -1,
+    "HOT": lambda node, m: hot_ratio(m) if hot_ratio(m) is not None else -1,
+    "JRNL": lambda node, m: _sum_matching(m, "rel_", "_journal_depth"),
+    "COPIES": lambda node, m: (
+        _sum_matching(m, "pt_", "_tx_copies")
+        + _sum_matching(m, "pt_", "_rx_copies")
+    ),
+    "DOWN": lambda node, m: max(
+        0.0, m.get("peer_deaths_total", 0) - m.get("peer_rejoins_total", 0)
+    ),
+    "ERR": lambda node, m: m.get("exe_handler_errors_total", 0),
+    "SPILL": lambda node, m: m.get("flightrec_spills_total", 0),
+    "SHED": lambda node, m: m.get("dataflow_shed_total", 0),
+}
 
 
 def node_row(node: int, metrics: dict[str, float]) -> tuple[str, ...]:
@@ -111,6 +148,7 @@ def node_row(node: int, metrics: dict[str, float]) -> tuple[str, ...]:
         _fmt_count(metrics.get("pool_blocks_in_flight", 0)),
         _fmt_ns(dispatch_quantile(metrics, 0.50)),
         _fmt_ns(dispatch_quantile(metrics, 0.99)),
+        _fmt_pct(hot_ratio(metrics)),
         _fmt_count(_sum_matching(metrics, "rel_", "_journal_depth")),
         _fmt_count(copies),
         _fmt_count(max(0.0, deaths - rejoins)),
@@ -120,15 +158,41 @@ def node_row(node: int, metrics: dict[str, float]) -> tuple[str, ...]:
     )
 
 
-def render(node_metrics: dict[int, dict[str, float]]) -> str:
-    """The full console frame for a ``node -> snapshot`` mapping."""
-    rows = [
-        node_row(node, node_metrics[node]) for node in sorted(node_metrics)
-    ]
+def render(
+    node_metrics: dict[int, dict[str, float]],
+    *,
+    sort: str | None = None,
+    widths: list[int] | None = None,
+) -> str:
+    """The full console frame for a ``node -> snapshot`` mapping.
+
+    ``sort`` orders the rows by a column name (descending for every
+    column except NODE), by the underlying numeric values.  ``widths``
+    is optional persistent column-width state: a list the caller keeps
+    between frames; widths only ever grow, so a counter rolling from
+    ``999`` to ``1k`` or a node dropping out no longer makes the whole
+    table shiver on each live refresh.
+    """
+    nodes = sorted(node_metrics)
+    if sort is not None:
+        key = _SORT_KEYS.get(sort.upper())
+        if key is None:
+            raise ValueError(
+                f"unknown sort column {sort!r}; "
+                f"one of {', '.join(c.lower() for c in COLUMNS)}"
+            )
+        nodes.sort(
+            key=lambda node: key(node, node_metrics[node]),
+            reverse=sort.upper() != "NODE",
+        )
+    rows = [node_row(node, node_metrics[node]) for node in nodes]
     table = [COLUMNS] + rows
-    widths = [
-        max(len(row[i]) for row in table) for i in range(len(COLUMNS))
-    ]
+    if widths is None:
+        widths = [0] * len(COLUMNS)
+    while len(widths) < len(COLUMNS):
+        widths.append(0)
+    for i in range(len(COLUMNS)):
+        widths[i] = max(widths[i], max(len(row[i]) for row in table))
     lines = [
         "  ".join(cell.rjust(width) for cell, width in zip(row, widths))
         for row in table
@@ -143,9 +207,11 @@ def render(node_metrics: dict[int, dict[str, float]]) -> str:
     return "\n".join(lines)
 
 
-def render_from_collector(collector) -> str:
+def render_from_collector(
+    collector, *, sort: str | None = None, widths: list[int] | None = None
+) -> str:
     """Render the latest sweep of a live ``TelemetryCollector``."""
-    return render(collector.node_metrics)
+    return render(collector.node_metrics, sort=sort, widths=widths)
 
 
 # -- sources -----------------------------------------------------------------
@@ -222,10 +288,15 @@ def main(argv: list[str] | None = None) -> int:
         "--interval", type=float, default=1.0,
         help="live refresh interval in seconds",
     )
+    parser.add_argument(
+        "--sort", metavar="COL",
+        choices=[c.lower() for c in COLUMNS],
+        help="order rows by a column (descending; 'node' ascending)",
+    )
     args = parser.parse_args(argv)
 
     if args.json:
-        print(render(_load_json(args.json)))
+        print(render(_load_json(args.json), sort=args.sort))
         return 0
     if not args.demo:
         parser.error("choose a source: --demo or --json FILE")
@@ -235,13 +306,16 @@ def main(argv: list[str] | None = None) -> int:
         if args.once:
             tick()
             assert cluster.collector is not None
-            print(render_from_collector(cluster.collector))
+            print(render_from_collector(cluster.collector, sort=args.sort))
             return 0
         frame = 0
+        widths: list[int] = []
         while True:
             tick()
             assert cluster.collector is not None
-            body = render_from_collector(cluster.collector)
+            body = render_from_collector(
+                cluster.collector, sort=args.sort, widths=widths
+            )
             # ANSI: clear screen, home cursor — the top(1) refresh.
             sys.stdout.write("\x1b[2J\x1b[H")
             sys.stdout.write(

@@ -26,17 +26,45 @@ def pytest_addoption(parser):
         help="run the whole suite with the thread-affinity guard on "
         "(equivalent to REPRO_AFFINITY=1)",
     )
+    parser.addoption(
+        "--profile",
+        action="store_true",
+        default=False,
+        help="run the whole suite with the sampling profiler armed on "
+        "every loopback-cluster executive (equivalent to "
+        "REPRO_PROFILE=1) — proves the instrumentation perturbs "
+        "nothing under the sanitizer",
+    )
+
+
+#: Suite-wide sampler when --profile / REPRO_PROFILE=1 is on.
+_profiler = None
 
 
 def pytest_configure(config):
+    global _profiler
     if config.getoption("--sanitize"):
         os.environ["REPRO_SANITIZE"] = "1"
     if config.getoption("--affinity"):
         os.environ["REPRO_AFFINITY"] = "1"
+    if config.getoption("--profile"):
+        os.environ["REPRO_PROFILE"] = "1"
     from repro.analysis.sanitize import affinity_enabled, install_affinity_guard
 
     if affinity_enabled():
         install_affinity_guard()
+    if os.environ.get("REPRO_PROFILE") == "1":
+        from repro.profile.sampler import SamplingProfiler
+
+        _profiler = SamplingProfiler(hz=197.0)
+        _profiler.start()
+
+
+def pytest_unconfigure(config):
+    global _profiler
+    if _profiler is not None:
+        _profiler.stop()
+        _profiler = None
 
 
 def make_loopback_cluster(n_nodes: int) -> dict[int, Executive]:
@@ -48,6 +76,10 @@ def make_loopback_cluster(n_nodes: int) -> dict[int, Executive]:
         PeerTransportAgent.attach(exe).register(
             LoopbackTransport(network), default=True
         )
+        if _profiler is not None:
+            # Tests pump on the calling thread, not Executive.start.
+            _profiler.register(exe)
+            _profiler.watch_thread(node)
         cluster[node] = exe
     return cluster
 

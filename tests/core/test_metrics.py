@@ -7,6 +7,8 @@ import pytest
 from repro.core.metrics import (
     Histogram,
     MetricsRegistry,
+    openmetrics_escape,
+    openmetrics_lines,
     prometheus_lines,
     sanitize_metric_name,
 )
@@ -222,7 +224,106 @@ class TestSnapshotAndRendering:
         assert MetricsRegistry().timing is False
 
 
-class TestSanitize:
+class TestExemplars:
+    def test_capture_is_opt_in(self):
+        h = Histogram("lat", [10, 20])
+        h.observe(5, exemplar=0xACE)
+        assert h.exemplar_for(10) is None  # capture off: no-op
+        h.enable_exemplars()
+        h.observe(5, exemplar=0xACE)
+        ex = h.exemplar_for(10)
+        assert ex is not None and ex.trace_id == 0xACE and ex.value == 5
+
+    def test_latest_exemplar_wins_per_bucket(self):
+        h = Histogram("lat", [10])
+        h.enable_exemplars()
+        h.observe(3, exemplar=1)
+        h.observe(4, exemplar=2)
+        h.observe(99, exemplar=3)  # lands in +Inf, not le=10
+        assert h.exemplar_for(10).trace_id == 2
+        assert h.exemplar_for(float("inf")).trace_id == 3
+
+    def test_untraced_observation_keeps_old_exemplar(self):
+        h = Histogram("lat", [10])
+        h.enable_exemplars()
+        h.observe(3, exemplar=7)
+        h.observe(4)  # no trace id: slot untouched
+        assert h.exemplar_for(10).trace_id == 7
+
+    def test_unknown_bound_raises(self):
+        h = Histogram("lat", [10])
+        h.enable_exemplars()
+        with pytest.raises(I2OError):
+            h.exemplar_for(15)
+
+    def test_enable_is_idempotent(self):
+        h = Histogram("lat", [10])
+        h.enable_exemplars()
+        h.observe(3, exemplar=5)
+        h.enable_exemplars()  # must not wipe captured exemplars
+        assert h.exemplar_for(10).trace_id == 5
+
+
+class TestOpenMetricsRendering:
+    def test_exemplar_suffix_on_bucket_line(self):
+        m = MetricsRegistry()
+        h = m.histogram("lat", [1000])
+        h.enable_exemplars()
+        h.observe(10, exemplar=0xACE1)
+        text = m.render_openmetrics({"node": 3})
+        line = next(
+            l for l in text.splitlines()
+            if l.startswith('repro_lat_bucket{node="3",le="1000"}')
+        )
+        assert '# {trace_id="ace1"} 10 ' in line
+        assert text.endswith("# EOF\n")
+
+    def test_plain_prometheus_mode_omits_exemplars(self):
+        m = MetricsRegistry()
+        h = m.histogram("lat", [1000])
+        h.enable_exemplars()
+        h.observe(10, exemplar=0xACE1)
+        text = m.render_prometheus({"node": 3})
+        assert "trace_id" not in text
+        assert "# EOF" not in text
+        assert "#" not in text
+
+    def test_buckets_without_exemplars_render_plain(self):
+        m = MetricsRegistry()
+        h = m.histogram("lat", [10, 1000])
+        h.enable_exemplars()
+        h.observe(500, exemplar=0xB0B)
+        lines = m.render_openmetrics().splitlines()
+        le10 = next(l for l in lines if 'le="10"' in l)
+        le1000 = next(l for l in lines if 'le="1000"' in l)
+        assert "#" not in le10
+        assert 'trace_id="b0b"' in le1000
+
+    def test_non_histogram_lines_match_prometheus(self):
+        m = MetricsRegistry()
+        m.inc("frames_total", 2)
+        m.gauge("depth").set(4)
+        om = m.render_openmetrics({"node": 1}).splitlines()
+        prom = m.render_prometheus({"node": 1}).splitlines()
+        assert [l for l in om if l != "# EOF"] == prom
+
+    def test_float_bound_round_trip_with_exemplar(self):
+        # p/m-encoded export key → le label → exemplar lookup must all
+        # agree on which bucket 0.5 names.
+        m = MetricsRegistry()
+        h = m.histogram("lat", [-1.5, 0.5])
+        h.enable_exemplars()
+        h.observe(0.25, exemplar=9)
+        lines = m.render_openmetrics().splitlines()
+        line = next(l for l in lines if 'le="0.5"' in l)
+        assert 'trace_id="9"' in line
+        assert "#" not in next(l for l in lines if 'le="-1.5"' in l)
+
+    def test_label_escaping(self):
+        assert openmetrics_escape('a\\b"c\nd') == 'a\\\\b\\"c\\nd'
+        lines = openmetrics_lines({"x": 1}, {"host": 'ru"0\n'})
+        assert lines[0] == 'repro_x{host="ru\\"0\\n"} 1'
+        assert lines[-1] == "# EOF"
     def test_replaces_forbidden_characters(self):
         assert sanitize_metric_name("q0-1") == "q0_1"
         assert sanitize_metric_name("tcp.9001") == "tcp_9001"

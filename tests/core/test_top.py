@@ -3,12 +3,17 @@
 from __future__ import annotations
 
 import json
+import math
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
+from repro.core.metrics import MetricsRegistry
 from repro.top import (
     COLUMNS,
     dispatch_quantile,
+    hot_ratio,
     main,
     node_row,
     render,
@@ -60,6 +65,110 @@ class TestDispatchQuantile:
         }
         assert dispatch_quantile(metrics, 0.5) == 0.5
         assert dispatch_quantile(metrics, 0.99) == 2.5
+
+
+#: Strictly increasing finite bucket bounds plus random observations.
+_bounds = st.lists(
+    st.integers(min_value=1, max_value=10**9),
+    min_size=1, max_size=8, unique=True,
+).map(sorted)
+_observations = st.lists(
+    st.integers(min_value=0, max_value=2 * 10**9), min_size=1, max_size=60
+)
+
+
+class TestQuantileProperties:
+    """Reconstruction from the cumulative export, against the real
+    Histogram: monotone in q, and always exactly a bucket bound."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(bounds=_bounds, values=_observations, qs=st.tuples(
+        st.floats(min_value=0.01, max_value=1.0),
+        st.floats(min_value=0.01, max_value=1.0),
+    ))
+    def test_monotone_and_bound_exact(self, bounds, values, qs):
+        registry = MetricsRegistry()
+        hist = registry.histogram("exe_dispatch_ns", bounds)
+        for value in values:
+            hist.observe(value)
+        metrics = registry.snapshot()
+
+        lo, hi = sorted(qs)
+        q_lo = dispatch_quantile(metrics, lo)
+        q_hi = dispatch_quantile(metrics, hi)
+        assert q_lo is not None and q_hi is not None
+        # Monotone: a higher quantile never reconstructs lower.
+        assert q_lo <= q_hi
+        # Bucket-bound-exact: the estimate is always one of the
+        # declared bounds (or the +Inf overflow), never interpolated.
+        legal = {float(b) for b in bounds} | {math.inf}
+        assert q_lo in legal and q_hi in legal
+        # And it is the *first* bound whose cumulative count covers q.
+        for q, got in ((lo, q_lo), (hi, q_hi)):
+            expected = math.inf
+            for bound in bounds:
+                if sum(1 for v in values if v <= bound) >= q * len(values):
+                    expected = float(bound)
+                    break
+            assert got == expected
+
+
+class TestHotColumn:
+    def test_ratio_from_profiler_gauges(self):
+        metrics = _metrics_with_hist(
+            prof_samples_total=200, prof_busy_samples_total=50
+        )
+        assert hot_ratio(metrics) == 0.25
+        assert node_row(0, metrics)[COLUMNS.index("HOT")] == "25%"
+
+    def test_no_samples_renders_dash(self):
+        assert hot_ratio(_metrics_with_hist()) is None
+        assert node_row(0, _metrics_with_hist())[COLUMNS.index("HOT")] == "-"
+
+
+class TestSort:
+    def _metrics(self):
+        return {
+            0: _metrics_with_hist(exe_dispatched_total=10,
+                                  prof_samples_total=100,
+                                  prof_busy_samples_total=90),
+            1: _metrics_with_hist(exe_dispatched_total=30),
+            2: _metrics_with_hist(exe_dispatched_total=20,
+                                  prof_samples_total=100,
+                                  prof_busy_samples_total=10),
+        }
+
+    def _order(self, text):
+        return [line.split()[0] for line in text.splitlines()[1:-1]]
+
+    def test_sort_disp_descends_by_numeric_value(self):
+        assert self._order(render(self._metrics(), sort="disp")) == \
+            ["1", "2", "0"]
+
+    def test_sort_hot_puts_unsampled_nodes_last(self):
+        assert self._order(render(self._metrics(), sort="hot")) == \
+            ["0", "2", "1"]
+
+    def test_sort_node_ascends(self):
+        assert self._order(render(self._metrics(), sort="node")) == \
+            ["0", "1", "2"]
+
+    def test_unknown_column_raises(self):
+        with pytest.raises(ValueError, match="unknown sort column"):
+            render(self._metrics(), sort="bogus")
+
+
+class TestWidthPersistence:
+    def test_widths_only_grow_between_frames(self):
+        widths: list[int] = []
+        render({0: {"exe_dispatched_total": 9_999_999}}, widths=widths)
+        wide = list(widths)
+        # Counter resets / node churn must not shrink any column.
+        render({0: {"exe_dispatched_total": 1}}, widths=widths)
+        assert widths == wide
+        first = render({0: {"exe_dispatched_total": 9_999_999}})
+        again = render({0: {"exe_dispatched_total": 1}}, widths=wide)
+        assert len(again.splitlines()[0]) == len(first.splitlines()[0])
 
 
 class TestNodeRow:

@@ -1,0 +1,179 @@
+"""Critical-path decomposition: segments, refinement, aggregation."""
+
+from __future__ import annotations
+
+import json
+from types import SimpleNamespace
+
+import pytest
+
+from repro.flightrec.records import (
+    EV_FRAME_INGEST,
+    EV_FRAME_TRANSMIT,
+    EV_JOURNAL_COMMIT,
+    EV_REL_ACK,
+    EV_REL_SEND,
+    FlightRecord,
+)
+from repro.flightrec.timeline import MergedTimeline
+from repro.i2o.errors import I2OError
+from repro.profile.critical import (
+    ADDITIVE_SEGMENTS,
+    CriticalPathAnalyzer,
+    TracePath,
+)
+
+TRACE = 0x123
+
+
+def hop(node, start_ns, queue_wait_ns, dispatch_ns, tid=17, xfn=0x2):
+    return {
+        "node": node, "tid": tid, "function": 0xFF, "xfunction": xfn,
+        "start_ns": start_ns, "queue_wait_ns": queue_wait_ns,
+        "dispatch_ns": dispatch_ns,
+    }
+
+
+#: Two hops: enqueue at 800, node-0 dispatch ends at 1300, node-1
+#: enqueue at 2000 (transit 700), everything done at 2700.
+TWO_HOPS = [hop(0, 1000, 200, 300), hop(1, 2300, 300, 400)]
+
+
+def two_hop_path(merged=None):
+    return CriticalPathAnalyzer().path(
+        TRACE, timeline=TWO_HOPS, merged=merged
+    )
+
+
+class TestDecomposition:
+    def test_segments_and_total(self):
+        path = two_hop_path()
+        assert path.total_ns == 1900
+        first, second = path.hops
+        assert first.segments == {"queue-wait": 200, "dispatch": 300}
+        assert second.segments == {
+            "queue-wait": 300, "dispatch": 400, "transit": 700,
+        }
+
+    def test_additive_segments_sum_to_the_lifetime(self):
+        path = two_hop_path()
+        assert sum(
+            h.segments.get(s, 0)
+            for h in path.hops for s in ADDITIVE_SEGMENTS
+        ) == path.total_ns
+
+    def test_dominant_hop_and_segment(self):
+        path = two_hop_path()
+        index, dominant = path.dominant_hop
+        assert index == 1 and dominant.node == 1
+        assert dominant.dominant == ("transit", 700)
+
+    def test_empty_timeline_yields_an_empty_path(self):
+        path = CriticalPathAnalyzer().path(TRACE, timeline=[])
+        assert path.total_ns == 0 and path.hops == []
+        with pytest.raises(I2OError, match="has no hops"):
+            path.dominant_hop
+
+    def test_no_collector_and_no_timeline_raises(self):
+        with pytest.raises(I2OError, match="no collector"):
+            CriticalPathAnalyzer().path(TRACE)
+        with pytest.raises(I2OError, match="no collector"):
+            CriticalPathAnalyzer().paths()
+
+
+def record(kind, t_ns, a, b=0, c=0, seq=0):
+    return FlightRecord(seq=seq, t_ns=t_ns, a=a, b=b, c=c, kind=kind)
+
+
+def merged_for_refinement():
+    """A flight-recorder merge for TWO_HOPS: transmit at 1500 on node
+    0, ingest at 1900 on node 1, with the reliable send (seq 9)
+    journalled at 1550 and acked at 1800."""
+    node0 = SimpleNamespace(node=0, records=[
+        record(EV_REL_SEND, 1400, a=9, b=1),
+        record(EV_FRAME_TRANSMIT, 1500, a=TRACE),
+        record(EV_JOURNAL_COMMIT, 1550, a=9),
+        record(EV_REL_ACK, 1800, a=9),
+    ])
+    node1 = SimpleNamespace(node=1, records=[
+        record(EV_FRAME_INGEST, 1900, a=TRACE),
+    ])
+    return MergedTimeline([node0, node1])
+
+
+class TestRefinement:
+    def test_transit_splits_into_encode_wire_residual(self):
+        path = two_hop_path(merged=merged_for_refinement())
+        segments = path.hops[1].segments
+        assert segments["encode"] == 200  # 1300 -> transmit@1500
+        assert segments["wire"] == 400    # transmit -> ingest@1900
+        assert segments["transit"] == 100  # the unattributed residual
+        # The split is a refinement: the additive total is unchanged.
+        assert sum(
+            h.segments.get(s, 0)
+            for h in path.hops for s in ADDITIVE_SEGMENTS
+        ) == path.total_ns == 1900
+
+    def test_journal_and_ack_attributed_without_double_counting(self):
+        path = two_hop_path(merged=merged_for_refinement())
+        segments = path.hops[1].segments
+        assert segments["journal"] == 150  # send@1400 -> commit@1550
+        assert segments["ack"] == 400      # send@1400 -> ack@1800
+        assert path.hops[1].total_ns == 1400  # overlap segments excluded
+
+    def test_missing_wire_records_leave_transit_whole(self):
+        merged = MergedTimeline([SimpleNamespace(node=0, records=[])])
+        path = two_hop_path(merged=merged)
+        assert path.hops[1].segments["transit"] == 700
+        assert "encode" not in path.hops[1].segments
+
+
+class TestAggregation:
+    def test_segment_quantiles_are_exact(self):
+        paths = [
+            CriticalPathAnalyzer().path(
+                i, timeline=[hop(0, 1000, 100 * (i + 1), 500)]
+            )
+            for i in range(4)  # queue waits 100, 200, 300, 400
+        ]
+        stats = CriticalPathAnalyzer.segment_quantiles(paths)
+        assert stats["queue-wait"] == {
+            "count": 4, "p50": 200, "p99": 400, "max": 400,
+        }
+        assert stats["dispatch"]["p50"] == 500
+
+    def test_slowest_orders_by_total(self):
+        fast = CriticalPathAnalyzer().path(1, timeline=[hop(0, 10, 5, 5)])
+        slow = CriticalPathAnalyzer().path(
+            2, timeline=[hop(0, 10, 5, 5000)]
+        )
+        assert CriticalPathAnalyzer.slowest([fast, slow], top=1) == [slow]
+
+
+class TestRendering:
+    def test_report_names_the_dominant_hop(self):
+        text = CriticalPathAnalyzer().report(paths=[two_hop_path()])
+        assert "=== critical path: 1 trace(s) ===" in text
+        assert "queue-wait" in text and "dispatch" in text
+        assert "dominant hop: #1 node1" in text
+        assert "transit" in text
+
+    def test_to_json_round_trips(self):
+        blob = json.loads(
+            CriticalPathAnalyzer().to_json(paths=[two_hop_path()])
+        )
+        (trace,) = blob["traces"]
+        assert trace["trace_id"] == format(TRACE, "x")
+        assert trace["total_ns"] == 1900
+        assert [h["node"] for h in trace["hops"]] == [0, 1]
+        assert trace["hops"][1]["dominant"] == "transit"
+        assert blob["segments"]["queue-wait"]["count"] == 2
+
+    def test_report_on_no_traces(self):
+        assert "0 trace(s)" in CriticalPathAnalyzer().report(paths=[])
+
+
+class TestTracePathInvariants:
+    def test_dominant_hop_of_empty_path_raises(self):
+        with pytest.raises(I2OError):
+            TracePath(trace_id=1, total_ns=0, hops=[]).dominant_hop
